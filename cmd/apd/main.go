@@ -1,0 +1,62 @@
+// Command apd is a smart-AP offline-downloading daemon: it listens on the
+// apctl control port, accepts SUBMIT/STATUS/LIST/CANCEL commands from
+// devices on the LAN, and pre-downloads files over HTTP with resume and
+// optional rate limiting — the software half of the smart-AP approach
+// (§2.2) runnable on anything, router or laptop.
+//
+// Usage:
+//
+//	apd [-addr :7070] [-dir DIR] [-concurrency 2] [-rate BYTES_PER_SEC]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"odr/internal/apctl"
+	"odr/internal/fetch"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "control listen address")
+	dir := flag.String("dir", ".", "storage directory for downloaded files")
+	concurrency := flag.Int("concurrency", 2, "max concurrent downloads")
+	rate := flag.Float64("rate", 0, "per-download rate limit in bytes/second (0 = unlimited)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "apd ", log.LstdFlags)
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		logger.Fatal(err)
+	}
+
+	fetcher := fetch.New(fetch.Options{RateLimit: *rate})
+	dl := apctl.DownloaderFunc(func(ctx context.Context, url, dst string) (int64, error) {
+		res, err := fetcher.Fetch(ctx, url, dst)
+		if err != nil {
+			return 0, err
+		}
+		logger.Printf("downloaded %s: %d bytes, md5 %s, %d resumes",
+			url, res.Bytes, res.MD5, res.Resumes)
+		return res.Bytes, nil
+	})
+	daemon := apctl.NewDaemon(dl, *dir, *concurrency)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s, storing into %s", ln.Addr(), *dir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := daemon.Serve(ctx, ln); err != nil && ctx.Err() == nil {
+		logger.Fatal(err)
+	}
+	logger.Print("shutting down, waiting for in-flight jobs")
+	daemon.Wait()
+}

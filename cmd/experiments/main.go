@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulated substrates and prints them with measured-vs-paper headline
+// metrics.
+//
+// Usage:
+//
+//	experiments [-files N] [-sample N] [-seed S] [-exp ID]
+//
+// With no -exp it runs the full suite in DESIGN.md order. Experiment IDs:
+// t0, f5, f6, f7, f8, f9, f10, f11, t1, f13, f14, t2, apfail, f16, f17,
+// abl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odr/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Default()
+	files := flag.Int("files", cfg.NumFiles, "unique files in the synthetic week (paper: 563517)")
+	sample := flag.Int("sample", cfg.SampleSize, "size of the §5.1 replay sample")
+	seed := flag.Uint64("seed", cfg.Seed, "random seed")
+	exp := flag.String("exp", "", "run a single experiment by ID (empty = all)")
+	flag.Parse()
+
+	lab := experiments.NewLab(experiments.Config{
+		NumFiles:   *files,
+		SampleSize: *sample,
+		Seed:       *seed,
+	})
+
+	if *exp != "" {
+		rep := lab.ByID(*exp)
+		if rep == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(rep.String())
+		return
+	}
+	for _, rep := range lab.All() {
+		fmt.Print(rep.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,227 @@
+// Command odrctl is the user-device side of the system: it asks an ODR
+// server where a download should run and drives a smart-AP daemon over
+// the apctl protocol accordingly.
+//
+// Subcommands:
+//
+//	odrctl decide -server URL -link L -isp unicom -bw 2621440 [AP flags]
+//	odrctl submit -ap HOST:PORT -link L
+//	odrctl status -ap HOST:PORT -id N
+//	odrctl fetch  -ap HOST:PORT -id N -out FILE
+//	odrctl run    -server URL -ap HOST:PORT -link L -out FILE [flags]
+//
+// "run" performs the whole Figure 1 loop: decide, then — when ODR picks
+// an AP route — submit to the AP, wait, and fetch the bytes back.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"odr/internal/apctl"
+	"odr/internal/odrweb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "decide":
+		err = cmdDecide(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "fetch":
+		err = cmdFetch(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: odrctl {decide|submit|status|fetch|run} [flags]")
+	os.Exit(2)
+}
+
+// auxFlags registers the §6.1 auxiliary-information flags.
+func auxFlags(fs *flag.FlagSet) func() *odrweb.AuxInfo {
+	isp := fs.String("isp", "unicom", "user ISP: telecom|unicom|mobile|cernet|other")
+	bw := fs.Float64("bw", 2.5*1024*1024, "access bandwidth, bytes/second")
+	apStorage := fs.String("ap-storage", "", "AP storage device (sd-card|usb-flash|usb-hdd|sata-hdd); empty = no AP")
+	apFS := fs.String("ap-fs", "ext4", "AP filesystem (fat|ntfs|ext4)")
+	apCPU := fs.Float64("ap-cpu", 0.58, "AP CPU clock, GHz")
+	return func() *odrweb.AuxInfo {
+		aux := &odrweb.AuxInfo{ISP: *isp, AccessBW: *bw}
+		if *apStorage != "" {
+			aux.HasAP = true
+			aux.APStorage = *apStorage
+			aux.APFS = *apFS
+			aux.APCPUGHz = *apCPU
+		}
+		return aux
+	}
+}
+
+func decide(server, link string, aux *odrweb.AuxInfo) (*odrweb.DecideResponse, error) {
+	client, err := odrweb.NewClient(server, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return client.Decide(ctx, link, aux)
+}
+
+func cmdDecide(args []string) error {
+	fs := flag.NewFlagSet("decide", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "ODR server base URL")
+	link := fs.String("link", "", "source link to decide for")
+	getAux := auxFlags(fs)
+	fs.Parse(args)
+	if *link == "" {
+		return fmt.Errorf("decide: -link is required")
+	}
+	resp, err := decide(*server, *link, getAux())
+	if err != nil {
+		return err
+	}
+	printDecision(resp)
+	return nil
+}
+
+func printDecision(resp *odrweb.DecideResponse) {
+	fmt.Printf("route:   %s\nsource:  %s\nband:    %s\ncached:  %v\nreason:  %s\n",
+		resp.Route, resp.Source, resp.Band, resp.Cached, resp.Reason)
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	ap := fs.String("ap", "localhost:7070", "AP daemon address")
+	link := fs.String("link", "", "URL to pre-download")
+	fs.Parse(args)
+	if *link == "" {
+		return fmt.Errorf("submit: -link is required")
+	}
+	c, err := apctl.Dial(*ap)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	id, err := c.Submit(*link)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %d\n", id)
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	ap := fs.String("ap", "localhost:7070", "AP daemon address")
+	id := fs.Int("id", 0, "job id")
+	fs.Parse(args)
+	c, err := apctl.Dial(*ap)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Status(*id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %d: %s (%d/%d bytes)\n", *id, st.State, st.Transferred, st.Total)
+	return nil
+}
+
+func cmdFetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	ap := fs.String("ap", "localhost:7070", "AP daemon address")
+	id := fs.Int("id", 0, "job id")
+	out := fs.String("out", "", "output file")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("fetch: -out is required")
+	}
+	c, err := apctl.Dial(*ap)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return fetchTo(c, *id, *out)
+}
+
+func fetchTo(c *apctl.Client, id int, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := c.Fetch(id, f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fetched %d bytes into %s\n", n, out)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "ODR server base URL")
+	ap := fs.String("ap", "localhost:7070", "AP daemon address")
+	link := fs.String("link", "", "source link")
+	out := fs.String("out", "download.bin", "output file for AP routes")
+	wait := fs.Duration("wait", 10*time.Minute, "how long to wait for the AP pre-download")
+	getAux := auxFlags(fs)
+	fs.Parse(args)
+	if *link == "" {
+		return fmt.Errorf("run: -link is required")
+	}
+
+	resp, err := decide(*server, *link, getAux())
+	if err != nil {
+		return err
+	}
+	printDecision(resp)
+
+	switch resp.Route {
+	case "smart-ap", "cloud+smart-ap":
+		fmt.Println("driving the smart AP…")
+		c, err := apctl.Dial(*ap)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		id, err := c.Submit(*link)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("job %d submitted, waiting…\n", id)
+		st, err := c.WaitFor(id, *wait)
+		if err != nil {
+			return err
+		}
+		if st.State != apctl.JobDone {
+			return fmt.Errorf("AP pre-download ended %v", st.State)
+		}
+		return fetchTo(c, id, *out)
+	case "user-device":
+		fmt.Println("download directly on this device (ODR spares the cloud)")
+	case "cloud":
+		fmt.Println("fetch from the cloud service directly")
+	case "cloud-predownload":
+		fmt.Println("ask the cloud to pre-download, then run odrctl again")
+	}
+	return nil
+}

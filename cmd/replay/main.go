@@ -1,0 +1,132 @@
+// Command replay runs the paper's two replay methodologies on a synthetic
+// week: the §5.1 smart-AP benchmark and the §6.2 ODR evaluation, printing
+// a comparative summary.
+//
+// Usage:
+//
+//	replay [-files N] [-sample N] [-seed S] [-tasks PATH]
+//
+// With -tasks it also dumps the week simulation's task records as JSON
+// Lines (the pre-downloading + fetching traces of §3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"odr/internal/cloud"
+	"odr/internal/replay"
+	"odr/internal/sim"
+	"odr/internal/smartap"
+	"odr/internal/trace"
+	"odr/internal/workload"
+)
+
+func main() {
+	files := flag.Int("files", 20000, "unique files in the synthetic week")
+	sampleN := flag.Int("sample", 1000, "replay sample size")
+	seed := flag.Uint64("seed", 1, "random seed")
+	tasks := flag.String("tasks", "", "also dump week task records as JSONL to this path")
+	tracePath := flag.String("trace", "", "replay a workload CSV (wgen format) instead of generating one")
+	flag.Parse()
+
+	if err := run(*files, *sampleN, *seed, *tasks, *tracePath); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(files, sampleN int, seed uint64, tasksPath, tracePath string) error {
+	tr, err := loadOrGenerate(files, seed, tracePath)
+	if err != nil {
+		return err
+	}
+	sample := workload.UnicomSample(tr, sampleN, seed)
+	aps := smartap.Benchmarked()
+
+	fmt.Printf("synthetic week: %d files, %d users, %d requests; replay sample: %d\n\n",
+		len(tr.Files), len(tr.Users), len(tr.Requests), len(sample))
+
+	// §5 smart-AP benchmark.
+	bench := replay.RunAPBenchmark(sample, aps, seed)
+	fmt.Println("== smart-AP benchmark (§5) ==")
+	fmt.Printf("overall failure ratio:    %5.1f%%  (paper: 16.8%%)\n", bench.FailureRatio()*100)
+	fmt.Printf("unpopular failure ratio:  %5.1f%%  (paper: 42%%)\n", bench.UnpopularFailureRatio()*100)
+	fmt.Printf("speed median / mean:      %5.1f / %5.1f KBps (paper: 27 / 64)\n",
+		bench.Speeds().Median()/1024, bench.Speeds().Mean()/1024)
+	fmt.Printf("delay median / mean:      %5.0f / %5.0f min (paper: 77 / 402)\n",
+		bench.Delays().Median(), bench.Delays().Mean())
+	fmt.Println("failure causes:")
+	for cause, share := range bench.CauseBreakdown() {
+		fmt.Printf("  %-12s %5.1f%%\n", cause, share*100)
+	}
+
+	// §6.2 ODR evaluation.
+	baseline := replay.CloudOnlyBaseline(sample, tr.Files, seed)
+	odr := replay.RunODR(sample, tr.Files, aps, replay.Options{Seed: seed})
+	fmt.Println("\n== ODR evaluation (§6.2) ==")
+	fmt.Printf("impeded fetches:    cloud %5.1f%%  ODR %5.1f%%  (paper: 28%% -> 9%%)\n",
+		baseline.ImpededRatio()*100, odr.ImpededRatio()*100)
+	fmt.Printf("cloud bytes:        %.3g -> %.3g  (-%.0f%%, paper: -35%%)\n",
+		baseline.CloudBytes(), odr.CloudBytes(),
+		(1-odr.CloudBytes()/baseline.CloudBytes())*100)
+	fmt.Printf("unpopular failures: APs %5.1f%%  ODR %5.1f%%  (paper: 42%% -> 13%%)\n",
+		bench.UnpopularFailureRatio()*100, odr.UnpopularFailureRatio()*100)
+	fmt.Printf("B4-exposed tasks:   APs %5.1f%%  ODR %5.2f%%  (paper: avoided)\n",
+		bench.B4ExposedRatio()*100, odr.B4ExposedRatio()*100)
+	fmt.Printf("fetch speed median: cloud %.0f KBps  ODR %.0f KBps  (paper: 287 -> 368)\n",
+		baseline.FetchSpeeds().Median()/1024, odr.FetchSpeeds().Median()/1024)
+
+	if tasksPath == "" {
+		return nil
+	}
+	// Run the full week and dump its task records.
+	eng := sim.New()
+	c := cloud.New(cloud.DefaultConfig(float64(files)/cloud.FullScaleFiles, seed), eng)
+	c.Prewarm(tr.Files)
+	c.RunTrace(tr)
+	f, err := os.Create(tasksPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteTasksJSONL(f, c.Records()); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d task records to %s\n", len(c.Records()), tasksPath)
+	return nil
+}
+
+// loadOrGenerate reads a wgen-format CSV trace when a path is given, or
+// synthesizes one.
+func loadOrGenerate(files int, seed uint64, tracePath string) (*workload.Trace, error) {
+	if tracePath == "" {
+		return workload.Generate(workload.DefaultConfig(files, seed))
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	reqs, err := trace.ReadWorkloadCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the file/user populations from the deduplicated requests.
+	seenF := map[*workload.FileMeta]bool{}
+	seenU := map[*workload.User]bool{}
+	tr := &workload.Trace{Requests: reqs, Span: 7 * 24 * time.Hour}
+	for _, r := range reqs {
+		if !seenF[r.File] {
+			seenF[r.File] = true
+			tr.Files = append(tr.Files, r.File)
+		}
+		if !seenU[r.User] {
+			seenU[r.User] = true
+			tr.Users = append(tr.Users, r.User)
+		}
+	}
+	return tr, nil
+}

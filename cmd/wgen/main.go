@@ -1,0 +1,63 @@
+// Command wgen synthesizes offline-downloading workload traces calibrated
+// to §3 of the paper and writes them as CSV or JSON Lines.
+//
+// Usage:
+//
+//	wgen [-files N] [-seed S] [-format csv|jsonl] [-out PATH] [-unicom N]
+//
+// With -unicom N it emits the §5.1 replay sample (N Unicom requests with
+// reported bandwidth) instead of the full trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"odr/internal/trace"
+	"odr/internal/workload"
+)
+
+func main() {
+	files := flag.Int("files", 20000, "unique files in the trace (paper: 563517)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	format := flag.String("format", "csv", "output format: csv or jsonl")
+	out := flag.String("out", "-", "output path (- for stdout)")
+	unicom := flag.Int("unicom", 0, "emit only an N-request Unicom replay sample")
+	flag.Parse()
+
+	if err := run(*files, *seed, *format, *out, *unicom); err != nil {
+		fmt.Fprintln(os.Stderr, "wgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(files int, seed uint64, format, out string, unicom int) error {
+	tr, err := workload.Generate(workload.DefaultConfig(files, seed))
+	if err != nil {
+		return err
+	}
+	reqs := tr.Requests
+	if unicom > 0 {
+		reqs = workload.UnicomSample(tr, unicom, seed)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "csv":
+		return trace.WriteWorkloadCSV(w, reqs)
+	case "jsonl":
+		return trace.WriteWorkloadJSONL(w, reqs)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+}

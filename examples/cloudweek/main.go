@@ -1,0 +1,106 @@
+// Cloudweek reproduces the paper's §4 measurement study on a synthetic
+// week: it simulates the Xuanfeng-style cloud serving a scaled workload
+// and prints the key performance statistics — cache-hit ratio,
+// pre-download vs fetch speed/delay distributions, the impeded-fetch
+// decomposition, and the Figure 11 upload-burden timeseries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"odr"
+	"odr/internal/stats"
+)
+
+func main() {
+	files := flag.Int("files", 20000, "unique files in the synthetic week")
+	seed := flag.Uint64("seed", 7, "random seed")
+	flag.Parse()
+
+	tr, err := odr.GenerateTrace(odr.DefaultTraceConfig(*files, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	week := odr.SimulateWeek(tr, odr.DefaultCloudConfig(float64(*files)/563517, *seed))
+	recs := week.Records()
+
+	var hits, fails, impeded, fetched int
+	pre := stats.NewSample(1024)
+	fetch := stats.NewSample(1024)
+	preDelay := stats.NewSample(1024)
+	fetchDelay := stats.NewSample(1024)
+	causes := map[string]int{}
+	for _, r := range recs {
+		if r.CacheHit {
+			hits++
+		} else if r.PreSuccess {
+			pre.Add(r.PreRate / 1024)
+			preDelay.Add(r.PreDelay().Minutes())
+		}
+		if !r.PreSuccess {
+			fails++
+		}
+		if r.Fetched {
+			fetched++
+			fetch.Add(r.FetchRate / 1024)
+			if !r.Rejected {
+				fetchDelay.Add(r.FetchDelay().Minutes())
+			}
+			if r.Impeded() {
+				impeded++
+				causes[r.Impediment.String()]++
+			}
+		}
+	}
+	n := float64(len(recs))
+	fmt.Printf("week: %d requests over %d files\n\n", len(recs), len(tr.Files))
+	fmt.Printf("cache hit ratio:          %5.1f%%  (paper: 89%%)\n", 100*float64(hits)/n)
+	fmt.Printf("pre-download failures:    %5.1f%%  (paper: 8.7%%)\n", 100*float64(fails)/n)
+	fmt.Printf("pre-dl speed med/mean:    %5.1f / %5.1f KBps (paper: 25 / 69)\n",
+		pre.Median(), pre.Mean())
+	fmt.Printf("fetch  speed med/mean:    %5.1f / %5.1f KBps (paper: 287 / 504)\n",
+		fetch.Median(), fetch.Mean())
+	fmt.Printf("pre-dl delay med/mean:    %5.0f / %5.0f min (paper: 82 / 370)\n",
+		preDelay.Median(), preDelay.Mean())
+	fmt.Printf("fetch  delay med/mean:    %5.0f / %5.0f min (paper: 7 / 27)\n",
+		fetchDelay.Median(), fetchDelay.Mean())
+	fmt.Printf("impeded fetches:          %5.1f%%  (paper: 28%%)\n",
+		100*float64(impeded)/float64(fetched))
+	for cause, cnt := range causes {
+		fmt.Printf("  %-14s %5.1f%%\n", cause, 100*float64(cnt)/float64(fetched))
+	}
+
+	// Figure 11 as ASCII: hourly mean burden vs purchased capacity.
+	fmt.Println("\nupload burden over the week (one row per 6h, '#' = 5% of purchased):")
+	capacity := week.Uploaders().TotalCapacity()
+	burden := week.Burden()
+	const bucket = 6 * time.Hour
+	for start := time.Duration(0); start < 7*24*time.Hour; start += bucket {
+		var sum float64
+		var cnt int
+		for _, s := range burden {
+			if s.At >= start && s.At < start+bucket {
+				sum += s.Total
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		frac := sum / float64(cnt) / capacity
+		bar := strings.Repeat("#", int(frac*20))
+		marker := ""
+		if frac > 1 {
+			marker = "  << exceeds purchased bandwidth"
+		}
+		fmt.Printf("day %d %02dh |%-24s| %5.1f%%%s\n",
+			int(start/(24*time.Hour))+1, int(start/time.Hour)%24, bar, frac*100, marker)
+	}
+	fmt.Printf("\nrejected fetches: %d of %d (%.2f%%, paper: 1.5%% on day 7)\n",
+		week.Rejections(), week.Fetches(),
+		100*float64(week.Rejections())/float64(week.Fetches()))
+}

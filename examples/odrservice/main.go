@@ -1,0 +1,101 @@
+// Odrservice runs the complete ODR deployment loop in one process: it
+// starts the ODR web service on a loopback port (exactly what
+// odr.thucloud.com served, §6.1), then acts as three different users
+// asking where their downloads should go — demonstrating the cookie-backed
+// auxiliary info and every redirection outcome over real HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"odr"
+)
+
+func main() {
+	// Build the content universe and its cloud state.
+	tr, err := odr.GenerateTrace(odr.DefaultTraceConfig(5000, 99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	week := odr.SimulateWeek(tr, odr.DefaultCloudConfig(5000.0/563517, 99))
+	advisor := &odr.Advisor{DB: week.DB(), Cache: week.Pool()}
+	server := odr.NewWebServer(advisor, odr.NewMapResolver(tr.Files), nil)
+
+	// Serve on an ephemeral loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: server, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("ODR service listening at %s\n\n", base)
+
+	// Pick characteristic files.
+	var hotP2P, coldAny *odr.FileMeta
+	for _, f := range tr.Files {
+		if f.Protocol.IsP2P() && (hotP2P == nil || f.WeeklyRequests > hotP2P.WeeklyRequests) {
+			hotP2P = f
+		}
+		if coldAny == nil || f.WeeklyRequests < coldAny.WeeklyRequests {
+			coldAny = f
+		}
+	}
+
+	users := []struct {
+		name string
+		aux  *odr.AuxInfo
+		link string
+	}{
+		{
+			"broadband user, Newifi with NTFS flash, hot torrent",
+			&odr.AuxInfo{ISP: "unicom", AccessBW: 2.5 * 1024 * 1024,
+				HasAP: true, APStorage: "usb-flash", APFS: "ntfs", APCPUGHz: 0.58},
+			hotP2P.SourceURL,
+		},
+		{
+			"broadband user, MiWiFi, hot torrent",
+			&odr.AuxInfo{ISP: "telecom", AccessBW: 2.5 * 1024 * 1024,
+				HasAP: true, APStorage: "sata-hdd", APFS: "ext4", APCPUGHz: 1.0},
+			hotP2P.SourceURL,
+		},
+		{
+			"rural user outside the big four ISPs, cold file",
+			&odr.AuxInfo{ISP: "other", AccessBW: 80 * 1024,
+				HasAP: true, APStorage: "usb-hdd", APFS: "ext4", APCPUGHz: 0.58},
+			coldAny.SourceURL,
+		},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, u := range users {
+		client, err := odr.NewWebClient(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := client.Decide(ctx, u.link, u.aux)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  -> route %s, source %s (band %s, cached %v)\n  because: %s\n",
+			u.name, resp.Route, resp.Source, resp.Band, resp.Cached, resp.Reason)
+
+		// Second request rides the remembered cookie: no aux needed.
+		again, err := client.Decide(ctx, u.link, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  (cookie-backed repeat agrees: %s)\n\n", again.Route)
+	}
+}

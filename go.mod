@@ -1,0 +1,3 @@
+module odr
+
+go 1.22

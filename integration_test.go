@@ -1,0 +1,158 @@
+package odr
+
+// Whole-system integration: Figure 1's three arrows over real sockets.
+// An httptest server plays the Internet origin; the apctl daemon (backed
+// by the resumable HTTP fetcher) plays the smart AP; the ODR web service
+// decides the route; and the test, playing the user device, submits the
+// pre-download to the AP and fetches the bytes back over the control
+// connection, verifying content integrity end to end.
+
+import (
+	"bytes"
+	"context"
+	"crypto/md5"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"odr/internal/apctl"
+	"odr/internal/core"
+	"odr/internal/fetch"
+	"odr/internal/odrweb"
+	"odr/internal/workload"
+)
+
+func TestFigure1EndToEnd(t *testing.T) {
+	// --- The Internet: an origin server with Range support. ---
+	content := bytes.Repeat([]byte("offline-downloading-in-china-"), 4096) // ≈116 KiB
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "file.bin", time.Unix(0, 0),
+			bytes.NewReader(content))
+	}))
+	defer origin.Close()
+	fileURL := origin.URL + "/file.bin"
+
+	// --- The content universe ODR consults. ---
+	file := &workload.FileMeta{
+		ID:             workload.FileIDFromIndex(1),
+		Size:           int64(len(content)),
+		Class:          workload.ClassVideo,
+		Protocol:       workload.ProtoHTTP,
+		SourceURL:      fileURL,
+		WeeklyRequests: 3, // unpopular: ODR will involve the cloud path
+	}
+	hotFile := &workload.FileMeta{
+		ID:             workload.FileIDFromIndex(2),
+		Size:           int64(len(content)),
+		Class:          workload.ClassVideo,
+		Protocol:       workload.ProtoBitTorrent,
+		SourceURL:      origin.URL + "/hot.bin", // stands in for the swarm
+		WeeklyRequests: 500,
+	}
+	files := []*workload.FileMeta{file, hotFile}
+
+	cache := map[workload.FileID]bool{file.ID: true}
+	advisor := &core.Advisor{
+		DB:    core.NewStaticDB(files),
+		Cache: probeFunc(func(id workload.FileID) bool { return cache[id] }),
+	}
+	odrSrv := httptest.NewServer(odrweb.NewServer(advisor, odrweb.NewMapResolver(files), nil))
+	defer odrSrv.Close()
+
+	// --- The smart AP: apctl daemon wired to the real HTTP fetcher. ---
+	fetcher := fetch.New(fetch.Options{Retries: 2, RetryDelay: 10 * time.Millisecond})
+	daemon := apctl.NewDaemon(apctl.DownloaderFunc(
+		func(ctx context.Context, url, dst string) (int64, error) {
+			res, err := fetcher.Fetch(ctx, url, dst)
+			if err != nil {
+				return 0, err
+			}
+			return res.Bytes, nil
+		}), t.TempDir(), 2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = daemon.Serve(ctx, ln)
+	}()
+	defer func() {
+		cancel()
+		<-serveDone
+	}()
+
+	// --- Arrow 1: the user asks ODR where to download. ---
+	webClient, err := odrweb.NewClient(odrSrv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := &odrweb.AuxInfo{
+		ISP: "other", AccessBW: 100 * 1024, // barrier-crossing slow user
+		HasAP: true, APStorage: "usb-hdd", APFS: "ext4", APCPUGHz: 0.58,
+	}
+	decision, err := webClient.Decide(context.Background(), fileURL, aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached + Bottleneck 1 conditions + an AP: ODR must answer
+	// cloud+smart-ap, i.e. let the AP absorb the slow transfer.
+	if decision.Route != "cloud+smart-ap" {
+		t.Fatalf("ODR route = %s, want cloud+smart-ap", decision.Route)
+	}
+
+	// --- Arrow 2: the user device tells the AP to pre-download. ---
+	ap, err := apctl.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Close()
+	jobID, err := ap.Submit(fileURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ap.WaitFor(jobID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != apctl.JobDone {
+		t.Fatalf("AP pre-download ended %v", st.State)
+	}
+	if st.Transferred != int64(len(content)) {
+		t.Fatalf("AP transferred %d bytes, want %d", st.Transferred, len(content))
+	}
+
+	// --- Arrow 3: the user fetches from the AP at their convenience. ---
+	var got bytes.Buffer
+	n, err := ap.Fetch(jobID, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(content)) {
+		t.Fatalf("fetched %d bytes, want %d", n, len(content))
+	}
+	if md5.Sum(got.Bytes()) != md5.Sum(content) {
+		t.Fatal("content corrupted along the offline-downloading path")
+	}
+
+	// Bonus: for the hot P2P file the same user (slow access link, good
+	// AP storage) is told to use the smart AP from the original source —
+	// Bottleneck 2 avoidance end to end over HTTP.
+	d2, err := webClient.Decide(context.Background(), hotFile.SourceURL, nil) // cookie carries aux
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Source != "original" || !strings.HasPrefix(d2.Route, "smart-ap") {
+		t.Fatalf("hot-file decision = %s from %s, want smart-ap from original", d2.Route, d2.Source)
+	}
+}
+
+// probeFunc adapts a function to core.CacheProbe.
+type probeFunc func(workload.FileID) bool
+
+func (f probeFunc) Contains(id workload.FileID) bool { return f(id) }

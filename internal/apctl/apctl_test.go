@@ -1,0 +1,367 @@
+package apctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeDownloader writes a marker file after an optional delay.
+type fakeDownloader struct {
+	delay time.Duration
+	fail  bool
+	calls atomic.Int64
+}
+
+func (f *fakeDownloader) Download(ctx context.Context, url, dst string) (int64, error) {
+	f.calls.Add(1)
+	select {
+	case <-time.After(f.delay):
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	if f.fail {
+		return 0, errors.New("synthetic failure")
+	}
+	data := []byte("content-of-" + url)
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+func startDaemon(t *testing.T, dl Downloader, concurrency int) (*Daemon, string) {
+	t.Helper()
+	d := NewDaemon(dl, t.TempDir(), concurrency)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = d.Serve(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return d, ln.Addr().String()
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	dl := &fakeDownloader{}
+	d, addr := startDaemon(t, dl, 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	id, err := c.Submit("http://origin/a.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitFor(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("state = %v", st.State)
+	}
+	if st.Transferred == 0 {
+		t.Fatal("no bytes reported")
+	}
+	// The daemon stored the file.
+	job, ok := d.Get(id)
+	if !ok {
+		t.Fatal("job lost")
+	}
+	path := filepath.Join(d.dir, fmt.Sprintf("job-%d.bin", job.ID))
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("downloaded file missing: %v", err)
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	dl := &fakeDownloader{fail: true}
+	_, addr := startDaemon(t, dl, 1)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.Submit("http://origin/bad.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitFor(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobFailed {
+		t.Fatalf("state = %v, want failed", st.State)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	dl := &fakeDownloader{delay: 10 * time.Second}
+	_, addr := startDaemon(t, dl, 1)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.Submit("http://origin/slow.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give it a moment to start, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	if err := c.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitFor(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCancelled {
+		t.Fatalf("state = %v, want cancelled", st.State)
+	}
+}
+
+func TestCancelFinishedJobErrors(t *testing.T) {
+	dl := &fakeDownloader{}
+	_, addr := startDaemon(t, dl, 1)
+	c, _ := Dial(addr)
+	defer c.Close()
+	id, _ := c.Submit("http://x")
+	if _, err := c.WaitFor(id, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(id); err == nil {
+		t.Fatal("cancelling a done job should error")
+	}
+}
+
+func TestList(t *testing.T) {
+	dl := &fakeDownloader{}
+	_, addr := startDaemon(t, dl, 4)
+	c, _ := Dial(addr)
+	defer c.Close()
+	urls := []string{"http://a", "http://b", "http://c"}
+	for _, u := range urls {
+		if _, err := c.Submit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("listed %d jobs", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.URL != urls[i] {
+			t.Fatalf("job %d url = %s", i, j.URL)
+		}
+		if j.ID != i+1 {
+			t.Fatalf("job %d id = %d", i, j.ID)
+		}
+	}
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	var running, maxRunning atomic.Int64
+	dl := DownloaderFunc(func(ctx context.Context, url, dst string) (int64, error) {
+		cur := running.Add(1)
+		for {
+			old := maxRunning.Load()
+			if cur <= old || maxRunning.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		running.Add(-1)
+		return 1, nil
+	})
+	d := NewDaemon(dl, t.TempDir(), 2)
+	for i := 0; i < 8; i++ {
+		if _, err := d.Submit(context.Background(), fmt.Sprintf("http://f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Wait()
+	if maxRunning.Load() > 2 {
+		t.Fatalf("max concurrent = %d, limit 2", maxRunning.Load())
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	dl := &fakeDownloader{}
+	_, addr := startDaemon(t, dl, 1)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	send := func(line string) string {
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(string(buf[:n]))
+	}
+	for _, line := range []string{
+		"BOGUS",
+		"SUBMIT",
+		"STATUS notanumber",
+		"STATUS 999",
+		"CANCEL 999",
+		"LIST extra-arg",
+	} {
+		if reply := send(line); !strings.HasPrefix(reply, "ERR") {
+			t.Errorf("%q -> %q, want ERR", line, reply)
+		}
+	}
+	if reply := send("QUIT"); reply != "OK bye" {
+		t.Errorf("QUIT -> %q", reply)
+	}
+}
+
+func TestParseCommand(t *testing.T) {
+	good := map[string][2]string{
+		"SUBMIT http://x": {"SUBMIT", "http://x"},
+		"submit http://x": {"SUBMIT", "http://x"},
+		"LIST":            {"LIST", ""},
+		"STATUS 3":        {"STATUS", "3"},
+		"QUIT":            {"QUIT", ""},
+	}
+	for line, want := range good {
+		v, a, err := parseCommand(line)
+		if err != nil || v != want[0] || a != want[1] {
+			t.Errorf("parseCommand(%q) = %q,%q,%v", line, v, a, err)
+		}
+	}
+	bad := []string{"", "NOPE", "SUBMIT ", "QUIT now", strings.Repeat("x", maxLineLen+1)}
+	for _, line := range bad {
+		if _, _, err := parseCommand(line); err == nil {
+			t.Errorf("parseCommand(%q) accepted", line)
+		}
+	}
+}
+
+func TestParseJobStateRoundTrip(t *testing.T) {
+	for st := JobQueued; st <= JobCancelled; st++ {
+		back, err := ParseJobState(st.String())
+		if err != nil || back != st {
+			t.Errorf("state %v round trip failed", st)
+		}
+	}
+	if _, err := ParseJobState("exploded"); err == nil {
+		t.Error("ParseJobState accepted junk")
+	}
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	d := NewDaemon(&fakeDownloader{}, t.TempDir(), 1)
+	d.closed.Store(true)
+	if _, err := d.Submit(context.Background(), "http://x"); err == nil {
+		t.Fatal("submit after shutdown should fail")
+	}
+}
+
+func TestNewDaemonPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDaemon(nil, "", 1)
+}
+
+func TestMultipleClients(t *testing.T) {
+	dl := &fakeDownloader{}
+	_, addr := startDaemon(t, dl, 4)
+	c1, _ := Dial(addr)
+	defer c1.Close()
+	c2, _ := Dial(addr)
+	defer c2.Close()
+	id1, err := c1.Submit("http://one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 2 sees client 1's job.
+	st, err := c2.WaitFor(id1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("state = %v", st.State)
+	}
+}
+
+func TestFetchStreamsFile(t *testing.T) {
+	dl := &fakeDownloader{}
+	_, addr := startDaemon(t, dl, 1)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.Submit("http://origin/data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitFor(id, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	n, err := c.Fetch(id, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "content-of-http://origin/data.bin"
+	if buf.String() != want {
+		t.Fatalf("fetched %q, want %q", buf.String(), want)
+	}
+	if n != int64(len(want)) {
+		t.Fatalf("n = %d", n)
+	}
+	// The connection stays usable for further commands after a body.
+	if _, err := c.List(); err != nil {
+		t.Fatalf("List after Fetch: %v", err)
+	}
+}
+
+func TestFetchIncompleteJobErrors(t *testing.T) {
+	dl := &fakeDownloader{delay: 10 * time.Second}
+	_, addr := startDaemon(t, dl, 1)
+	c, _ := Dial(addr)
+	defer c.Close()
+	id, err := c.Submit("http://origin/slow.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if _, err := c.Fetch(id, &buf); err == nil {
+		t.Fatal("fetching a running job should error")
+	}
+	if _, err := c.Fetch(999, &buf); err == nil {
+		t.Fatal("fetching an unknown job should error")
+	}
+}

@@ -1,0 +1,234 @@
+package apctl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client speaks the apctl protocol to a daemon. It is not safe for
+// concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	raw  *bufio.Reader
+	w    *bufio.Writer
+	// Timeout bounds each request/response exchange.
+	Timeout time.Duration
+}
+
+// Dial connects to a daemon at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("apctl: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn:    conn,
+		raw:     bufio.NewReader(conn),
+		w:       bufio.NewWriter(conn),
+		Timeout: 30 * time.Second,
+	}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip("QUIT") // best effort
+	return c.conn.Close()
+}
+
+// roundTrip sends one line and reads one reply line.
+func (c *Client) roundTrip(line string) (string, error) {
+	deadline := time.Now().Add(c.Timeout)
+	_ = c.conn.SetDeadline(deadline)
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	return c.readLine()
+}
+
+func (c *Client) readLine() (string, error) {
+	line, err := c.raw.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("apctl: read reply: %w", err)
+	}
+	if len(line) > maxLineLen+2 {
+		return "", fmt.Errorf("apctl: reply line too long")
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// parseOK strips the "OK " prefix or converts an ERR line to an error.
+func parseOK(line string) (string, error) {
+	if line == "OK" {
+		return "", nil
+	}
+	if rest, ok := strings.CutPrefix(line, "OK "); ok {
+		return rest, nil
+	}
+	if msg, ok := strings.CutPrefix(line, "ERR "); ok {
+		return "", fmt.Errorf("apctl: server error: %s", msg)
+	}
+	return "", fmt.Errorf("apctl: malformed reply %q", line)
+}
+
+// Submit queues a download and returns its job ID.
+func (c *Client) Submit(url string) (int, error) {
+	line, err := c.roundTrip("SUBMIT " + url)
+	if err != nil {
+		return 0, err
+	}
+	rest, err := parseOK(line)
+	if err != nil {
+		return 0, err
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, fmt.Errorf("apctl: bad job id in %q", line)
+	}
+	return id, nil
+}
+
+// JobStatus is a STATUS reply.
+type JobStatus struct {
+	State       JobState
+	Transferred int64
+	Total       int64
+}
+
+// Status polls one job.
+func (c *Client) Status(id int) (JobStatus, error) {
+	line, err := c.roundTrip("STATUS " + strconv.Itoa(id))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	rest, err := parseOK(line)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 3 {
+		return JobStatus{}, fmt.Errorf("apctl: malformed status %q", line)
+	}
+	st, err := ParseJobState(fields[0])
+	if err != nil {
+		return JobStatus{}, err
+	}
+	tr, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("apctl: bad transferred in %q", line)
+	}
+	total, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("apctl: bad total in %q", line)
+	}
+	return JobStatus{State: st, Transferred: tr, Total: total}, nil
+}
+
+// JobInfo is one LIST entry.
+type JobInfo struct {
+	ID    int
+	State JobState
+	URL   string
+}
+
+// List enumerates all jobs.
+func (c *Client) List() ([]JobInfo, error) {
+	line, err := c.roundTrip("LIST")
+	if err != nil {
+		return nil, err
+	}
+	rest, err := parseOK(line)
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("apctl: bad job count in %q", line)
+	}
+	out := make([]JobInfo, 0, n)
+	for i := 0; i < n; i++ {
+		entry, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.SplitN(entry, " ", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("apctl: malformed list entry %q", entry)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("apctl: bad id in %q", entry)
+		}
+		st, err := ParseJobState(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, JobInfo{ID: id, State: st, URL: fields[2]})
+	}
+	return out, nil
+}
+
+// Cancel aborts a job.
+func (c *Client) Cancel(id int) error {
+	line, err := c.roundTrip("CANCEL " + strconv.Itoa(id))
+	if err != nil {
+		return err
+	}
+	_, err = parseOK(line)
+	return err
+}
+
+// Fetch streams a completed job's file into w, returning the byte count —
+// the LAN fetch of Figure 1's third arrow.
+func (c *Client) Fetch(id int, w io.Writer) (int64, error) {
+	line, err := c.roundTrip("FETCH " + strconv.Itoa(id))
+	if err != nil {
+		return 0, err
+	}
+	rest, err := parseOK(line)
+	if err != nil {
+		return 0, err
+	}
+	size, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || size < 0 {
+		return 0, fmt.Errorf("apctl: bad size in %q", line)
+	}
+	// The buffered reader may already hold part of the body; read the
+	// body through it.
+	_ = c.conn.SetReadDeadline(time.Now().Add(10 * time.Minute))
+	n, err := io.Copy(w, io.LimitReader(c.raw, size))
+	if err != nil {
+		return n, err
+	}
+	if n != size {
+		return n, fmt.Errorf("apctl: short fetch: %d of %d bytes", n, size)
+	}
+	return n, nil
+}
+
+// WaitFor polls a job until it reaches a terminal state or the timeout
+// elapses, returning the final status.
+func (c *Client) WaitFor(id int, timeout time.Duration) (JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case JobDone, JobFailed, JobCancelled:
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("apctl: job %d still %v after %v", id, st.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

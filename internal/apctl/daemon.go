@@ -1,0 +1,352 @@
+package apctl
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Downloader executes one download job. The production daemon wires
+// fetch.Fetcher; tests inject fakes.
+type Downloader interface {
+	// Download pulls url into dstPath, returning the bytes obtained.
+	Download(ctx context.Context, url, dstPath string) (int64, error)
+}
+
+// DownloaderFunc adapts a function to the Downloader interface.
+type DownloaderFunc func(ctx context.Context, url, dstPath string) (int64, error)
+
+// Download implements Downloader.
+func (f DownloaderFunc) Download(ctx context.Context, url, dstPath string) (int64, error) {
+	return f(ctx, url, dstPath)
+}
+
+// Job is one offline-downloading task on the AP.
+type Job struct {
+	ID  int
+	URL string
+
+	mu          sync.Mutex
+	state       JobState
+	transferred int64
+	total       int64
+	err         error
+	cancel      context.CancelFunc
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Progress returns transferred and total bytes (total may be 0 if
+// unknown).
+func (j *Job) Progress() (int64, int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.transferred, j.total
+}
+
+// Err returns the failure cause, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// Daemon is the AP-side job manager plus protocol server.
+type Daemon struct {
+	dl  Downloader
+	dir string
+
+	mu     sync.Mutex
+	jobs   map[int]*Job
+	nextID int
+
+	sem    chan struct{} // bounds concurrent downloads
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewDaemon builds a daemon storing files under dir, running at most
+// concurrency downloads at once.
+func NewDaemon(dl Downloader, dir string, concurrency int) *Daemon {
+	if dl == nil {
+		panic("apctl: nil downloader")
+	}
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	return &Daemon{
+		dl:   dl,
+		dir:  dir,
+		jobs: make(map[int]*Job),
+		sem:  make(chan struct{}, concurrency),
+	}
+}
+
+// Submit queues a download and starts it as soon as a slot frees.
+func (d *Daemon) Submit(ctx context.Context, url string) (*Job, error) {
+	if d.closed.Load() {
+		return nil, errors.New("apctl: daemon is shut down")
+	}
+	if url == "" {
+		return nil, errors.New("apctl: empty URL")
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	d.mu.Lock()
+	d.nextID++
+	job := &Job{ID: d.nextID, URL: url, state: JobQueued, cancel: cancel}
+	d.jobs[job.ID] = job
+	d.mu.Unlock()
+
+	d.wg.Add(1)
+	go d.run(jctx, job)
+	return job, nil
+}
+
+func (d *Daemon) run(ctx context.Context, job *Job) {
+	defer d.wg.Done()
+	select {
+	case d.sem <- struct{}{}:
+		defer func() { <-d.sem }()
+	case <-ctx.Done():
+		job.mu.Lock()
+		if job.state == JobQueued {
+			job.state = JobCancelled
+		}
+		job.mu.Unlock()
+		return
+	}
+	job.mu.Lock()
+	if job.state != JobQueued {
+		job.mu.Unlock()
+		return
+	}
+	job.state = JobRunning
+	job.mu.Unlock()
+
+	n, err := d.dl.Download(ctx, job.URL, d.JobPath(job.ID))
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.transferred = n
+	job.total = n
+	switch {
+	case ctx.Err() != nil && job.state == JobCancelled:
+		// Cancelled mid-flight; state already set.
+	case err != nil:
+		job.state = JobFailed
+		job.err = err
+	default:
+		job.state = JobDone
+	}
+}
+
+// Get returns a job by ID.
+func (d *Daemon) Get(id int) (*Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (d *Daemon) Jobs() []*Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Job, 0, len(d.jobs))
+	for id := 1; id <= d.nextID; id++ {
+		if j, ok := d.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel aborts a queued or running job.
+func (d *Daemon) Cancel(id int) error {
+	j, ok := d.Get(id)
+	if !ok {
+		return fmt.Errorf("apctl: no job %d", id)
+	}
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued, JobRunning:
+		j.state = JobCancelled
+	default:
+		j.mu.Unlock()
+		return fmt.Errorf("apctl: job %d already %v", id, j.state)
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	cancel()
+	return nil
+}
+
+// Wait blocks until all submitted jobs finish.
+func (d *Daemon) Wait() { d.wg.Wait() }
+
+// JobPath returns the on-disk path of a job's downloaded file.
+func (d *Daemon) JobPath(id int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("job-%d.bin", id))
+}
+
+// serveFetch streams a completed job's file over the connection: the
+// user-device "fetch" arrow of Figure 1. It reports whether the session
+// can continue.
+func (d *Daemon) serveFetch(conn net.Conn, w *bufio.Writer, reply func(string, ...any) bool, id int) bool {
+	job, ok := d.Get(id)
+	if !ok {
+		return reply("ERR no job %d", id)
+	}
+	if st := job.State(); st != JobDone {
+		return reply("ERR job %d is %v, not done", id, st)
+	}
+	f, err := os.Open(d.JobPath(id))
+	if err != nil {
+		return reply("ERR open: %s", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return reply("ERR stat: %s", err)
+	}
+	if !reply("OK %d", info.Size()) {
+		return false
+	}
+	// Allow ample time for a LAN-speed transfer.
+	_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Minute))
+	if _, err := io.Copy(w, f); err != nil {
+		return false
+	}
+	return w.Flush() == nil
+}
+
+// Serve accepts protocol connections until the context is cancelled or
+// the listener fails. Each connection is handled on its own goroutine.
+func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		d.closed.Store(true)
+		ln.Close()
+	}()
+	var connWG sync.WaitGroup
+	defer connWG.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			d.handle(ctx, conn)
+		}()
+	}
+}
+
+// handle runs one protocol session.
+func (d *Daemon) handle(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, maxLineLen+2), maxLineLen+2)
+	w := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) bool {
+		fmt.Fprintf(w, format+"\n", args...)
+		return w.Flush() == nil
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
+		if !sc.Scan() {
+			return
+		}
+		verb, arg, err := parseCommand(sc.Text())
+		if err != nil {
+			if !reply("ERR %s", err) {
+				return
+			}
+			continue
+		}
+		switch verb {
+		case "SUBMIT":
+			job, err := d.Submit(ctx, arg)
+			if err != nil {
+				reply("ERR %s", err)
+				continue
+			}
+			if !reply("OK %d", job.ID) {
+				return
+			}
+		case "STATUS":
+			id, err := strconv.Atoi(arg)
+			if err != nil {
+				reply("ERR bad job id %q", arg)
+				continue
+			}
+			job, ok := d.Get(id)
+			if !ok {
+				reply("ERR no job %d", id)
+				continue
+			}
+			tr, total := job.Progress()
+			if !reply("OK %s %d %d", job.State(), tr, total) {
+				return
+			}
+		case "CANCEL":
+			id, err := strconv.Atoi(arg)
+			if err != nil {
+				reply("ERR bad job id %q", arg)
+				continue
+			}
+			if err := d.Cancel(id); err != nil {
+				reply("ERR %s", err)
+				continue
+			}
+			if !reply("OK") {
+				return
+			}
+		case "FETCH":
+			id, err := strconv.Atoi(arg)
+			if err != nil {
+				reply("ERR bad job id %q", arg)
+				continue
+			}
+			if !d.serveFetch(conn, w, reply, id) {
+				return
+			}
+		case "LIST":
+			jobs := d.Jobs()
+			if !reply("OK %d", len(jobs)) {
+				return
+			}
+			for _, j := range jobs {
+				if !reply("%d %s %s", j.ID, j.State(), j.URL) {
+					return
+				}
+			}
+		case "QUIT":
+			reply("OK bye")
+			return
+		}
+	}
+}

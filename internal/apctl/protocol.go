@@ -1,0 +1,92 @@
+// Package apctl implements the control channel of a smart AP's
+// offline-downloading daemon: a line-based TCP protocol through which a
+// user device submits download jobs to the AP, polls their progress, and
+// fetches results later — the "request" arrow of Figure 1 realized as a
+// real network protocol.
+//
+// The wire protocol is plain text, one request per line:
+//
+//	SUBMIT <url>        -> OK <job-id>
+//	STATUS <job-id>     -> OK <state> <transferred> <total>
+//	LIST                -> OK <n>, then n lines: <job-id> <state> <url>
+//	FETCH <job-id>      -> OK <size>, then exactly <size> raw bytes
+//	CANCEL <job-id>     -> OK
+//	QUIT                -> OK bye (server closes the connection)
+//
+// Errors are reported as "ERR <message>". The protocol is deliberately
+// minimal: OpenWrt-class devices favor trivially debuggable text channels.
+package apctl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JobState is a job's lifecycle state.
+type JobState uint8
+
+// Job states.
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobCancelled
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// ParseJobState converts a state name back to its enum value.
+func ParseJobState(s string) (JobState, error) {
+	for st := JobQueued; st <= JobCancelled; st++ {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("apctl: unknown job state %q", s)
+}
+
+// maxLineLen bounds a protocol line; longer lines are rejected rather
+// than buffered without limit.
+const maxLineLen = 4096
+
+// parseCommand splits a request line into verb and argument.
+func parseCommand(line string) (verb, arg string, err error) {
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return "", "", fmt.Errorf("apctl: empty command")
+	}
+	if len(line) > maxLineLen {
+		return "", "", fmt.Errorf("apctl: line too long")
+	}
+	verb, arg, _ = strings.Cut(line, " ")
+	verb = strings.ToUpper(verb)
+	switch verb {
+	case "SUBMIT", "STATUS", "CANCEL", "FETCH":
+		if strings.TrimSpace(arg) == "" {
+			return "", "", fmt.Errorf("apctl: %s requires an argument", verb)
+		}
+	case "LIST", "QUIT":
+		if strings.TrimSpace(arg) != "" {
+			return "", "", fmt.Errorf("apctl: %s takes no argument", verb)
+		}
+	default:
+		return "", "", fmt.Errorf("apctl: unknown command %q", verb)
+	}
+	return verb, strings.TrimSpace(arg), nil
+}

@@ -1,0 +1,428 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"odr/internal/dist"
+	"odr/internal/sim"
+	"odr/internal/sources"
+	"odr/internal/workload"
+)
+
+// Full-scale Xuanfeng constants (§2.1, §4.2).
+const (
+	// FullScaleFiles is the unique-file population of the paper's week.
+	FullScaleFiles = 563517
+	// FullPoolBytes is the ≈2 PB cloud storage pool.
+	FullPoolBytes = int64(2) << 50
+	// FullUploadBytes is the purchased 30 Gbps of upload bandwidth.
+	FullUploadBytes = 30.0 / 8 * 1e9
+	// PreDownloaderBW is a pre-downloader VM's ≈20 Mbps access bandwidth.
+	PreDownloaderBW = 2.5 * 1024 * 1024
+	// MaxFetchRate is the 50 Mbps ceiling of a privileged fetch path.
+	MaxFetchRate = 6.25 * 1024 * 1024
+	// HDThreshold is the 125 KBps (1 Mbps) playback-rate threshold below
+	// which a fetch counts as impeded.
+	HDThreshold = 125 * 1024
+	// RejectedEstimateRate is the paper's stand-in rate (the 504 KBps
+	// average fetch speed) used to estimate the burden rejected fetches
+	// would have added in Figure 11.
+	RejectedEstimateRate = 504 * 1024
+)
+
+// Config parameterizes the cloud simulator. Use DefaultConfig and adjust.
+type Config struct {
+	// Scale sizes the cloud relative to production Xuanfeng. Capacity
+	// fields left zero are derived from it.
+	Scale float64
+	// PoolCapacity is the storage pool size in bytes.
+	PoolCapacity int64
+	// UploadCapacity is the total uploading-server bandwidth in
+	// bytes/second, split across ISP pools by ISPPoolShares.
+	UploadCapacity float64
+	// ISPPoolShares divides UploadCapacity among the four supported ISPs.
+	ISPPoolShares map[workload.ISP]float64
+	// FlowReserve is the per-connection provisioning unit of an uploading
+	// server in bytes/second: each pool holds capacity/FlowReserve
+	// connection slots. Slot exhaustion under long-lived slow fetches is
+	// what produces the day-7 rejections of Figure 11. <= 0 disables the
+	// slot limit.
+	FlowReserve float64
+	// StagnationTimeout is how long a stalled pre-download runs before
+	// the cloud declares failure (one hour in Xuanfeng).
+	StagnationTimeout time.Duration
+	// WarmProbs is the probability a file of each popularity band is
+	// already cached when the measurement week starts (the pool serves a
+	// long history before our trace).
+	WarmProbs [3]float64
+	// FetchEffLo/Hi bound the fraction of a user's access bandwidth a
+	// healthy privileged fetch achieves.
+	FetchEffLo, FetchEffHi float64
+	// DynamicsProb is the chance residual network dynamics degrade a
+	// fetch, by a factor in [DynamicsLo, DynamicsHi].
+	DynamicsProb           float64
+	DynamicsLo, DynamicsHi float64
+	// CrossISPMedian/Sigma parameterize the lognormal per-flow throughput
+	// of a path crossing the ISP barrier.
+	CrossISPMedian, CrossISPSigma float64
+	// UserOverheadLo/Hi bound the user-side fetch traffic overhead.
+	UserOverheadLo, UserOverheadHi float64
+	// BurdenInterval is the sampling period of the Figure 11 timeseries
+	// (5 minutes in the paper). Zero disables sampling.
+	BurdenInterval time.Duration
+	// Seed drives the cloud's randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper calibration at the given scale
+// (scale 1.0 = production Xuanfeng; experiments typically run 0.02–0.1).
+func DefaultConfig(scale float64, seed uint64) Config {
+	return Config{
+		Scale:             scale,
+		PoolCapacity:      int64(float64(FullPoolBytes) * scale),
+		UploadCapacity:    FullUploadBytes * scale,
+		ISPPoolShares:     DefaultISPPoolShares(),
+		FlowReserve:       110 * 1024,
+		StagnationTimeout: time.Hour,
+		WarmProbs:         [3]float64{0.20, 0.80, 0.99},
+		FetchEffLo:        0.65,
+		FetchEffHi:        1.0,
+		DynamicsProb:      0.065,
+		DynamicsLo:        0.05,
+		DynamicsHi:        0.5,
+		CrossISPMedian:    55 * 1024,
+		CrossISPSigma:     0.8,
+		UserOverheadLo:    1.07,
+		UserOverheadHi:    1.10,
+		BurdenInterval:    5 * time.Minute,
+		Seed:              seed,
+	}
+}
+
+// DefaultISPPoolShares splits upload capacity across the four supported
+// ISPs in proportion to their user bases.
+func DefaultISPPoolShares() map[workload.ISP]float64 {
+	return map[workload.ISP]float64{
+		workload.ISPTelecom: 0.4425,
+		workload.ISPUnicom:  0.3319,
+		workload.ISPMobile:  0.1659,
+		workload.ISPCERNET:  0.0597,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Scale <= 0 {
+		return fmt.Errorf("cloud: Scale must be positive, got %g", c.Scale)
+	}
+	if c.PoolCapacity <= 0 {
+		return fmt.Errorf("cloud: PoolCapacity must be positive")
+	}
+	if c.UploadCapacity <= 0 {
+		return fmt.Errorf("cloud: UploadCapacity must be positive")
+	}
+	if c.StagnationTimeout <= 0 {
+		return fmt.Errorf("cloud: StagnationTimeout must be positive")
+	}
+	for _, p := range c.WarmProbs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("cloud: WarmProbs must be in [0,1]")
+		}
+	}
+	return nil
+}
+
+// Cloud is the Xuanfeng simulator. It is driven by a sim.Engine: Submit
+// requests at their trace times (or use RunTrace) and read Records
+// afterwards. Cloud is not safe for concurrent use.
+type Cloud struct {
+	cfg  Config
+	eng  *sim.Engine
+	db   *ContentDB
+	pool *StoragePool
+	up   *Uploaders
+	src  *sources.Mix
+	g    *dist.RNG
+
+	inflight map[workload.FileID]*inflightDL
+	records  []*TaskRecord
+	burden   []BurdenSample
+
+	rejectedDemand float64 // estimated demand of rejected fetches
+	deliveredRate  float64 // aggregate rate of active fetches (true burden)
+	hpCommitted    float64 // committed bandwidth serving highly popular files
+	rejections     int
+	fetches        int
+}
+
+// inflightDL tracks one in-progress pre-download so concurrent requests
+// for the same file deduplicate onto it instead of re-downloading.
+type inflightDL struct {
+	waiters []*TaskRecord
+	cause   string
+}
+
+// New builds a cloud simulator on the engine. It panics on an invalid
+// configuration (construction-time programming error).
+func New(cfg Config, eng *sim.Engine) *Cloud {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	caps := make(map[workload.ISP]float64, len(cfg.ISPPoolShares))
+	for isp, share := range cfg.ISPPoolShares {
+		caps[isp] = cfg.UploadCapacity * share
+	}
+	c := &Cloud{
+		cfg:      cfg,
+		eng:      eng,
+		db:       NewContentDB(),
+		pool:     NewStoragePool(cfg.PoolCapacity),
+		up:       NewUploaders(caps, cfg.FlowReserve),
+		src:      sources.NewMix(),
+		g:        dist.NewRNG(cfg.Seed).Split("cloud"),
+		inflight: make(map[workload.FileID]*inflightDL),
+	}
+	if cfg.BurdenInterval > 0 {
+		eng.Schedule(0, c.sampleBurden)
+	}
+	return c
+}
+
+// DB exposes the content database (ODR queries it).
+func (c *Cloud) DB() *ContentDB { return c.db }
+
+// Pool exposes the storage pool (ODR probes cache membership).
+func (c *Cloud) Pool() *StoragePool { return c.pool }
+
+// Uploaders exposes the uploading-server pools.
+func (c *Cloud) Uploaders() *Uploaders { return c.up }
+
+// Records returns every completed or in-flight task record, in submission
+// order.
+func (c *Cloud) Records() []*TaskRecord { return c.records }
+
+// Burden returns the Figure 11 upload-burden timeseries.
+func (c *Cloud) Burden() []BurdenSample { return c.burden }
+
+// Rejections returns the number of fetches rejected for lack of upload
+// bandwidth.
+func (c *Cloud) Rejections() int { return c.rejections }
+
+// Fetches returns the number of fetch attempts (including rejected ones).
+func (c *Cloud) Fetches() int { return c.fetches }
+
+// Prewarm caches files according to WarmProbs, simulating the pool state
+// accumulated before the measurement week.
+func (c *Cloud) Prewarm(files []*workload.FileMeta) {
+	g := c.g.Split("prewarm")
+	for _, f := range files {
+		c.db.Register(f)
+		if g.Bool(c.cfg.WarmProbs[f.Band()]) {
+			c.pool.Add(f.ID, f.Size)
+		}
+	}
+}
+
+// Submit starts one offline-downloading task at the engine's current
+// time and returns its record (which fills in as the simulation runs).
+func (c *Cloud) Submit(user *workload.User, file *workload.FileMeta) *TaskRecord {
+	now := c.eng.Now()
+	rec := &TaskRecord{User: user, File: file, RequestTime: now, PreStart: now}
+	c.records = append(c.records, rec)
+	c.db.Record(file)
+
+	if c.pool.Lookup(file.ID) {
+		rec.CacheHit = true
+		rec.PreSuccess = true
+		rec.PreFinish = now
+		c.startFetch(rec)
+		return rec
+	}
+	if infl, ok := c.inflight[file.ID]; ok {
+		// Deduplicate onto the in-progress pre-download.
+		infl.waiters = append(infl.waiters, rec)
+		return rec
+	}
+	c.startPreDownload(rec)
+	return rec
+}
+
+// RunTrace schedules every request of the trace and runs the engine to
+// completion.
+func (c *Cloud) RunTrace(t *workload.Trace) {
+	for i := range t.Requests {
+		r := t.Requests[i]
+		c.eng.Schedule(r.Time, func(*sim.Engine) {
+			c.Submit(r.User, r.File)
+		})
+	}
+	c.eng.Run()
+}
+
+func (c *Cloud) startPreDownload(rec *TaskRecord) {
+	file := rec.File
+	infl := &inflightDL{}
+	c.inflight[file.ID] = infl
+
+	res := c.src.Attempt(c.g, file)
+	if !res.OK {
+		infl.cause = res.Cause.String()
+		c.eng.After(c.cfg.StagnationTimeout, func(*sim.Engine) {
+			c.finishPreDownload(rec, infl, false, 0, 0)
+		})
+		return
+	}
+	rate := math.Min(res.Rate, PreDownloaderBW)
+	d := time.Duration(float64(file.Size) / rate * float64(time.Second))
+	traffic := float64(file.Size) * res.OverheadRatio
+	c.eng.After(d, func(*sim.Engine) {
+		c.finishPreDownload(rec, infl, true, rate, traffic)
+	})
+}
+
+func (c *Cloud) finishPreDownload(rec *TaskRecord, infl *inflightDL, ok bool, rate, traffic float64) {
+	now := c.eng.Now()
+	delete(c.inflight, rec.File.ID)
+
+	complete := func(r *TaskRecord, joinedTraffic float64) {
+		r.PreFinish = now
+		r.PreSuccess = ok
+		r.PreTraffic = joinedTraffic
+		if ok {
+			if d := (now - r.PreStart).Seconds(); d > 0 {
+				r.PreRate = float64(r.File.Size) / d
+			} else {
+				r.PreRate = rate
+			}
+			c.startFetch(r)
+		} else {
+			r.FailureCause = infl.cause
+		}
+	}
+	if ok {
+		c.pool.Add(rec.File.ID, rec.File.Size)
+	}
+	complete(rec, traffic)
+	for _, w := range infl.waiters {
+		complete(w, 0) // joiners consume no extra source traffic
+	}
+}
+
+// FetchModel samples user-perceived cloud-fetch rates: the privileged-path
+// rate (bounded by the user's access bandwidth, fetch efficiency, residual
+// network dynamics, and the 50 Mbps path ceiling) and the degraded rate of
+// a path crossing the ISP barrier. The replay harness shares this model
+// with the full simulator so ODR evaluations use identical path physics.
+type FetchModel struct {
+	FetchEffLo, FetchEffHi        float64
+	DynamicsProb                  float64
+	DynamicsLo, DynamicsHi        float64
+	CrossISPMedian, CrossISPSigma float64
+}
+
+// NewFetchModel extracts the fetch-path parameters from a cloud config.
+func NewFetchModel(cfg Config) FetchModel {
+	return FetchModel{
+		FetchEffLo: cfg.FetchEffLo, FetchEffHi: cfg.FetchEffHi,
+		DynamicsProb: cfg.DynamicsProb,
+		DynamicsLo:   cfg.DynamicsLo, DynamicsHi: cfg.DynamicsHi,
+		CrossISPMedian: cfg.CrossISPMedian, CrossISPSigma: cfg.CrossISPSigma,
+	}
+}
+
+// Sample draws the privileged-path rate, the cross-ISP rate, and whether
+// residual dynamics hit this fetch.
+func (m FetchModel) Sample(g *dist.RNG, user *workload.User) (privRate, crossRate float64, dynamic bool) {
+	privRate = user.AccessBW * g.Uniform(m.FetchEffLo, m.FetchEffHi)
+	dynamic = g.Bool(m.DynamicsProb)
+	if dynamic {
+		privRate *= g.Uniform(m.DynamicsLo, m.DynamicsHi)
+	}
+	privRate = math.Min(privRate, MaxFetchRate)
+	crossRate = math.Min(privRate, m.CrossISPMedian*g.LogNormal(0, m.CrossISPSigma))
+	return privRate, crossRate, dynamic
+}
+
+// startFetch begins the user's fetching phase for a task whose file is now
+// available in the cloud.
+func (c *Cloud) startFetch(rec *TaskRecord) {
+	now := c.eng.Now()
+	c.fetches++
+	rec.Fetched = true
+	rec.FetchStart = now
+	user := rec.User
+
+	privRate, crossRate, dynamic := NewFetchModel(c.cfg).Sample(c.g, user)
+	grant := c.up.Admit(user.ISP, privRate, crossRate)
+	if grant == nil {
+		c.reject(rec)
+		return
+	}
+	rate := grant.Rate()
+	rec.FetchRate = rate
+	rec.Privileged = grant.Privileged
+	rec.FetchTraffic = float64(rec.File.Size) * c.g.Uniform(c.cfg.UserOverheadLo, c.cfg.UserOverheadHi)
+	rec.Impediment = classify(rec, user, dynamic)
+
+	hp := rec.File.Band() == workload.BandHighlyPopular
+	c.deliveredRate += rate
+	if hp {
+		c.hpCommitted += rate
+	}
+	d := time.Duration(float64(rec.File.Size) / rate * float64(time.Second))
+	rec.FetchFinish = now + d
+	c.eng.After(d, func(*sim.Engine) {
+		grant.Release()
+		c.deliveredRate -= rate
+		if hp {
+			c.hpCommitted -= rate
+		}
+	})
+}
+
+// classify attributes an impeded fetch to its §4.2 cause.
+func classify(rec *TaskRecord, user *workload.User, dynamic bool) ImpedimentCause {
+	if rec.FetchRate >= HDThreshold {
+		return ImpedNone
+	}
+	switch {
+	case !user.ISP.Supported() || !rec.Privileged:
+		return ImpedISPBarrier
+	case user.AccessBW < HDThreshold:
+		return ImpedLowAccessBW
+	case dynamic:
+		return ImpedDynamics
+	default:
+		return ImpedDynamics
+	}
+}
+
+func (c *Cloud) reject(rec *TaskRecord) {
+	c.rejections++
+	rec.Rejected = true
+	rec.FetchRate = 0
+	rec.FetchFinish = rec.FetchStart
+	rec.Impediment = ImpedRejected
+	// Figure 11 counts the burden rejected fetches would have added,
+	// estimated at the average fetch speed.
+	c.rejectedDemand += RejectedEstimateRate
+	d := time.Duration(float64(rec.File.Size) / RejectedEstimateRate * float64(time.Second))
+	c.eng.After(d, func(*sim.Engine) {
+		c.rejectedDemand -= RejectedEstimateRate
+	})
+}
+
+// sampleBurden records one Figure 11 point and re-arms itself while any
+// work remains.
+func (c *Cloud) sampleBurden(e *sim.Engine) {
+	c.burden = append(c.burden, BurdenSample{
+		At:            e.Now(),
+		Total:         math.Max(0, c.deliveredRate+c.rejectedDemand),
+		HighlyPopular: math.Max(0, c.hpCommitted),
+	})
+	if e.Pending() > 0 {
+		e.After(c.cfg.BurdenInterval, c.sampleBurden)
+	}
+}

@@ -1,0 +1,103 @@
+package cloud
+
+import (
+	"sync"
+
+	"odr/internal/workload"
+)
+
+// ContentDB is the Xuanfeng metadata database: it maps every file ID to
+// its metadata and maintains rolling popularity statistics. ODR queries it
+// to learn whether a requested file is highly popular and whether it is
+// already cached (§6.1). ContentDB is safe for concurrent use, because the
+// ODR web service queries it while a simulation feeds it.
+type ContentDB struct {
+	mu      sync.RWMutex
+	entries map[workload.FileID]*dbEntry
+}
+
+type dbEntry struct {
+	meta     *workload.FileMeta
+	requests int
+}
+
+// NewContentDB returns an empty database.
+func NewContentDB() *ContentDB {
+	return &ContentDB{entries: make(map[workload.FileID]*dbEntry)}
+}
+
+// Register stores file metadata without recording a request. Registering
+// an existing file is a no-op.
+func (db *ContentDB) Register(f *workload.FileMeta) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.entries[f.ID]; !ok {
+		db.entries[f.ID] = &dbEntry{meta: f}
+	}
+}
+
+// Record notes one offline-downloading request for the file, registering
+// it if needed.
+func (db *ContentDB) Record(f *workload.FileMeta) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.entries[f.ID]
+	if !ok {
+		e = &dbEntry{meta: f}
+		db.entries[f.ID] = e
+	}
+	e.requests++
+}
+
+// Popularity returns the recorded request count for the file, and whether
+// the file is known at all.
+func (db *ContentDB) Popularity(id workload.FileID) (int, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[id]
+	if !ok {
+		return 0, false
+	}
+	return e.requests, true
+}
+
+// Band classifies the file's observed popularity. Unknown files are
+// unpopular by definition.
+func (db *ContentDB) Band(id workload.FileID) workload.PopularityBand {
+	n, _ := db.Popularity(id)
+	return workload.BandOf(n)
+}
+
+// Meta returns the stored metadata for a file, or nil if unknown.
+func (db *ContentDB) Meta(id workload.FileID) *workload.FileMeta {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if e, ok := db.entries[id]; ok {
+		return e.meta
+	}
+	return nil
+}
+
+// Len returns the number of known files.
+func (db *ContentDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// SeedPopularity pre-loads the database with each file's eventual weekly
+// request count. The paper's ODR queries "the latest popularity
+// statistics" accumulated by the production system over its history; for
+// replay experiments the known weekly counts play that role.
+func (db *ContentDB) SeedPopularity(files []*workload.FileMeta) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, f := range files {
+		e, ok := db.entries[f.ID]
+		if !ok {
+			e = &dbEntry{meta: f}
+			db.entries[f.ID] = e
+		}
+		e.requests = f.WeeklyRequests
+	}
+}

@@ -1,0 +1,118 @@
+// Package cloud simulates the Xuanfeng cloud-based offline-downloading
+// system of §2.1: an MD5-deduplicated LRU storage pool, a fleet of
+// pre-downloader VMs with ≈20 Mbps access each and a one-hour stagnation
+// timeout, and per-ISP uploading-server pools that build privileged
+// network paths and reject new fetches when upload bandwidth runs out.
+package cloud
+
+import (
+	"container/list"
+
+	"odr/internal/workload"
+)
+
+// StoragePool is the deduplicating LRU file cache. Every file is keyed by
+// the MD5 of its content (workload.FileID), so identical content occupies
+// one slot regardless of how many users request it — the paper's
+// "collaborative caching". The zero value is not usable; use NewStoragePool.
+type StoragePool struct {
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	entries  map[workload.FileID]*poolEntry
+	// counters
+	hits, misses, evictions uint64
+}
+
+type poolEntry struct {
+	id   workload.FileID
+	size int64
+	elem *list.Element
+}
+
+// NewStoragePool returns an empty pool holding at most capacity bytes.
+// Capacity must be positive.
+func NewStoragePool(capacity int64) *StoragePool {
+	if capacity <= 0 {
+		panic("cloud: pool capacity must be positive")
+	}
+	return &StoragePool{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[workload.FileID]*poolEntry),
+	}
+}
+
+// Capacity returns the pool's byte capacity.
+func (p *StoragePool) Capacity() int64 { return p.capacity }
+
+// Used returns the bytes currently stored.
+func (p *StoragePool) Used() int64 { return p.used }
+
+// Len returns the number of cached files.
+func (p *StoragePool) Len() int { return len(p.entries) }
+
+// Hits returns how many Lookup calls found their file.
+func (p *StoragePool) Hits() uint64 { return p.hits }
+
+// Misses returns how many Lookup calls missed.
+func (p *StoragePool) Misses() uint64 { return p.misses }
+
+// Evictions returns how many files LRU eviction has removed.
+func (p *StoragePool) Evictions() uint64 { return p.evictions }
+
+// Contains reports whether the file is cached without touching LRU order
+// or counters (used by ODR's read-only cache probe).
+func (p *StoragePool) Contains(id workload.FileID) bool {
+	_, ok := p.entries[id]
+	return ok
+}
+
+// Lookup reports whether the file is cached, counting a hit or miss and
+// refreshing LRU recency on hit.
+func (p *StoragePool) Lookup(id workload.FileID) bool {
+	e, ok := p.entries[id]
+	if !ok {
+		p.misses++
+		return false
+	}
+	p.hits++
+	p.order.MoveToFront(e.elem)
+	return true
+}
+
+// Add caches a file, evicting least-recently-used entries as needed.
+// Adding an already-cached file refreshes its recency. Files larger than
+// the pool capacity are not cached (and return false).
+func (p *StoragePool) Add(id workload.FileID, size int64) bool {
+	if size < 0 {
+		panic("cloud: negative file size")
+	}
+	if e, ok := p.entries[id]; ok {
+		p.order.MoveToFront(e.elem)
+		return true
+	}
+	if size > p.capacity {
+		return false
+	}
+	for p.used+size > p.capacity {
+		p.evictOldest()
+	}
+	e := &poolEntry{id: id, size: size}
+	e.elem = p.order.PushFront(e)
+	p.entries[id] = e
+	p.used += size
+	return true
+}
+
+func (p *StoragePool) evictOldest() {
+	back := p.order.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*poolEntry)
+	p.order.Remove(back)
+	delete(p.entries, e.id)
+	p.used -= e.size
+	p.evictions++
+}

@@ -1,0 +1,132 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+
+	"odr/internal/workload"
+)
+
+// refPool is an obviously-correct reference implementation of the
+// deduplicating LRU pool: a slice ordered most-recent-first.
+type refPool struct {
+	capacity int64
+	used     int64
+	order    []refEntry // index 0 = most recently used
+}
+
+type refEntry struct {
+	id   workload.FileID
+	size int64
+}
+
+func (p *refPool) find(id workload.FileID) int {
+	for i, e := range p.order {
+		if e.id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *refPool) touch(i int) {
+	e := p.order[i]
+	copy(p.order[1:i+1], p.order[:i])
+	p.order[0] = e
+}
+
+func (p *refPool) lookup(id workload.FileID) bool {
+	i := p.find(id)
+	if i < 0 {
+		return false
+	}
+	p.touch(i)
+	return true
+}
+
+func (p *refPool) add(id workload.FileID, size int64) bool {
+	if i := p.find(id); i >= 0 {
+		p.touch(i)
+		return true
+	}
+	if size > p.capacity {
+		return false
+	}
+	for p.used+size > p.capacity {
+		last := p.order[len(p.order)-1]
+		p.order = p.order[:len(p.order)-1]
+		p.used -= last.size
+	}
+	p.order = append([]refEntry{{id, size}}, p.order...)
+	p.used += size
+	return true
+}
+
+// TestPoolMatchesReferenceModel drives the production pool and the
+// reference model with the same random operation sequences and requires
+// identical observable behavior.
+func TestPoolMatchesReferenceModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const capacity = 1000
+		pool := NewStoragePool(capacity)
+		ref := &refPool{capacity: capacity}
+		for _, op := range ops {
+			id := workload.FileIDFromIndex(uint64(op % 37)) // small universe forces collisions
+			switch (op >> 8) % 3 {
+			case 0: // lookup
+				if pool.Lookup(id) != ref.lookup(id) {
+					return false
+				}
+			case 1: // add small
+				size := int64(op%5)*60 + 40
+				if pool.Add(id, size) != ref.add(id, size) {
+					return false
+				}
+			case 2: // add large (sometimes oversized)
+				size := int64(op%7) * 250
+				if size == 0 {
+					size = 100
+				}
+				if pool.Add(id, size) != ref.add(id, size) {
+					return false
+				}
+			}
+			if pool.Used() != ref.used {
+				return false
+			}
+			if pool.Len() != len(ref.order) {
+				return false
+			}
+		}
+		// Final membership must agree everywhere.
+		for i := uint64(0); i < 37; i++ {
+			id := workload.FileIDFromIndex(i)
+			if pool.Contains(id) != (ref.find(id) >= 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the pool never exceeds its capacity, whatever the operation
+// sequence.
+func TestPoolNeverOverflowsProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		pool := NewStoragePool(5000)
+		for _, op := range ops {
+			id := workload.FileIDFromIndex(uint64(op % 101))
+			pool.Add(id, int64(op%9000)) // includes oversized adds
+			if pool.Used() > pool.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+package cloud
+
+import (
+	"testing"
+
+	"odr/internal/workload"
+)
+
+func id(n uint64) workload.FileID { return workload.FileIDFromIndex(n) }
+
+func TestPoolAddAndLookup(t *testing.T) {
+	p := NewStoragePool(100)
+	if p.Lookup(id(1)) {
+		t.Fatal("empty pool claimed a hit")
+	}
+	if !p.Add(id(1), 40) {
+		t.Fatal("Add failed")
+	}
+	if !p.Lookup(id(1)) {
+		t.Fatal("cached file missed")
+	}
+	if p.Used() != 40 || p.Len() != 1 {
+		t.Fatalf("used=%d len=%d", p.Used(), p.Len())
+	}
+	if p.Hits() != 1 || p.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", p.Hits(), p.Misses())
+	}
+}
+
+func TestPoolDeduplicates(t *testing.T) {
+	p := NewStoragePool(100)
+	p.Add(id(1), 40)
+	p.Add(id(1), 40)
+	if p.Used() != 40 || p.Len() != 1 {
+		t.Fatalf("duplicate add changed accounting: used=%d len=%d", p.Used(), p.Len())
+	}
+}
+
+func TestPoolLRUEviction(t *testing.T) {
+	p := NewStoragePool(100)
+	p.Add(id(1), 40)
+	p.Add(id(2), 40)
+	p.Add(id(3), 40) // evicts id(1)
+	if p.Contains(id(1)) {
+		t.Fatal("LRU entry not evicted")
+	}
+	if !p.Contains(id(2)) || !p.Contains(id(3)) {
+		t.Fatal("recent entries evicted")
+	}
+	if p.Evictions() != 1 {
+		t.Fatalf("evictions=%d", p.Evictions())
+	}
+}
+
+func TestPoolLookupRefreshesRecency(t *testing.T) {
+	p := NewStoragePool(100)
+	p.Add(id(1), 40)
+	p.Add(id(2), 40)
+	p.Lookup(id(1)) // refresh id(1); id(2) is now oldest
+	p.Add(id(3), 40)
+	if !p.Contains(id(1)) {
+		t.Fatal("refreshed entry evicted")
+	}
+	if p.Contains(id(2)) {
+		t.Fatal("stale entry survived")
+	}
+}
+
+func TestPoolAddRefreshesRecency(t *testing.T) {
+	p := NewStoragePool(100)
+	p.Add(id(1), 40)
+	p.Add(id(2), 40)
+	p.Add(id(1), 40) // re-add refreshes
+	p.Add(id(3), 40)
+	if !p.Contains(id(1)) || p.Contains(id(2)) {
+		t.Fatal("re-add did not refresh recency")
+	}
+}
+
+func TestPoolOversizedFileNotCached(t *testing.T) {
+	p := NewStoragePool(100)
+	if p.Add(id(1), 200) {
+		t.Fatal("oversized file cached")
+	}
+	if p.Used() != 0 {
+		t.Fatal("oversized add consumed space")
+	}
+}
+
+func TestPoolContainsDoesNotCount(t *testing.T) {
+	p := NewStoragePool(100)
+	p.Add(id(1), 10)
+	p.Contains(id(1))
+	p.Contains(id(2))
+	if p.Hits() != 0 || p.Misses() != 0 {
+		t.Fatal("Contains affected counters")
+	}
+}
+
+func TestPoolPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero capacity did not panic")
+			}
+		}()
+		NewStoragePool(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative size did not panic")
+			}
+		}()
+		NewStoragePool(10).Add(id(1), -1)
+	}()
+}
+
+func TestPoolManyEvictions(t *testing.T) {
+	p := NewStoragePool(1000)
+	for i := uint64(0); i < 100; i++ {
+		p.Add(id(i), 100)
+	}
+	if p.Len() != 10 {
+		t.Fatalf("len=%d, want 10", p.Len())
+	}
+	// Only the most recent 10 remain.
+	for i := uint64(90); i < 100; i++ {
+		if !p.Contains(id(i)) {
+			t.Fatalf("recent id %d evicted", i)
+		}
+	}
+	if p.Evictions() != 90 {
+		t.Fatalf("evictions=%d", p.Evictions())
+	}
+}
+
+func TestContentDBPopularity(t *testing.T) {
+	db := NewContentDB()
+	f := &workload.FileMeta{ID: id(1), Size: 10}
+	if _, ok := db.Popularity(f.ID); ok {
+		t.Fatal("unknown file reported known")
+	}
+	db.Record(f)
+	db.Record(f)
+	n, ok := db.Popularity(f.ID)
+	if !ok || n != 2 {
+		t.Fatalf("popularity=%d ok=%v", n, ok)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("len=%d", db.Len())
+	}
+}
+
+func TestContentDBRegisterIdempotent(t *testing.T) {
+	db := NewContentDB()
+	f := &workload.FileMeta{ID: id(1)}
+	db.Record(f)
+	db.Register(f) // must not reset the count
+	if n, _ := db.Popularity(f.ID); n != 1 {
+		t.Fatalf("Register reset count to %d", n)
+	}
+}
+
+func TestContentDBBand(t *testing.T) {
+	db := NewContentDB()
+	f := &workload.FileMeta{ID: id(1)}
+	if db.Band(f.ID) != workload.BandUnpopular {
+		t.Fatal("unknown file should be unpopular")
+	}
+	for i := 0; i < 100; i++ {
+		db.Record(f)
+	}
+	if db.Band(f.ID) != workload.BandHighlyPopular {
+		t.Fatal("100 requests should be highly popular")
+	}
+}
+
+func TestContentDBSeedPopularity(t *testing.T) {
+	db := NewContentDB()
+	files := []*workload.FileMeta{
+		{ID: id(1), WeeklyRequests: 3},
+		{ID: id(2), WeeklyRequests: 500},
+	}
+	db.SeedPopularity(files)
+	if db.Band(id(1)) != workload.BandUnpopular {
+		t.Fatal("seeded unpopular wrong")
+	}
+	if db.Band(id(2)) != workload.BandHighlyPopular {
+		t.Fatal("seeded highly popular wrong")
+	}
+	if db.Meta(id(1)) != files[0] {
+		t.Fatal("Meta lookup failed")
+	}
+	if db.Meta(id(99)) != nil {
+		t.Fatal("Meta of unknown file not nil")
+	}
+}
+
+func TestUploadersAdmitPrivileged(t *testing.T) {
+	u := NewUploaders(map[workload.ISP]float64{
+		workload.ISPUnicom:  100,
+		workload.ISPTelecom: 100,
+	}, 0)
+	g := u.Admit(workload.ISPUnicom, 60, 30)
+	if g == nil || !g.Privileged || g.Rate() != 60 {
+		t.Fatalf("grant=%+v", g)
+	}
+	if u.Pool(workload.ISPUnicom).Committed() != 60 {
+		t.Fatal("commitment not recorded")
+	}
+	g.Release()
+	if u.Pool(workload.ISPUnicom).Committed() != 0 {
+		t.Fatal("release not applied")
+	}
+}
+
+func TestUploadersFallbackCrossISP(t *testing.T) {
+	u := NewUploaders(map[workload.ISP]float64{
+		workload.ISPUnicom:  50,
+		workload.ISPTelecom: 100,
+	}, 0)
+	// Exhaust Unicom.
+	if g := u.Admit(workload.ISPUnicom, 50, 10); g == nil || !g.Privileged {
+		t.Fatal("first grant should be privileged")
+	}
+	// Next Unicom user falls back to Telecom at the cross rate.
+	g := u.Admit(workload.ISPUnicom, 40, 10)
+	if g == nil || g.Privileged || g.Rate() != 10 {
+		t.Fatalf("fallback grant=%+v", g)
+	}
+}
+
+func TestUploadersUnsupportedISPAlwaysCross(t *testing.T) {
+	u := NewUploaders(map[workload.ISP]float64{workload.ISPTelecom: 100}, 0)
+	g := u.Admit(workload.ISPOther, 60, 20)
+	if g == nil || g.Privileged || g.Rate() != 20 {
+		t.Fatalf("grant=%+v", g)
+	}
+}
+
+func TestUploadersRejectWhenExhausted(t *testing.T) {
+	u := NewUploaders(map[workload.ISP]float64{
+		workload.ISPUnicom:  10,
+		workload.ISPTelecom: 10,
+	}, 0)
+	u.Admit(workload.ISPUnicom, 10, 10)
+	u.Admit(workload.ISPTelecom, 10, 10)
+	if g := u.Admit(workload.ISPUnicom, 5, 5); g != nil {
+		t.Fatal("admission should fail when all pools are exhausted")
+	}
+}
+
+func TestGrantDoubleReleasePanics(t *testing.T) {
+	u := NewUploaders(map[workload.ISP]float64{workload.ISPUnicom: 10}, 0)
+	g := u.Admit(workload.ISPUnicom, 5, 5)
+	g.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	g.Release()
+}
+
+func TestUploadersTotals(t *testing.T) {
+	u := NewUploaders(map[workload.ISP]float64{
+		workload.ISPUnicom:  10,
+		workload.ISPTelecom: 30,
+	}, 0)
+	if u.TotalCapacity() != 40 {
+		t.Fatalf("capacity=%g", u.TotalCapacity())
+	}
+	u.Admit(workload.ISPUnicom, 4, 4)
+	if u.TotalCommitted() != 4 {
+		t.Fatalf("committed=%g", u.TotalCommitted())
+	}
+}
+
+func TestUploaderSlotLimit(t *testing.T) {
+	// Capacity 100 with a 10-per-flow provisioning unit: 10 slots. Tiny
+	// grants must exhaust the slots even though bandwidth remains.
+	u := NewUploaders(map[workload.ISP]float64{workload.ISPUnicom: 100}, 10)
+	var grants []*Grant
+	for i := 0; i < 10; i++ {
+		g := u.Admit(workload.ISPUnicom, 1, 1)
+		if g == nil {
+			t.Fatalf("grant %d rejected with slots free", i)
+		}
+		grants = append(grants, g)
+	}
+	if u.Pool(workload.ISPUnicom).ActiveFetches() != 10 {
+		t.Fatalf("active fetches = %d", u.Pool(workload.ISPUnicom).ActiveFetches())
+	}
+	if g := u.Admit(workload.ISPUnicom, 1, 1); g != nil {
+		t.Fatal("11th grant admitted past the slot limit")
+	}
+	// Releasing one slot re-opens admission.
+	grants[0].Release()
+	if g := u.Admit(workload.ISPUnicom, 1, 1); g == nil {
+		t.Fatal("admission failed after a slot was released")
+	}
+}
+
+func TestUploaderSlotLimitDisabled(t *testing.T) {
+	u := NewUploaders(map[workload.ISP]float64{workload.ISPUnicom: 100}, 0)
+	for i := 0; i < 50; i++ {
+		if g := u.Admit(workload.ISPUnicom, 1, 1); g == nil {
+			t.Fatalf("grant %d rejected with unlimited slots", i)
+		}
+	}
+}
+
+func TestUploaderMinimumOneSlot(t *testing.T) {
+	// A tiny pool still gets at least one slot.
+	u := NewUploaders(map[workload.ISP]float64{workload.ISPCERNET: 5}, 100)
+	if g := u.Admit(workload.ISPCERNET, 1, 1); g == nil {
+		t.Fatal("pool with minimum slot count rejected its first fetch")
+	}
+}

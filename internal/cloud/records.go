@@ -1,0 +1,121 @@
+package cloud
+
+import (
+	"time"
+
+	"odr/internal/workload"
+)
+
+// ImpedimentCause classifies why a fetching process fell below the
+// 125 KBps HD-streaming threshold (§4.2's decomposition of the 28 % of
+// impeded fetches).
+type ImpedimentCause uint8
+
+// Impediment causes.
+const (
+	// ImpedNone means the fetch was fast enough (≥ 125 KBps).
+	ImpedNone ImpedimentCause = iota
+	// ImpedISPBarrier means the path crossed ISPs (user outside the four
+	// supported ISPs, or served by a foreign pool).
+	ImpedISPBarrier
+	// ImpedLowAccessBW means the user's own access link is below the
+	// threshold.
+	ImpedLowAccessBW
+	// ImpedRejected means the cloud rejected the fetch for lack of upload
+	// bandwidth.
+	ImpedRejected
+	// ImpedDynamics covers residual network dynamics and system noise.
+	ImpedDynamics
+)
+
+// String names the impediment cause.
+func (c ImpedimentCause) String() string {
+	switch c {
+	case ImpedNone:
+		return "none"
+	case ImpedISPBarrier:
+		return "isp-barrier"
+	case ImpedLowAccessBW:
+		return "low-access-bw"
+	case ImpedRejected:
+		return "rejected"
+	case ImpedDynamics:
+		return "dynamics"
+	}
+	return "impediment(?)"
+}
+
+// TaskRecord captures one offline-downloading task end to end, mirroring
+// the three traces of the paper's dataset (workload, pre-downloading,
+// fetching).
+type TaskRecord struct {
+	// Request fields (workload trace).
+	User        *workload.User
+	File        *workload.FileMeta
+	RequestTime time.Duration
+
+	// Pre-downloading trace.
+	CacheHit     bool
+	PreStart     time.Duration
+	PreFinish    time.Duration
+	PreSuccess   bool
+	PreRate      float64 // average pre-downloading speed, bytes/second
+	PreTraffic   float64 // bytes pulled from the original source
+	FailureCause string  // source failure taxonomy; empty on success
+
+	// Fetching trace.
+	Fetched      bool // a fetch was attempted (pre-download succeeded)
+	Rejected     bool
+	FetchStart   time.Duration
+	FetchFinish  time.Duration
+	FetchRate    float64 // bytes/second
+	FetchTraffic float64
+	Privileged   bool
+	Impediment   ImpedimentCause
+}
+
+// PreDelay returns the pre-downloading delay (zero for cache hits).
+func (r *TaskRecord) PreDelay() time.Duration {
+	if r.CacheHit {
+		return 0
+	}
+	return r.PreFinish - r.PreStart
+}
+
+// FetchDelay returns the fetching delay, or zero if no fetch happened.
+func (r *TaskRecord) FetchDelay() time.Duration {
+	if !r.Fetched || r.Rejected {
+		return 0
+	}
+	return r.FetchFinish - r.FetchStart
+}
+
+// EndToEndDelay returns pre-downloading plus fetching delay.
+func (r *TaskRecord) EndToEndDelay() time.Duration {
+	return r.PreDelay() + r.FetchDelay()
+}
+
+// EndToEndRate returns file size divided by end-to-end delay, in
+// bytes/second (zero when the task never completed).
+func (r *TaskRecord) EndToEndRate() float64 {
+	d := r.EndToEndDelay().Seconds()
+	if d <= 0 || !r.Fetched || r.Rejected {
+		return 0
+	}
+	return float64(r.File.Size) / d
+}
+
+// Impeded reports whether the fetch ran below the HD threshold (125 KBps),
+// including rejected fetches.
+func (r *TaskRecord) Impeded() bool { return r.Impediment != ImpedNone }
+
+// BurdenSample is one point of the Figure 11 cloud-side upload-bandwidth
+// timeseries.
+type BurdenSample struct {
+	At time.Duration
+	// Total is the committed upload bandwidth in bytes/second, including
+	// the estimated demand of rejected fetches (as the paper does).
+	Total float64
+	// HighlyPopular is the part serving highly popular files.
+	HighlyPopular float64
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+// PopularityDB answers popularity queries — in production, the cloud's
+// content database (§6.1: "ODR queries the content database to obtain the
+// latest popularity statistics").
+type PopularityDB interface {
+	Band(id workload.FileID) workload.PopularityBand
+}
+
+// CacheProbe answers "is this file already in the cloud cache".
+type CacheProbe interface {
+	Contains(id workload.FileID) bool
+}
+
+// APInfo is the smart-AP part of the user's auxiliary information.
+type APInfo struct {
+	Storage storage.Device
+	CPUGHz  float64
+}
+
+// Advisor glues the decision procedure to live popularity and cache
+// state. It is the object the ODR web service and the replay harness
+// share.
+type Advisor struct {
+	DB    PopularityDB
+	Cache CacheProbe
+}
+
+// Advise builds the decision input for one request and runs Decide.
+// ap is nil when the user has no smart AP.
+func (a *Advisor) Advise(file *workload.FileMeta, user *workload.User, ap *APInfo) Decision {
+	in := Input{
+		Protocol: file.Protocol,
+		Band:     a.DB.Band(file.ID),
+		Cached:   a.Cache.Contains(file.ID),
+		ISP:      user.ISP,
+		AccessBW: user.AccessBW,
+	}
+	if ap != nil {
+		in.HasAP = true
+		in.APStorage = ap.Storage
+		in.APCPUGHz = ap.CPUGHz
+	}
+	return Decide(in)
+}
+
+// StaticDB is a PopularityDB over a fixed file population (replay
+// experiments seed it with the known weekly counts, playing the role of
+// the statistics Xuanfeng accumulated before the replay).
+type StaticDB map[workload.FileID]workload.PopularityBand
+
+// NewStaticDB indexes the files' popularity bands.
+func NewStaticDB(files []*workload.FileMeta) StaticDB {
+	db := make(StaticDB, len(files))
+	for _, f := range files {
+		db[f.ID] = f.Band()
+	}
+	return db
+}
+
+// Band implements PopularityDB. Unknown files are unpopular.
+func (db StaticDB) Band(id workload.FileID) workload.PopularityBand {
+	return db[id]
+}

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"odr/internal/core"
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+// A broadband user with a Newifi (USB flash drive formatted NTFS) asks
+// about a highly popular torrent: ODR spares the cloud (Bottleneck 2) and
+// routes around the AP's slow storage (Bottleneck 4).
+func ExampleDecide() {
+	d := core.Decide(core.Input{
+		Protocol:  workload.ProtoBitTorrent,
+		Band:      workload.BandHighlyPopular,
+		Cached:    true,
+		ISP:       workload.ISPUnicom,
+		AccessBW:  2.5 * 1024 * 1024,
+		HasAP:     true,
+		APStorage: storage.Device{Type: storage.USBFlash, FS: storage.NTFS},
+		APCPUGHz:  0.58,
+	})
+	fmt.Println(d.Route, "from", d.Source)
+	// Output: user-device from original
+}
+
+// A user outside the four supported ISPs requests a cached but unpopular
+// file: the cloud→user path would cross the ISP barrier (Bottleneck 1),
+// so ODR lets the smart AP absorb the slow fetch.
+func ExampleDecide_ispBarrier() {
+	d := core.Decide(core.Input{
+		Protocol:  workload.ProtoHTTP,
+		Band:      workload.BandUnpopular,
+		Cached:    true,
+		ISP:       workload.ISPOther,
+		AccessBW:  400 * 1024,
+		HasAP:     true,
+		APStorage: storage.Device{Type: storage.USBHDD, FS: storage.EXT4},
+		APCPUGHz:  0.58,
+	})
+	fmt.Println(d.Route)
+	// Output: cloud+smart-ap
+}

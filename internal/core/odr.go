@@ -1,0 +1,248 @@
+// Package core implements ODR (Offline Downloading Redirector), the
+// paper's primary contribution (§6): a middleware that adaptively
+// redirects each offline-downloading request to the backend expected to
+// perform best — the cloud, the user's smart AP, the user's own device, or
+// a cloud-then-AP combination — so that the four measured performance
+// bottlenecks are avoided:
+//
+//	B1: an impeded cloud→user fetch path (ISP barrier / low access BW /
+//	    exhausted cloud upload bandwidth),
+//	B2: cloud upload bandwidth wasted on highly popular files,
+//	B3: smart APs failing to pre-download unpopular files,
+//	B4: AP storage hardware/filesystem capping pre-download speed.
+//
+// The decision procedure is the Figure 15 state machine, implemented
+// verbatim by Decide. ODR never moves file bytes itself; it only answers
+// "where should this download run, and from which source".
+package core
+
+import (
+	"fmt"
+
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+// HDThreshold is the 125 KBps (1 Mbps) fetch-speed threshold below which
+// the paper considers a path bottlenecked (Bottleneck 1).
+const HDThreshold = 125 * 1024
+
+// Route says which machine performs the (pre-)download.
+type Route uint8
+
+// Routes.
+const (
+	// RouteUserDevice: the user's own device downloads directly.
+	RouteUserDevice Route = iota
+	// RouteSmartAP: the user's smart AP pre-downloads from the original
+	// source; the user fetches over the LAN later.
+	RouteSmartAP
+	// RouteCloud: the user fetches from the cloud (which already has, or
+	// will pre-download, the file).
+	RouteCloud
+	// RouteCloudThenAP: the smart AP pre-downloads *from the cloud* and
+	// the user fetches from the AP — the Bottleneck 1 mitigation.
+	RouteCloudThenAP
+	// RouteCloudPreDownload: the cloud must pre-download first; the user
+	// should ask ODR again once notified (Figure 15's "Cloud
+	// pre-download" state).
+	RouteCloudPreDownload
+)
+
+// String names the route.
+func (r Route) String() string {
+	switch r {
+	case RouteUserDevice:
+		return "user-device"
+	case RouteSmartAP:
+		return "smart-ap"
+	case RouteCloud:
+		return "cloud"
+	case RouteCloudThenAP:
+		return "cloud+smart-ap"
+	case RouteCloudPreDownload:
+		return "cloud-predownload"
+	}
+	return fmt.Sprintf("route(%d)", uint8(r))
+}
+
+// ParseRoute converts a route name back to its enum value.
+func ParseRoute(s string) (Route, error) {
+	for r := RouteUserDevice; r <= RouteCloudPreDownload; r++ {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown route %q", s)
+}
+
+// Source says where the bytes originate.
+type Source uint8
+
+// Sources.
+const (
+	// SourceOriginal is the file's original HTTP/FTP/P2P source.
+	SourceOriginal Source = iota
+	// SourceCloud is the cloud storage pool.
+	SourceCloud
+)
+
+// String names the source.
+func (s Source) String() string {
+	if s == SourceCloud {
+		return "cloud"
+	}
+	return "original"
+}
+
+// Input is everything ODR knows when deciding: the §6.1 auxiliary
+// information supplied by the user plus the popularity/cache state queried
+// from the cloud's content database.
+type Input struct {
+	// Protocol of the original data source.
+	Protocol workload.Protocol
+	// Band is the file's popularity band per the content database.
+	Band workload.PopularityBand
+	// Cached reports whether the cloud already holds the file.
+	Cached bool
+	// ISP is the user's provider (derived from the IP address).
+	ISP workload.ISP
+	// AccessBW is the user's access bandwidth in bytes/second.
+	AccessBW float64
+	// HasAP reports whether the user owns a smart AP.
+	HasAP bool
+	// APStorage is the AP's storage configuration (valid when HasAP).
+	APStorage storage.Device
+	// APCPUGHz is the AP's CPU clock (valid when HasAP).
+	APCPUGHz float64
+}
+
+// Validate reports structural problems with the input.
+func (in *Input) Validate() error {
+	if in.AccessBW <= 0 {
+		return fmt.Errorf("core: access bandwidth must be positive, got %g", in.AccessBW)
+	}
+	if in.HasAP && in.APCPUGHz <= 0 {
+		return fmt.Errorf("core: AP CPU clock must be positive, got %g", in.APCPUGHz)
+	}
+	return nil
+}
+
+// Decision is ODR's answer.
+type Decision struct {
+	Route  Route
+	Source Source
+	// Reason is a human-readable justification (shown on the web page).
+	Reason string
+	// Addresses lists the bottleneck numbers (1-4) this decision avoids.
+	Addresses []int
+}
+
+// apStorageCeiling returns the AP's sustainable storage write rate.
+func apStorageCeiling(in Input) float64 {
+	wm := storage.WriteModel{CPUGHz: in.APCPUGHz}
+	return wm.Throughput(in.APStorage)
+}
+
+// bottleneck4 reports whether the AP's storage write path would cap the
+// download below what the user's access link can deliver (§5.2).
+func bottleneck4(in Input) bool {
+	if !in.HasAP {
+		return false
+	}
+	return apStorageCeiling(in) < in.AccessBW
+}
+
+// bottleneck1 reports whether a cloud→user fetch would be impeded: the
+// user sits outside the four supported ISPs or below the HD threshold
+// (§4.2). Cloud-side bandwidth exhaustion is time-varying and handled by
+// the cloud's own admission control, not predictable here.
+func bottleneck1(in Input) bool {
+	return !in.ISP.Supported() || in.AccessBW < HDThreshold
+}
+
+// Decide runs the Figure 15 state machine. It panics on invalid input;
+// call Validate first at trust boundaries.
+func Decide(in Input) Decision {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+
+	if in.Band == workload.BandHighlyPopular {
+		return decideHighlyPopular(in)
+	}
+
+	// Less popular files: downloading success is the primary concern
+	// (Bottleneck 3) — lean on the cloud's collaborative cache.
+	if !in.Cached {
+		return Decision{
+			Route:     RouteCloudPreDownload,
+			Source:    SourceOriginal,
+			Reason:    "not highly popular and not cached: let the cloud pre-download, then ask again",
+			Addresses: []int{3},
+		}
+	}
+	// Case 1: cached. Check for a fetch-path bottleneck (Bottleneck 1).
+	if bottleneck1(in) && in.HasAP {
+		return Decision{
+			Route:     RouteCloudThenAP,
+			Source:    SourceCloud,
+			Reason:    "cached but the cloud→user path is bottlenecked: let the smart AP absorb the slow fetch",
+			Addresses: []int{1, 3},
+		}
+	}
+	return Decision{
+		Route:     RouteCloud,
+		Source:    SourceCloud,
+		Reason:    "cached with a healthy privileged path: fetch from the cloud",
+		Addresses: []int{3},
+	}
+}
+
+// decideHighlyPopular handles the left branch of Figure 15: avoid burning
+// cloud upload bandwidth (Bottleneck 2) and pick the downloading device
+// that dodges storage restrictions (Bottleneck 4).
+func decideHighlyPopular(in Input) Decision {
+	// Where should the bytes come from?
+	src := SourceCloud
+	srcReason := "highly popular HTTP/FTP file: the origin server would be the bottleneck, use the cloud"
+	if in.Protocol.IsP2P() {
+		src = SourceOriginal
+		srcReason = "highly popular P2P file: the swarm is healthy, spare the cloud's upload bandwidth"
+	}
+
+	// Which device should download? Prefer the AP (the user may go
+	// offline), unless its storage would be the bottleneck (B4) — or the
+	// user has no AP at all.
+	switch {
+	case !in.HasAP:
+		return Decision{
+			Route: RouteUserDevice, Source: src,
+			Reason:    srcReason + "; no smart AP available, download on the user device",
+			Addresses: addressesFor(src, nil),
+		}
+	case bottleneck4(in):
+		// The AP's storage (e.g. a USB flash drive or NTFS) would cap
+		// the speed below the access link; reformatting mid-download is
+		// impractical, so use the user's device.
+		return Decision{
+			Route: RouteUserDevice, Source: src,
+			Reason:    srcReason + "; the AP's storage would cap the speed (Bottleneck 4), download on the user device",
+			Addresses: addressesFor(src, []int{4}),
+		}
+	default:
+		return Decision{
+			Route: RouteSmartAP, Source: src,
+			Reason:    srcReason + "; the AP's storage keeps up, let it pre-download",
+			Addresses: addressesFor(src, []int{4}),
+		}
+	}
+}
+
+func addressesFor(src Source, extra []int) []int {
+	out := []int{}
+	if src == SourceOriginal {
+		out = append(out, 2)
+	}
+	return append(out, extra...)
+}

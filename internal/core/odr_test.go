@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+// Common fixtures.
+var (
+	goodAP = func(in *Input) { // MiWiFi-class: SATA+EXT4, fast CPU
+		in.HasAP = true
+		in.APStorage = storage.Device{Type: storage.SATAHDD, FS: storage.EXT4}
+		in.APCPUGHz = 1.0
+	}
+	badAP = func(in *Input) { // Newifi-class: USB flash + NTFS, slow CPU
+		in.HasAP = true
+		in.APStorage = storage.Device{Type: storage.USBFlash, FS: storage.NTFS}
+		in.APCPUGHz = 0.58
+	}
+)
+
+func input(band workload.PopularityBand, proto workload.Protocol, cached bool,
+	isp workload.ISP, bw float64, muts ...func(*Input)) Input {
+	in := Input{
+		Protocol: proto, Band: band, Cached: cached,
+		ISP: isp, AccessBW: bw,
+	}
+	for _, m := range muts {
+		m(&in)
+	}
+	return in
+}
+
+// Figure 15, left branch: highly popular P2P files bypass the cloud.
+func TestHighlyPopularP2PGoesDirect(t *testing.T) {
+	d := Decide(input(workload.BandHighlyPopular, workload.ProtoBitTorrent, true,
+		workload.ISPUnicom, 2.5*1024*1024, goodAP))
+	if d.Source != SourceOriginal {
+		t.Fatalf("source = %v, want original (Bottleneck 2)", d.Source)
+	}
+	if d.Route != RouteSmartAP {
+		t.Fatalf("route = %v, want smart-ap (storage keeps up)", d.Route)
+	}
+	if !contains(d.Addresses, 2) {
+		t.Fatal("decision must address Bottleneck 2")
+	}
+}
+
+// Figure 15: highly popular HTTP/FTP files fall back on the cloud so the
+// origin server does not become the bottleneck.
+func TestHighlyPopularHTTPUsesCloud(t *testing.T) {
+	for _, p := range []workload.Protocol{workload.ProtoHTTP, workload.ProtoFTP} {
+		d := Decide(input(workload.BandHighlyPopular, p, true,
+			workload.ISPUnicom, 2.5*1024*1024, goodAP))
+		if d.Source != SourceCloud {
+			t.Fatalf("%v: source = %v, want cloud", p, d.Source)
+		}
+	}
+}
+
+// §6.1: at 20 Mbps access, a USB-flash or NTFS AP would cap the speed
+// (Bottleneck 4) — download on the user device instead.
+func TestBottleneck4PrefersUserDevice(t *testing.T) {
+	d := Decide(input(workload.BandHighlyPopular, workload.ProtoBitTorrent, true,
+		workload.ISPUnicom, 2.5*1024*1024, badAP))
+	if d.Route != RouteUserDevice {
+		t.Fatalf("route = %v, want user-device (Bottleneck 4)", d.Route)
+	}
+	if !contains(d.Addresses, 4) {
+		t.Fatal("decision must address Bottleneck 4")
+	}
+}
+
+// §6.1: when access bandwidth is below the AP's storage ceiling
+// (e.g. below 0.93 MBps for NTFS flash), the AP is not the bottleneck —
+// use it.
+func TestLowBandwidthKeepsSmartAPDespiteSlowStorage(t *testing.T) {
+	d := Decide(input(workload.BandHighlyPopular, workload.ProtoBitTorrent, true,
+		workload.ISPUnicom, 0.5*1024*1024, badAP)) // 0.5 MBps < NTFS ceiling
+	if d.Route != RouteSmartAP {
+		t.Fatalf("route = %v, want smart-ap", d.Route)
+	}
+}
+
+func TestHighlyPopularNoAPUsesUserDevice(t *testing.T) {
+	d := Decide(input(workload.BandHighlyPopular, workload.ProtoBitTorrent, true,
+		workload.ISPUnicom, 2.5*1024*1024))
+	if d.Route != RouteUserDevice {
+		t.Fatalf("route = %v, want user-device", d.Route)
+	}
+}
+
+// Figure 15, right branch, Case 2: uncached less-popular files must go
+// through cloud pre-downloading (Bottleneck 3).
+func TestUncachedUnpopularUsesCloudPreDownload(t *testing.T) {
+	for _, band := range []workload.PopularityBand{workload.BandUnpopular, workload.BandPopular} {
+		d := Decide(input(band, workload.ProtoBitTorrent, false,
+			workload.ISPUnicom, 1024*1024, goodAP))
+		if d.Route != RouteCloudPreDownload {
+			t.Fatalf("band %v: route = %v, want cloud-predownload", band, d.Route)
+		}
+		if !contains(d.Addresses, 3) {
+			t.Fatal("decision must address Bottleneck 3")
+		}
+	}
+}
+
+// Case 1 with a healthy path: plain cloud fetch.
+func TestCachedHealthyPathFetchesFromCloud(t *testing.T) {
+	d := Decide(input(workload.BandUnpopular, workload.ProtoBitTorrent, true,
+		workload.ISPUnicom, 1024*1024, goodAP))
+	if d.Route != RouteCloud || d.Source != SourceCloud {
+		t.Fatalf("decision = %+v, want plain cloud fetch", d)
+	}
+}
+
+// Case 1 with Bottleneck 1 (ISP barrier): Cloud + Smart AP.
+func TestISPBarrierUsesCloudThenAP(t *testing.T) {
+	d := Decide(input(workload.BandUnpopular, workload.ProtoBitTorrent, true,
+		workload.ISPOther, 1024*1024, goodAP))
+	if d.Route != RouteCloudThenAP {
+		t.Fatalf("route = %v, want cloud+smart-ap", d.Route)
+	}
+	if !contains(d.Addresses, 1) {
+		t.Fatal("decision must address Bottleneck 1")
+	}
+}
+
+// Case 1 with Bottleneck 1 (low access bandwidth): Cloud + Smart AP.
+func TestLowAccessBWUsesCloudThenAP(t *testing.T) {
+	d := Decide(input(workload.BandUnpopular, workload.ProtoBitTorrent, true,
+		workload.ISPUnicom, 100*1024, goodAP)) // < 125 KBps
+	if d.Route != RouteCloudThenAP {
+		t.Fatalf("route = %v, want cloud+smart-ap", d.Route)
+	}
+}
+
+// Bottleneck 1 without an AP cannot be mitigated: fall back to the cloud.
+func TestBottleneck1WithoutAPFallsBackToCloud(t *testing.T) {
+	d := Decide(input(workload.BandUnpopular, workload.ProtoBitTorrent, true,
+		workload.ISPOther, 1024*1024))
+	if d.Route != RouteCloud {
+		t.Fatalf("route = %v, want cloud (no AP to redirect through)", d.Route)
+	}
+}
+
+func TestDecisionsHaveReasons(t *testing.T) {
+	cases := []Input{
+		input(workload.BandHighlyPopular, workload.ProtoBitTorrent, true, workload.ISPUnicom, 2.5*1024*1024, goodAP),
+		input(workload.BandHighlyPopular, workload.ProtoHTTP, true, workload.ISPUnicom, 2.5*1024*1024, badAP),
+		input(workload.BandUnpopular, workload.ProtoBitTorrent, false, workload.ISPUnicom, 1024*1024),
+		input(workload.BandUnpopular, workload.ProtoBitTorrent, true, workload.ISPOther, 1024*1024, goodAP),
+	}
+	for i, in := range cases {
+		if Decide(in).Reason == "" {
+			t.Errorf("case %d: empty reason", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	in := input(workload.BandUnpopular, workload.ProtoHTTP, true, workload.ISPUnicom, 0)
+	if err := in.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	in = input(workload.BandUnpopular, workload.ProtoHTTP, true, workload.ISPUnicom, 100, goodAP)
+	in.APCPUGHz = 0
+	if err := in.Validate(); err == nil {
+		t.Fatal("zero AP CPU accepted")
+	}
+}
+
+func TestDecidePanicsOnInvalidInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decide accepted invalid input")
+		}
+	}()
+	Decide(Input{})
+}
+
+func TestRouteStringsRoundTrip(t *testing.T) {
+	for r := RouteUserDevice; r <= RouteCloudPreDownload; r++ {
+		back, err := ParseRoute(r.String())
+		if err != nil || back != r {
+			t.Errorf("route %v round trip failed", r)
+		}
+	}
+	if _, err := ParseRoute("bicycle"); err == nil {
+		t.Error("ParseRoute accepted junk")
+	}
+}
+
+func TestAdvisorWiresQueries(t *testing.T) {
+	files := []*workload.FileMeta{
+		{ID: workload.FileIDFromIndex(1), Protocol: workload.ProtoBitTorrent, WeeklyRequests: 500},
+		{ID: workload.FileIDFromIndex(2), Protocol: workload.ProtoBitTorrent, WeeklyRequests: 2},
+	}
+	db := NewStaticDB(files)
+	cache := fakeCache{files[1].ID: true}
+	a := &Advisor{DB: db, Cache: cache}
+	user := &workload.User{ISP: workload.ISPUnicom, AccessBW: 2.5 * 1024 * 1024}
+
+	// Highly popular P2P: direct.
+	d := a.Advise(files[0], user, &APInfo{Storage: storage.Device{Type: storage.SATAHDD, FS: storage.EXT4}, CPUGHz: 1})
+	if d.Source != SourceOriginal {
+		t.Fatalf("advise highly popular: %+v", d)
+	}
+	// Unpopular cached: cloud.
+	d = a.Advise(files[1], user, nil)
+	if d.Route != RouteCloud {
+		t.Fatalf("advise cached unpopular: %+v", d)
+	}
+	// Unknown file: unpopular, uncached → cloud pre-download.
+	unknown := &workload.FileMeta{ID: workload.FileIDFromIndex(3), Protocol: workload.ProtoHTTP}
+	d = a.Advise(unknown, user, nil)
+	if d.Route != RouteCloudPreDownload {
+		t.Fatalf("advise unknown: %+v", d)
+	}
+}
+
+type fakeCache map[workload.FileID]bool
+
+func (c fakeCache) Contains(id workload.FileID) bool { return c[id] }
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

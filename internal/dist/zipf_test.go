@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, 0}, {10, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%d, %g) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestZipfPMFSumsToOne(t *testing.T) {
+	z := NewZipf(1000, 1.034)
+	var sum float64
+	for x := 1; x <= z.N(); x++ {
+		sum += z.PMF(x)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %g, want 1", sum)
+	}
+}
+
+func TestZipfPMFOutOfRange(t *testing.T) {
+	z := NewZipf(10, 1)
+	if z.PMF(0) != 0 || z.PMF(11) != 0 || z.PMF(-3) != 0 {
+		t.Fatal("out-of-range PMF must be 0")
+	}
+}
+
+func TestZipfPMFMonotone(t *testing.T) {
+	z := NewZipf(500, 1.2)
+	for x := 2; x <= 500; x++ {
+		if z.PMF(x) > z.PMF(x-1)+1e-12 {
+			t.Fatalf("PMF not non-increasing at rank %d", x)
+		}
+	}
+}
+
+func TestZipfSampleRange(t *testing.T) {
+	g := NewRNG(1)
+	z := NewZipf(100, 1.0)
+	for i := 0; i < 100000; i++ {
+		x := z.Sample(g)
+		if x < 1 || x > 100 {
+			t.Fatalf("sample %d out of 1..100", x)
+		}
+	}
+}
+
+func TestZipfSampleMatchesPMF(t *testing.T) {
+	g := NewRNG(2)
+	z := NewZipf(50, 1.1)
+	counts := make([]int, 51)
+	n := 500000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(g)]++
+	}
+	for x := 1; x <= 10; x++ { // check the head where mass is concentrated
+		got := float64(counts[x]) / float64(n)
+		want := z.PMF(x)
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("rank %d: empirical %g vs PMF %g", x, got, want)
+		}
+	}
+}
+
+func TestZipfExpectedDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for x := 1; x <= 1000; x *= 10 {
+		y := ZipfExpected(x, 1.034, 14.444)
+		if y >= prev {
+			t.Fatalf("ZipfExpected not decreasing at rank %d", x)
+		}
+		prev = y
+	}
+}
+
+func TestZipfExpectedAnchors(t *testing.T) {
+	// At rank 1, log10(y) = b, so y = 10^b.
+	y := ZipfExpected(1, 1.034, 2)
+	if math.Abs(y-100) > 1e-9 {
+		t.Fatalf("ZipfExpected(1) = %g, want 100", y)
+	}
+}
+
+func TestSEExpectedAnchors(t *testing.T) {
+	// At rank 1, y^c = b, so y = b^(1/c).
+	y := SEExpected(1, 0.010, 1.134, 0.01)
+	want := math.Pow(1.134, 100)
+	if math.Abs(y-want)/want > 1e-9 {
+		t.Fatalf("SEExpected(1) = %g, want %g", y, want)
+	}
+}
+
+func TestSEExpectedNonNegative(t *testing.T) {
+	// Far enough in the tail that b - a*log10(x) goes negative, the model
+	// must clamp to zero rather than return NaN.
+	y := SEExpected(int(1e12), 0.2, 1.1, 0.01)
+	if y != 0 {
+		t.Fatalf("SEExpected tail = %g, want 0", y)
+	}
+}
+
+// Property: Zipf samples are always in range, for arbitrary small n and s.
+func TestZipfSampleRangeProperty(t *testing.T) {
+	g := NewRNG(99)
+	f := func(nRaw uint8, sRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		s := 0.1 + float64(sRaw)/64.0
+		z := NewZipf(n, s)
+		for i := 0; i < 50; i++ {
+			x := z.Sample(g)
+			if x < 1 || x > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

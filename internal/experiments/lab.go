@@ -1,0 +1,164 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3-§6) from the simulated substrates. Each experiment
+// returns a Report carrying formatted output lines (the rows/series the
+// paper plots), headline metrics for programmatic checks, and the paper's
+// published values for side-by-side comparison.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"odr/internal/cloud"
+	"odr/internal/replay"
+	"odr/internal/sim"
+	"odr/internal/smartap"
+	"odr/internal/workload"
+)
+
+// Config sizes an experiment run.
+type Config struct {
+	// NumFiles scales the synthetic week (the paper's week has 563,517
+	// unique files; the default regenerates shapes at 1/28 scale).
+	NumFiles int
+	// SampleSize is the §5.1 replay sample (1000 in the paper).
+	SampleSize int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Default returns the standard experiment scale.
+func Default() Config {
+	return Config{NumFiles: 20000, SampleSize: 1000, Seed: 20150228}
+}
+
+// Lab lazily builds and memoizes the expensive shared artifacts: the
+// synthetic trace, the week-long cloud simulation, the AP benchmark and
+// the ODR replay. A Lab is safe for concurrent use.
+type Lab struct {
+	cfg Config
+
+	mu        sync.Mutex
+	trace     *workload.Trace
+	week      *cloud.Cloud
+	sample    []workload.Request
+	aps       []*smartap.AP
+	apBench   *replay.APBench
+	odr       *replay.ODRResult
+	cloudBase *replay.ODRResult
+}
+
+// NewLab returns a Lab for the configuration.
+func NewLab(cfg Config) *Lab {
+	if cfg.NumFiles <= 0 || cfg.SampleSize <= 0 {
+		panic(fmt.Sprintf("experiments: invalid config %+v", cfg))
+	}
+	return &Lab{cfg: cfg}
+}
+
+// Config returns the lab's configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// Trace returns the synthetic week, generating it on first use.
+func (l *Lab) Trace() *workload.Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.traceLocked()
+}
+
+func (l *Lab) traceLocked() *workload.Trace {
+	if l.trace == nil {
+		tr, err := workload.Generate(workload.DefaultConfig(l.cfg.NumFiles, l.cfg.Seed))
+		if err != nil {
+			panic(err) // config is validated in NewLab; this is a bug
+		}
+		l.trace = tr
+	}
+	return l.trace
+}
+
+// Week returns the completed week-long cloud simulation.
+func (l *Lab) Week() *cloud.Cloud {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.week == nil {
+		tr := l.traceLocked()
+		eng := sim.New()
+		c := cloud.New(cloud.DefaultConfig(
+			float64(l.cfg.NumFiles)/cloud.FullScaleFiles, l.cfg.Seed), eng)
+		c.Prewarm(tr.Files)
+		c.RunTrace(tr)
+		l.week = c
+	}
+	return l.week
+}
+
+// Sample returns the §5.1 Unicom replay sample.
+func (l *Lab) Sample() []workload.Request {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sampleLocked()
+}
+
+func (l *Lab) sampleLocked() []workload.Request {
+	if l.sample == nil {
+		l.sample = workload.UnicomSample(l.traceLocked(), l.cfg.SampleSize, l.cfg.Seed)
+	}
+	return l.sample
+}
+
+// APs returns the three benchmarked smart APs (fresh instances, memoized).
+func (l *Lab) APs() []*smartap.AP {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.apsLocked()
+}
+
+func (l *Lab) apsLocked() []*smartap.AP {
+	if l.aps == nil {
+		l.aps = smartap.Benchmarked()
+	}
+	return l.aps
+}
+
+// APBench returns the §5 benchmark replay.
+func (l *Lab) APBench() *replay.APBench {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.apBench == nil {
+		l.apBench = replay.RunAPBenchmark(l.sampleLocked(), l.apsLocked(), l.cfg.Seed)
+	}
+	return l.apBench
+}
+
+// ODR returns the §6.2 ODR replay.
+func (l *Lab) ODR() *replay.ODRResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.odr == nil {
+		l.odr = replay.RunODR(l.sampleLocked(), l.traceLocked().Files,
+			l.apsLocked(), replay.Options{Seed: l.cfg.Seed})
+	}
+	return l.odr
+}
+
+// newWeek runs a week simulation with a custom cloud configuration
+// (counterfactual experiments).
+func newWeek(cfg cloud.Config, tr *workload.Trace) *cloud.Cloud {
+	eng := sim.New()
+	c := cloud.New(cfg, eng)
+	c.Prewarm(tr.Files)
+	c.RunTrace(tr)
+	return c
+}
+
+// CloudBaseline returns the pure-cloud replay of the same sample.
+func (l *Lab) CloudBaseline() *replay.ODRResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cloudBase == nil {
+		l.cloudBase = replay.CloudOnlyBaseline(l.sampleLocked(),
+			l.traceLocked().Files, l.cfg.Seed)
+	}
+	return l.cloudBase
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"odr/internal/dist"
+	"odr/internal/stats"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "F8", "T2").
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Lines is the formatted output — the rows/series the paper reports.
+	Lines []string
+	// Metrics holds headline numbers keyed by name, for programmatic
+	// assertions and EXPERIMENTS.md generation.
+	Metrics map[string]float64
+	// Paper holds the published values for the same keys where the paper
+	// states them (absent keys have no published anchor).
+	Paper map[string]float64
+}
+
+func newReport(id, title string) *Report {
+	return &Report{
+		ID: id, Title: title,
+		Metrics: map[string]float64{},
+		Paper:   map[string]float64{},
+	}
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// metric records a measured value, optionally with its published anchor
+// (paper < 0 means "no anchor").
+func (r *Report) metric(key string, measured, paper float64) {
+	r.Metrics[key] = measured
+	if paper >= 0 {
+		r.Paper[key] = paper
+	}
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("-- headline metrics (measured vs paper) --\n")
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if p, ok := r.Paper[k]; ok {
+				fmt.Fprintf(&b, "%-42s %12.4g   (paper: %.4g)\n", k, r.Metrics[k], p)
+			} else {
+				fmt.Fprintf(&b, "%-42s %12.4g\n", k, r.Metrics[k])
+			}
+		}
+	}
+	return b.String()
+}
+
+// cdfLines renders a sample as a quantile table (the textual form of the
+// paper's CDF figures), in the given unit.
+func cdfLines(r *Report, name, unit string, s *stats.Sample, scale float64) {
+	r.addf("%-14s %10s", name, unit)
+	for _, p := range []float64{0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99} {
+		r.addf("  P%02.0f %12.1f", p*100, s.Quantile(p)/scale)
+	}
+	r.addf("  min %12.2f  median %10.1f  mean %10.1f  max %10.1f",
+		s.Min()/scale, s.Median()/scale, s.Mean()/scale, s.Max()/scale)
+}
+
+const (
+	kb = 1024.0
+	mb = 1024.0 * 1024.0
+	gb = 1024.0 * 1024.0 * 1024.0
+)
+
+// ksLogAnchor computes the Kolmogorov-Smirnov distance between a sample
+// and a piecewise-linear anchor through published CDF points, with both
+// mapped to log10 space first (the right geometry for quantities spanning
+// many decades). Sample values below 1 are clamped to 1.
+func ksLogAnchor(s *stats.Sample, knots []dist.Point) (float64, error) {
+	logKnots := make([]dist.Point, len(knots))
+	for i, k := range knots {
+		v := k.V
+		if v < 1 {
+			v = 1
+		}
+		logKnots[i] = dist.Point{V: math.Log10(v), P: k.P}
+	}
+	anchor, err := dist.NewEmpirical(logKnots)
+	if err != nil {
+		return 0, err
+	}
+	logSample := stats.NewSample(s.N())
+	for _, v := range s.Values() {
+		if v < 1 {
+			v = 1
+		}
+		logSample.Add(math.Log10(v))
+	}
+	return stats.KSAgainst(logSample, anchor.CDF)
+}

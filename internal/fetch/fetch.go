@@ -1,0 +1,226 @@
+// Package fetch implements a resumable HTTP downloader — the building
+// block a real offline-downloading proxy (a pre-downloader VM or a smart
+// AP) uses to pull files from origin servers. It supports byte-range
+// resume after transient failures, bounded retries, token-bucket rate
+// limiting (to replay a recorded access bandwidth, §5.1), and MD5
+// verification (the content identity the Xuanfeng cloud dedupes on).
+package fetch
+
+import (
+	"context"
+	"crypto/md5"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"odr/internal/ratelimit"
+)
+
+// Options configures a Fetcher. The zero value is usable: default client,
+// unlimited rate, 3 retries.
+type Options struct {
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// RateLimit caps the download in bytes/second; 0 means unlimited.
+	RateLimit float64
+	// Retries is how many times a failed transfer is resumed before
+	// giving up. Negative means no retries; 0 means the default (3).
+	Retries int
+	// RetryDelay is the pause between attempts (default 100 ms).
+	RetryDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryDelay == 0 {
+		o.RetryDelay = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Result describes a completed download.
+type Result struct {
+	// Bytes is the file's final size.
+	Bytes int64
+	// MD5 is the hex digest of the downloaded content.
+	MD5 string
+	// Resumes is how many times the transfer resumed mid-file.
+	Resumes int
+	// Duration is wall-clock transfer time.
+	Duration time.Duration
+}
+
+// Fetcher downloads files over HTTP with resume.
+type Fetcher struct {
+	opts Options
+}
+
+// New returns a Fetcher with the given options.
+func New(opts Options) *Fetcher {
+	return &Fetcher{opts: opts.withDefaults()}
+}
+
+// errShortBody marks a connection that died before delivering the full
+// body; it is retryable via a Range request.
+var errShortBody = errors.New("fetch: short body")
+
+// Fetch downloads url into dstPath. A pre-existing partial file at
+// dstPath + ".part" is resumed with a Range request; on success the part
+// file is renamed into place and its MD5 returned.
+func (f *Fetcher) Fetch(ctx context.Context, url, dstPath string) (Result, error) {
+	start := time.Now()
+	part := dstPath + ".part"
+
+	file, err := os.OpenFile(part, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return Result{}, fmt.Errorf("fetch: open part file: %w", err)
+	}
+	defer file.Close()
+
+	offset, err := file.Seek(0, io.SeekEnd)
+	if err != nil {
+		return Result{}, fmt.Errorf("fetch: seek part file: %w", err)
+	}
+
+	var bucket *ratelimit.Bucket
+	if f.opts.RateLimit > 0 {
+		bucket = ratelimit.NewBucket(f.opts.RateLimit, f.opts.RateLimit)
+	}
+
+	res := Result{}
+	attempt := 0
+	for {
+		n, total, err := f.transfer(ctx, url, file, offset, bucket)
+		offset += n
+		if err == nil && (total < 0 || offset >= total) {
+			break
+		}
+		if err == nil {
+			err = errShortBody
+		}
+		if !retryable(err) || attempt >= f.opts.Retries {
+			return res, fmt.Errorf("fetch: %s after %d resumes: %w", url, res.Resumes, err)
+		}
+		attempt++
+		if n > 0 {
+			res.Resumes++
+			attempt = 1 // progress resets the retry budget
+		}
+		select {
+		case <-ctx.Done():
+			return res, ctx.Err()
+		case <-time.After(f.opts.RetryDelay):
+		}
+	}
+	if err := file.Close(); err != nil {
+		return res, fmt.Errorf("fetch: close part file: %w", err)
+	}
+	if err := os.Rename(part, dstPath); err != nil {
+		return res, fmt.Errorf("fetch: finalize: %w", err)
+	}
+
+	sum, size, err := fileMD5(dstPath)
+	if err != nil {
+		return res, err
+	}
+	res.Bytes = size
+	res.MD5 = sum
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// transfer performs one HTTP attempt from offset, returning bytes copied
+// this attempt and the total size if the server reported one (-1 if
+// unknown).
+func (f *Fetcher) transfer(ctx context.Context, url string, dst io.Writer, offset int64, bucket *ratelimit.Bucket) (int64, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, -1, err
+	}
+	if offset > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return 0, -1, err
+	}
+	defer resp.Body.Close()
+
+	total := int64(-1)
+	switch {
+	case offset > 0 && resp.StatusCode == http.StatusPartialContent:
+		if resp.ContentLength >= 0 {
+			total = offset + resp.ContentLength
+		}
+	case offset > 0 && resp.StatusCode == http.StatusOK:
+		// Server ignored the Range header; it would resend the whole
+		// body. Treat as non-resumable (the paper's "bad-server" case for
+		// persistent downloads) rather than double-writing.
+		return 0, -1, fmt.Errorf("fetch: server does not support resume (status 200 for ranged request)")
+	case offset == 0 && resp.StatusCode == http.StatusOK:
+		total = resp.ContentLength
+	default:
+		return 0, -1, &HTTPError{Status: resp.StatusCode}
+	}
+
+	var body io.Reader = resp.Body
+	if bucket != nil {
+		body = ratelimit.NewReader(ctx, resp.Body, bucket)
+	}
+	n, err := io.Copy(dst, body)
+	return n, total, err
+}
+
+// HTTPError is a non-2xx response.
+type HTTPError struct {
+	Status int
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("fetch: unexpected HTTP status %d", e.Status)
+}
+
+// retryable reports whether a resume attempt might succeed.
+func retryable(err error) bool {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		// Retry server errors; client errors (404 etc.) are permanent.
+		return he.Status >= 500
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // network-level errors and short bodies
+}
+
+// fileMD5 hashes a file, returning the hex digest and the size.
+func fileMD5(path string) (string, int64, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer file.Close()
+	h := md5.New()
+	n, err := io.Copy(h, file)
+	if err != nil {
+		return "", 0, err
+	}
+	return hexDigest(h), n, nil
+}
+
+func hexDigest(h hash.Hash) string {
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

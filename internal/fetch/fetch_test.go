@@ -1,0 +1,321 @@
+package fetch
+
+import (
+	"context"
+	"crypto/md5"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odr/internal/dist"
+)
+
+// payload builds deterministic content.
+func payload(n int) []byte {
+	g := dist.NewRNG(1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(g.Intn(256))
+	}
+	return b
+}
+
+// rangeServer serves content with proper Range support.
+func rangeServer(t *testing.T, content []byte) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "file.bin", time.Unix(0, 0), strings.NewReader(string(content)))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// flakyServer drops the connection after sending `chunk` bytes of each
+// requested range, forcing the client to resume.
+func flakyServer(t *testing.T, content []byte, chunk int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		start := 0
+		if rg := r.Header.Get("Range"); rg != "" {
+			fmt.Sscanf(rg, "bytes=%d-", &start)
+			w.Header().Set("Content-Range",
+				fmt.Sprintf("bytes %d-%d/%d", start, len(content)-1, len(content)))
+			w.Header().Set("Content-Length", strconv.Itoa(len(content)-start))
+			w.WriteHeader(http.StatusPartialContent)
+		} else {
+			w.Header().Set("Content-Length", strconv.Itoa(len(content)))
+		}
+		end := start + chunk
+		if end > len(content) {
+			end = len(content)
+		}
+		w.Write(content[start:end])
+		// Returning without writing the rest truncates the body: the
+		// client sees an unexpected EOF against Content-Length.
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func dst(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "out.bin")
+}
+
+func TestFetchWholeFile(t *testing.T) {
+	content := payload(100 << 10)
+	srv := rangeServer(t, content)
+	f := New(Options{})
+	path := dst(t)
+	res, err := f.Fetch(context.Background(), srv.URL, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != int64(len(content)) {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, len(content))
+	}
+	want := fmt.Sprintf("%x", md5.Sum(content))
+	if res.MD5 != want {
+		t.Fatalf("md5 = %s, want %s", res.MD5, want)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(content) {
+		t.Fatal("content mismatch")
+	}
+	if res.Resumes != 0 {
+		t.Fatalf("resumes = %d on a healthy server", res.Resumes)
+	}
+}
+
+func TestFetchResumesAfterTruncation(t *testing.T) {
+	content := payload(64 << 10)
+	srv, hits := flakyServer(t, content, 10<<10) // 10 KiB per connection
+	f := New(Options{Retries: 3, RetryDelay: time.Millisecond})
+	path := dst(t)
+	res, err := f.Fetch(context.Background(), srv.URL, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%x", md5.Sum(content))
+	if res.MD5 != want {
+		t.Fatal("md5 mismatch after resume")
+	}
+	if res.Resumes < 5 {
+		t.Fatalf("resumes = %d, want >= 5 (64 KiB / 10 KiB chunks)", res.Resumes)
+	}
+	if hits.Load() < 6 {
+		t.Fatalf("server hits = %d", hits.Load())
+	}
+}
+
+func TestFetchResumesExistingPart(t *testing.T) {
+	content := payload(32 << 10)
+	srv := rangeServer(t, content)
+	path := dst(t)
+	// Pre-seed half the file as a .part.
+	if err := os.WriteFile(path+".part", content[:16<<10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Options{})
+	res, err := f.Fetch(context.Background(), srv.URL, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%x", md5.Sum(content))
+	if res.MD5 != want {
+		t.Fatal("md5 mismatch when resuming a part file")
+	}
+}
+
+func TestFetch404IsPermanent(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	var calls atomic.Int64
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer counting.Close()
+	f := New(Options{Retries: 5, RetryDelay: time.Millisecond})
+	if _, err := f.Fetch(context.Background(), counting.URL, dst(t)); err == nil {
+		t.Fatal("404 should fail")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried %d times, want no retries", calls.Load()-1)
+	}
+}
+
+func TestFetch500IsRetried(t *testing.T) {
+	content := payload(4 << 10)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		http.ServeContent(w, r, "f", time.Unix(0, 0), strings.NewReader(string(content)))
+	}))
+	defer srv.Close()
+	f := New(Options{Retries: 3, RetryDelay: time.Millisecond})
+	res, err := f.Fetch(context.Background(), srv.URL, dst(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != int64(len(content)) {
+		t.Fatal("content incomplete after 500 retries")
+	}
+}
+
+func TestFetchGivesUpAfterRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	f := New(Options{Retries: 2, RetryDelay: time.Millisecond})
+	if _, err := f.Fetch(context.Background(), srv.URL, dst(t)); err == nil {
+		t.Fatal("persistent 500 should fail")
+	}
+	if calls.Load() != 3 { // initial + 2 retries
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestFetchNonResumableServerFails(t *testing.T) {
+	// A server that ignores Range (always 200) cannot support resume.
+	content := payload(8 << 10)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(content)
+	}))
+	defer srv.Close()
+	path := dst(t)
+	if err := os.WriteFile(path+".part", content[:100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Options{Retries: 1, RetryDelay: time.Millisecond})
+	if _, err := f.Fetch(context.Background(), srv.URL, path); err == nil {
+		t.Fatal("non-resumable server with existing part should fail")
+	}
+}
+
+func TestFetchRateLimited(t *testing.T) {
+	content := payload(60 << 10)
+	srv := rangeServer(t, content)
+	f := New(Options{RateLimit: 200 << 10}) // 200 KiB/s
+	start := time.Now()
+	res, err := f.Fetch(context.Background(), srv.URL, dst(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 KiB at 200 KiB/s with a full initial bucket: the first 200 KiB
+	// burst covers it — use a smaller bucket? The limiter's burst equals
+	// the rate, so the transfer may finish within the burst; just check
+	// completion and that throttling didn't corrupt anything.
+	if res.Bytes != int64(len(content)) {
+		t.Fatal("rate-limited fetch incomplete")
+	}
+	_ = start
+}
+
+func TestFetchRateLimitSlowsTransfer(t *testing.T) {
+	content := payload(30 << 10)
+	srv := rangeServer(t, content)
+	f := New(Options{RateLimit: 10 << 10}) // 10 KiB/s, 10 KiB burst
+	start := time.Now()
+	if _, err := f.Fetch(context.Background(), srv.URL, dst(t)); err != nil {
+		t.Fatal(err)
+	}
+	// 30 KiB with a 10 KiB burst at 10 KiB/s needs ≈2 s.
+	if elapsed := time.Since(start); elapsed < 1500*time.Millisecond {
+		t.Fatalf("rate-limited fetch finished in %v, want ≈2 s", elapsed)
+	}
+}
+
+func TestFetchContextCancellation(t *testing.T) {
+	content := payload(1 << 20)
+	srv := rangeServer(t, content)
+	f := New(Options{RateLimit: 1024}) // slow enough to cancel mid-flight
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := f.Fetch(ctx, srv.URL, dst(t)); err == nil {
+		t.Fatal("cancelled fetch returned nil")
+	}
+}
+
+func TestFetchBadURL(t *testing.T) {
+	f := New(Options{Retries: -1})
+	if _, err := f.Fetch(context.Background(), "http://127.0.0.1:1/nope", dst(t)); err == nil {
+		t.Fatal("unreachable server should fail")
+	}
+}
+
+func TestFetchZeroByteFile(t *testing.T) {
+	srv := rangeServer(t, nil)
+	f := New(Options{})
+	res, err := f.Fetch(context.Background(), srv.URL, dst(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 0 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	// MD5 of the empty string.
+	if res.MD5 != "d41d8cd98f00b204e9800998ecf8427e" {
+		t.Fatalf("md5 = %s", res.MD5)
+	}
+}
+
+func TestFetchFinalizesAtomically(t *testing.T) {
+	content := payload(16 << 10)
+	srv := rangeServer(t, content)
+	f := New(Options{})
+	path := dst(t)
+	if _, err := f.Fetch(context.Background(), srv.URL, path); err != nil {
+		t.Fatal(err)
+	}
+	// The .part staging file must be gone after a successful fetch.
+	if _, err := os.Stat(path + ".part"); !os.IsNotExist(err) {
+		t.Fatalf(".part file left behind: %v", err)
+	}
+}
+
+func TestFetchLeavesPartOnFailure(t *testing.T) {
+	// A flaky server plus an exhausted retry budget: the partial file
+	// must survive for a future resume.
+	content := payload(64 << 10)
+	srv, _ := flakyServer(t, content, 10<<10)
+	f := New(Options{Retries: -1}) // no retries at all
+	path := dst(t)
+	if _, err := f.Fetch(context.Background(), srv.URL, path); err == nil {
+		t.Fatal("expected failure with no retry budget")
+	}
+	info, err := os.Stat(path + ".part")
+	if err != nil {
+		t.Fatalf("partial file missing: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("partial file empty — progress lost")
+	}
+	// And a second fetch with retries resumes it to completion.
+	res, err := New(Options{Retries: 10, RetryDelay: time.Millisecond}).
+		Fetch(context.Background(), srv.URL, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != int64(len(content)) {
+		t.Fatalf("resumed fetch got %d bytes", res.Bytes)
+	}
+}

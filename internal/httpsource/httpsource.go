@@ -1,0 +1,88 @@
+// Package httpsource models HTTP and FTP origin servers as download
+// sources. Unlike P2P swarms, client-server sources are stable and mostly
+// popularity-independent; their characteristic failure mode is a server
+// that cannot sustain a persistent or resumable connection (≈10 % of
+// smart-AP failures in §5.2). Protocol overhead is small: headers push
+// total traffic to ≈107–110 % of file size (§4.1).
+package httpsource
+
+import (
+	"odr/internal/dist"
+	"odr/internal/workload"
+)
+
+// Attempt mirrors swarm.Attempt for client-server sources.
+type Attempt struct {
+	// OK reports whether the server sustains the download.
+	OK bool
+	// Rate is the achievable steady rate in bytes/second.
+	Rate float64
+	// OverheadRatio is total traffic divided by file size.
+	OverheadRatio float64
+}
+
+// Config tunes the origin model.
+type Config struct {
+	// FailProb is the probability the server cannot maintain a
+	// persistent/resumable download.
+	FailProb float64
+	// MedianRate is the median server throughput in bytes/second.
+	MedianRate float64
+	// RateSigma is the lognormal dispersion of server throughput.
+	RateSigma float64
+	// MaxRate caps server-side throughput.
+	MaxRate float64
+	// OverheadLo and OverheadHi bound the uniform header/packet overhead
+	// ratio.
+	OverheadLo, OverheadHi float64
+	// FTPRateFactor discounts FTP servers relative to HTTP.
+	FTPRateFactor float64
+}
+
+// DefaultConfig returns paper-calibrated origin parameters.
+func DefaultConfig() Config {
+	return Config{
+		FailProb:      0.10,
+		MedianRate:    80 * 1024,
+		RateSigma:     1.0,
+		MaxRate:       2.37 * 1024 * 1024,
+		OverheadLo:    1.07,
+		OverheadHi:    1.10,
+		FTPRateFactor: 0.85,
+	}
+}
+
+// Model generates origin-server download attempts.
+type Model struct {
+	cfg Config
+}
+
+// NewModel builds an origin model; a zero Config is replaced by defaults.
+func NewModel(cfg Config) *Model {
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	return &Model{cfg: cfg}
+}
+
+// Attempt simulates one download attempt of f from its origin server. It
+// panics if the file is P2P-hosted.
+func (m *Model) Attempt(g *dist.RNG, f *workload.FileMeta) Attempt {
+	if f.Protocol.IsP2P() {
+		panic("httpsource: Attempt on P2P file " + f.ID.String())
+	}
+	a := Attempt{OverheadRatio: g.Uniform(m.cfg.OverheadLo, m.cfg.OverheadHi)}
+	if g.Bool(m.cfg.FailProb) {
+		return a
+	}
+	rate := m.cfg.MedianRate * g.LogNormal(0, m.cfg.RateSigma)
+	if f.Protocol == workload.ProtoFTP {
+		rate *= m.cfg.FTPRateFactor
+	}
+	if rate > m.cfg.MaxRate {
+		rate = m.cfg.MaxRate
+	}
+	a.OK = true
+	a.Rate = rate
+	return a
+}

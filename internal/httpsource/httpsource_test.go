@@ -1,0 +1,122 @@
+package httpsource
+
+import (
+	"math"
+	"testing"
+
+	"odr/internal/dist"
+	"odr/internal/workload"
+)
+
+func httpFile(proto workload.Protocol) *workload.FileMeta {
+	return &workload.FileMeta{
+		ID:       workload.FileIDFromIndex(1),
+		Size:     50 << 20,
+		Protocol: proto,
+	}
+}
+
+func TestAttemptPanicsOnP2PFile(t *testing.T) {
+	m := NewModel(Config{})
+	g := dist.NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for P2P file")
+		}
+	}()
+	m.Attempt(g, httpFile(workload.ProtoBitTorrent))
+}
+
+// §5.2: ≈10 % of HTTP/FTP attempts fail on poor connections.
+func TestFailureProbability(t *testing.T) {
+	m := NewModel(Config{})
+	g := dist.NewRNG(3)
+	fails, n := 0, 50000
+	for i := 0; i < n; i++ {
+		if !m.Attempt(g, httpFile(workload.ProtoHTTP)).OK {
+			fails++
+		}
+	}
+	got := float64(fails) / float64(n)
+	if math.Abs(got-0.10) > 0.01 {
+		t.Fatalf("failure ratio = %.3f, want ≈0.10", got)
+	}
+}
+
+func TestFailureIndependentOfPopularity(t *testing.T) {
+	m := NewModel(Config{})
+	g := dist.NewRNG(5)
+	ratio := func(weekly int) float64 {
+		f := httpFile(workload.ProtoHTTP)
+		f.WeeklyRequests = weekly
+		fails, n := 0, 30000
+		for i := 0; i < n; i++ {
+			if !m.Attempt(g, f).OK {
+				fails++
+			}
+		}
+		return float64(fails) / float64(n)
+	}
+	if diff := math.Abs(ratio(1) - ratio(1000)); diff > 0.02 {
+		t.Fatalf("HTTP failure varies with popularity by %.3f", diff)
+	}
+}
+
+// §4.1: HTTP/FTP overhead is 7–10 % above file size.
+func TestOverheadRange(t *testing.T) {
+	m := NewModel(Config{})
+	g := dist.NewRNG(7)
+	for i := 0; i < 20000; i++ {
+		a := m.Attempt(g, httpFile(workload.ProtoHTTP))
+		if a.OverheadRatio < 1.07 || a.OverheadRatio > 1.10 {
+			t.Fatalf("overhead %g outside [1.07, 1.10]", a.OverheadRatio)
+		}
+	}
+}
+
+func TestRateCap(t *testing.T) {
+	m := NewModel(Config{})
+	g := dist.NewRNG(9)
+	for i := 0; i < 20000; i++ {
+		if a := m.Attempt(g, httpFile(workload.ProtoHTTP)); a.Rate > DefaultConfig().MaxRate {
+			t.Fatalf("rate %g exceeds cap", a.Rate)
+		}
+	}
+}
+
+func TestFTPSlowerThanHTTP(t *testing.T) {
+	m := NewModel(Config{})
+	g := dist.NewRNG(11)
+	mean := func(p workload.Protocol) float64 {
+		var sum float64
+		var n int
+		for i := 0; i < 50000; i++ {
+			if a := m.Attempt(g, httpFile(p)); a.OK {
+				sum += a.Rate
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	if mean(workload.ProtoFTP) >= mean(workload.ProtoHTTP) {
+		t.Fatal("FTP should be slower than HTTP on average")
+	}
+}
+
+func TestFailedAttemptZeroRate(t *testing.T) {
+	m := NewModel(Config{})
+	g := dist.NewRNG(13)
+	for i := 0; i < 20000; i++ {
+		a := m.Attempt(g, httpFile(workload.ProtoHTTP))
+		if !a.OK && a.Rate != 0 {
+			t.Fatalf("failed attempt has rate %g", a.Rate)
+		}
+	}
+}
+
+func TestZeroConfigUsesDefaults(t *testing.T) {
+	m := NewModel(Config{})
+	if m.cfg != DefaultConfig() {
+		t.Fatal("zero config not replaced with defaults")
+	}
+}

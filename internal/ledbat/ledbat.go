@@ -1,0 +1,170 @@
+// Package ledbat implements a LEDBAT-style (RFC 6817) delay-based rate
+// controller. The paper (§6.1) proposes LEDBAT as an extension for ODR:
+// cloud→AP background pre-downloads can soak up spare access-link
+// capacity while yielding immediately when interactive traffic raises the
+// one-way queuing delay, further smoothing the cloud's upload burden.
+//
+// The controller keeps a rolling minimum of observed one-way delays as the
+// base (propagation) delay, treats the excess as queuing delay, and steers
+// its sending rate toward a fixed queuing-delay target: below target it
+// ramps additively, above target it backs off proportionally, and on loss
+// it halves.
+package ledbat
+
+import (
+	"math"
+	"time"
+)
+
+// Config tunes the controller. Zero fields take RFC-flavored defaults.
+type Config struct {
+	// Target is the queuing-delay target (RFC 6817 mandates <= 100 ms).
+	Target time.Duration
+	// Gain scales rate adjustments per sample.
+	Gain float64
+	// Step is the additive increase per fully-below-target sample, in
+	// bytes/second.
+	Step float64
+	// MinRate and MaxRate clamp the output rate in bytes/second.
+	MinRate, MaxRate float64
+	// BaseHistory is how many rotating minutes of delay minima form the
+	// base-delay estimate (RFC suggests ≈10 one-minute buckets).
+	BaseHistory int
+	// BucketLen is the rotation period of the base-delay history.
+	BucketLen time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Target <= 0 {
+		c.Target = 100 * time.Millisecond
+	}
+	if c.Gain <= 0 {
+		c.Gain = 1
+	}
+	if c.Step <= 0 {
+		c.Step = 32 * 1024
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 4 * 1024
+	}
+	if c.MaxRate <= 0 {
+		c.MaxRate = 2.5 * 1024 * 1024
+	}
+	if c.BaseHistory <= 0 {
+		c.BaseHistory = 10
+	}
+	if c.BucketLen <= 0 {
+		c.BucketLen = time.Minute
+	}
+	return c
+}
+
+// Controller is a single-flow LEDBAT rate controller. It is not safe for
+// concurrent use.
+type Controller struct {
+	cfg  Config
+	rate float64
+
+	// base-delay history: rotating minute minima plus the current bucket.
+	history    []time.Duration
+	bucketLast time.Time
+	started    bool
+}
+
+// New returns a controller starting at MinRate.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{cfg: cfg, rate: cfg.MinRate}
+}
+
+// Rate returns the current sending rate in bytes/second.
+func (c *Controller) Rate() float64 { return c.rate }
+
+// BaseDelay returns the current base (propagation) delay estimate, or 0
+// before any sample.
+func (c *Controller) BaseDelay() time.Duration {
+	if len(c.history) == 0 {
+		return 0
+	}
+	min := c.history[0]
+	for _, d := range c.history[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// QueuingDelay returns the estimated queuing delay of the latest sample
+// against the current base.
+func (c *Controller) queuing(owd time.Duration) time.Duration {
+	q := owd - c.BaseDelay()
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// OnDelaySample feeds one one-way-delay measurement taken at now and
+// returns the updated rate. Timestamps must be non-decreasing.
+func (c *Controller) OnDelaySample(owd time.Duration, now time.Time) float64 {
+	if owd < 0 {
+		owd = 0
+	}
+	c.updateBase(owd, now)
+
+	q := c.queuing(owd)
+	// offTarget in [-1, 1]: +1 means empty queue, negative means the
+	// queue exceeds target.
+	offTarget := float64(c.cfg.Target-q) / float64(c.cfg.Target)
+	if offTarget > 1 {
+		offTarget = 1
+	}
+	if offTarget < -1 {
+		offTarget = -1
+	}
+	if offTarget >= 0 {
+		c.rate += c.cfg.Gain * offTarget * c.cfg.Step
+	} else {
+		// Proportional multiplicative backoff: at 2x target the rate
+		// drops by Gain×25 % per sample.
+		c.rate *= 1 + c.cfg.Gain*offTarget*0.25
+	}
+	c.clamp()
+	return c.rate
+}
+
+// OnLoss signals a packet loss: halve the rate, as RFC 6817 requires
+// LEDBAT to react to loss at least as aggressively as TCP.
+func (c *Controller) OnLoss() float64 {
+	c.rate /= 2
+	c.clamp()
+	return c.rate
+}
+
+func (c *Controller) clamp() {
+	c.rate = math.Max(c.cfg.MinRate, math.Min(c.cfg.MaxRate, c.rate))
+}
+
+// updateBase maintains the rotating minima history.
+func (c *Controller) updateBase(owd time.Duration, now time.Time) {
+	if !c.started {
+		c.started = true
+		c.bucketLast = now
+		c.history = []time.Duration{owd}
+		return
+	}
+	// Rotate buckets for elapsed periods.
+	for now.Sub(c.bucketLast) >= c.cfg.BucketLen {
+		c.bucketLast = c.bucketLast.Add(c.cfg.BucketLen)
+		c.history = append(c.history, owd)
+		if len(c.history) > c.cfg.BaseHistory {
+			c.history = c.history[1:]
+		}
+	}
+	// Track the current bucket's minimum.
+	last := len(c.history) - 1
+	if owd < c.history[last] {
+		c.history[last] = owd
+	}
+}

@@ -1,0 +1,150 @@
+package ledbat
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestStartsAtMinRate(t *testing.T) {
+	c := New(Config{MinRate: 1000})
+	if c.Rate() != 1000 {
+		t.Fatalf("rate = %g", c.Rate())
+	}
+}
+
+func TestRampsWhenQueueEmpty(t *testing.T) {
+	c := New(Config{MinRate: 1000, MaxRate: 1e6, Step: 1000})
+	now := time.Unix(0, 0)
+	prev := c.Rate()
+	for i := 0; i < 50; i++ {
+		now = now.Add(100 * time.Millisecond)
+		r := c.OnDelaySample(ms(20), now) // constant delay: zero queuing
+		if r < prev {
+			t.Fatalf("rate decreased while queue empty: %g -> %g", prev, r)
+		}
+		prev = r
+	}
+	if prev < 50000 {
+		t.Fatalf("rate %g did not ramp (want ≈ min + 50×1000)", prev)
+	}
+}
+
+func TestBacksOffAboveTarget(t *testing.T) {
+	c := New(Config{MinRate: 1000, MaxRate: 1e6, Step: 1000, Target: ms(100)})
+	now := time.Unix(0, 0)
+	// Establish base delay of 20 ms and ramp.
+	for i := 0; i < 100; i++ {
+		now = now.Add(50 * time.Millisecond)
+		c.OnDelaySample(ms(20), now)
+	}
+	ramped := c.Rate()
+	// Now delays spike to base + 3x target: must back off.
+	for i := 0; i < 30; i++ {
+		now = now.Add(50 * time.Millisecond)
+		c.OnDelaySample(ms(20+300), now)
+	}
+	if c.Rate() >= ramped {
+		t.Fatalf("rate %g did not back off from %g under queuing", c.Rate(), ramped)
+	}
+}
+
+func TestConvergesNearTarget(t *testing.T) {
+	// A crude queue model: queuing delay proportional to rate above a
+	// notional fair share. The controller should stabilize rather than
+	// oscillate to the rails.
+	c := New(Config{MinRate: 1000, MaxRate: 1e7, Step: 5000, Target: ms(100)})
+	now := time.Unix(0, 0)
+	fair := 500000.0 // queue grows when rate exceeds this
+	for i := 0; i < 3000; i++ {
+		now = now.Add(20 * time.Millisecond)
+		q := (c.Rate() - fair) / fair * 200 // ms of queuing per overshoot
+		if q < 0 {
+			q = 0
+		}
+		c.OnDelaySample(ms(10)+time.Duration(q*float64(time.Millisecond)), now)
+	}
+	r := c.Rate()
+	if r < fair*0.7 || r > fair*2.5 {
+		t.Fatalf("rate %g did not settle near the fair share %g", r, fair)
+	}
+}
+
+func TestOnLossHalves(t *testing.T) {
+	c := New(Config{MinRate: 1000, MaxRate: 1e6, Step: 10000})
+	now := time.Unix(0, 0)
+	for i := 0; i < 60; i++ {
+		now = now.Add(50 * time.Millisecond)
+		c.OnDelaySample(ms(10), now)
+	}
+	before := c.Rate()
+	after := c.OnLoss()
+	if after > before/2+1 {
+		t.Fatalf("loss: %g -> %g, want halved", before, after)
+	}
+}
+
+func TestRateClamped(t *testing.T) {
+	c := New(Config{MinRate: 1000, MaxRate: 5000, Step: 100000})
+	now := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		now = now.Add(50 * time.Millisecond)
+		c.OnDelaySample(ms(5), now)
+	}
+	if c.Rate() > 5000 {
+		t.Fatalf("rate %g above MaxRate", c.Rate())
+	}
+	for i := 0; i < 20; i++ {
+		c.OnLoss()
+	}
+	if c.Rate() < 1000 {
+		t.Fatalf("rate %g below MinRate", c.Rate())
+	}
+}
+
+func TestBaseDelayTracksMinimum(t *testing.T) {
+	c := New(Config{})
+	now := time.Unix(0, 0)
+	c.OnDelaySample(ms(80), now)
+	c.OnDelaySample(ms(40), now.Add(time.Second))
+	c.OnDelaySample(ms(60), now.Add(2*time.Second))
+	if c.BaseDelay() != ms(40) {
+		t.Fatalf("base = %v, want 40ms", c.BaseDelay())
+	}
+}
+
+func TestBaseHistoryExpires(t *testing.T) {
+	c := New(Config{BaseHistory: 3, BucketLen: time.Minute})
+	now := time.Unix(0, 0)
+	c.OnDelaySample(ms(10), now) // old minimum
+	// Advance 5 minutes with a higher floor: the 10 ms bucket must age out.
+	for i := 1; i <= 5; i++ {
+		c.OnDelaySample(ms(50), now.Add(time.Duration(i)*time.Minute))
+	}
+	if c.BaseDelay() != ms(50) {
+		t.Fatalf("base = %v, want 50ms after the old minimum expired", c.BaseDelay())
+	}
+}
+
+func TestNegativeDelayTreatedAsZero(t *testing.T) {
+	c := New(Config{})
+	now := time.Unix(0, 0)
+	c.OnDelaySample(-ms(5), now)
+	if c.BaseDelay() != 0 {
+		t.Fatalf("base = %v", c.BaseDelay())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := New(Config{})
+	if c.cfg.Target != 100*time.Millisecond {
+		t.Fatalf("default target = %v", c.cfg.Target)
+	}
+	if c.cfg.BaseHistory != 10 {
+		t.Fatalf("default history = %d", c.cfg.BaseHistory)
+	}
+	if c.Rate() <= 0 {
+		t.Fatal("default rate not positive")
+	}
+}

@@ -1,0 +1,356 @@
+// Package netsim is a flow-level network simulator with max-min fair
+// bandwidth sharing. Transfers are modelled as fluid flows over paths of
+// capacity-constrained links; whenever the flow set changes, rates are
+// recomputed by progressive filling and completion events are rescheduled
+// on the discrete-event engine.
+//
+// The package also models China's ISP topology as the paper describes it
+// (§2.1): a handful of giant per-ISP autonomous systems with fast
+// intra-ISP paths and a heavily degraded inter-ISP "barrier".
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"odr/internal/sim"
+)
+
+// Link is a capacity-constrained network resource (an access line, an
+// upload-server pool, a cross-ISP peering point).
+type Link struct {
+	name     string
+	capacity float64 // bytes per second
+	flows    map[*Flow]struct{}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link capacity in bytes/second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// SetCapacity changes the link capacity. The caller is responsible for
+// triggering a rate recomputation via Network.Reshare if flows are active.
+func (l *Link) SetCapacity(c float64) { l.capacity = c }
+
+// ActiveFlows returns the number of flows currently crossing the link.
+func (l *Link) ActiveFlows() int { return len(l.flows) }
+
+// Utilization returns the fraction of capacity currently in use.
+func (l *Link) Utilization() float64 {
+	if l.capacity <= 0 {
+		return 0
+	}
+	var used float64
+	for f := range l.flows {
+		used += f.rate
+	}
+	return used / l.capacity
+}
+
+// FlowState describes a flow's lifecycle.
+type FlowState uint8
+
+// Flow states.
+const (
+	FlowActive FlowState = iota
+	FlowDone
+	FlowCancelled
+)
+
+// Flow is one fluid transfer across a path of links.
+type Flow struct {
+	net        *Network
+	path       []*Link
+	rateCap    float64 // source/application-imposed ceiling, bytes/sec
+	remaining  float64 // bytes left
+	total      float64
+	rate       float64
+	lastUpdate time.Duration
+	state      FlowState
+	started    time.Duration
+	finished   time.Duration
+	completion *sim.Event
+	onDone     func(*Flow)
+}
+
+// Rate returns the flow's current allocated rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// State returns the flow's lifecycle state.
+func (f *Flow) State() FlowState { return f.state }
+
+// Transferred returns the bytes moved so far (including the in-progress
+// fluid amount up to the engine's current time).
+func (f *Flow) Transferred() float64 {
+	done := f.total - f.remaining
+	if f.state == FlowActive {
+		done += f.rate * (f.net.eng.Now() - f.lastUpdate).Seconds()
+	}
+	return math.Min(done, f.total)
+}
+
+// Started returns the virtual time the flow began.
+func (f *Flow) Started() time.Duration { return f.started }
+
+// Finished returns the virtual time the flow completed or was cancelled
+// (zero while active).
+func (f *Flow) Finished() time.Duration { return f.finished }
+
+// Total returns the flow's size in bytes.
+func (f *Flow) Total() float64 { return f.total }
+
+// Cancel aborts an active flow, releasing its bandwidth. The completion
+// callback is not invoked. Cancelling a finished flow is a no-op.
+func (f *Flow) Cancel() {
+	if f.state != FlowActive {
+		return
+	}
+	f.net.settle(f)
+	f.state = FlowCancelled
+	f.finished = f.net.eng.Now()
+	f.net.detach(f)
+	f.net.Reshare()
+}
+
+// Network owns links and active flows and keeps rates max-min fair.
+type Network struct {
+	eng   *sim.Engine
+	links map[string]*Link
+	flows map[*Flow]struct{}
+}
+
+// New returns an empty network bound to the engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		eng:   eng,
+		links: make(map[string]*Link),
+		flows: make(map[*Flow]struct{}),
+	}
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddLink creates a link with the given capacity in bytes/second. Link
+// names must be unique; re-adding a name panics to surface topology bugs
+// early.
+func (n *Network) AddLink(name string, capacity float64) *Link {
+	if _, ok := n.links[name]; ok {
+		panic(fmt.Sprintf("netsim: duplicate link %q", name))
+	}
+	l := &Link{name: name, capacity: capacity, flows: make(map[*Flow]struct{})}
+	n.links[name] = l
+	return l
+}
+
+// Link returns a link by name, or nil if absent.
+func (n *Network) Link(name string) *Link { return n.links[name] }
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// StartFlow begins a transfer of size bytes across the path, with an
+// optional source-imposed rate ceiling (0 or +Inf means unconstrained).
+// onDone fires when the final byte arrives; it may be nil. A zero-size
+// flow completes immediately.
+func (n *Network) StartFlow(size, rateCap float64, path []*Link, onDone func(*Flow)) *Flow {
+	if size < 0 {
+		panic("netsim: negative flow size")
+	}
+	if rateCap <= 0 {
+		rateCap = math.Inf(1)
+	}
+	f := &Flow{
+		net:        n,
+		path:       append([]*Link(nil), path...),
+		rateCap:    rateCap,
+		remaining:  size,
+		total:      size,
+		lastUpdate: n.eng.Now(),
+		started:    n.eng.Now(),
+		onDone:     onDone,
+	}
+	if size == 0 {
+		f.state = FlowDone
+		f.finished = n.eng.Now()
+		if onDone != nil {
+			onDone(f)
+		}
+		return f
+	}
+	n.flows[f] = struct{}{}
+	for _, l := range f.path {
+		l.flows[f] = struct{}{}
+	}
+	n.Reshare()
+	return f
+}
+
+// detach removes the flow from every index.
+func (n *Network) detach(f *Flow) {
+	delete(n.flows, f)
+	for _, l := range f.path {
+		delete(l.flows, f)
+	}
+	if f.completion != nil {
+		f.completion.Cancel()
+		f.completion = nil
+	}
+}
+
+// settle charges the fluid progress made at the current rate since the
+// last update.
+func (n *Network) settle(f *Flow) {
+	now := n.eng.Now()
+	f.remaining -= f.rate * (now - f.lastUpdate).Seconds()
+	if f.remaining < 0 {
+		f.remaining = 0
+	}
+	f.lastUpdate = now
+}
+
+// Reshare recomputes max-min fair rates for all active flows by
+// progressive filling and reschedules completion events. It is invoked
+// automatically on flow arrival/departure; call it manually after changing
+// link capacities.
+func (n *Network) Reshare() {
+	// Settle all flows at the old rates first.
+	for f := range n.flows {
+		n.settle(f)
+	}
+	n.computeRates()
+	for f := range n.flows {
+		n.scheduleCompletion(f)
+	}
+}
+
+// computeRates runs progressive filling: repeatedly find the most
+// constrained unsaturated resource (link fair share or a flow's own rate
+// cap), freeze the implied flows at that rate, and continue.
+func (n *Network) computeRates() {
+	type linkState struct {
+		remaining float64
+		active    int
+	}
+	ls := make(map[*Link]*linkState, len(n.links))
+	for _, l := range n.links {
+		if len(l.flows) > 0 {
+			ls[l] = &linkState{remaining: l.capacity, active: len(l.flows)}
+		}
+	}
+	unfrozen := make(map[*Flow]struct{}, len(n.flows))
+	for f := range n.flows {
+		f.rate = 0
+		unfrozen[f] = struct{}{}
+	}
+
+	for len(unfrozen) > 0 {
+		// The binding constraint is the minimum over links of the fair
+		// share among still-unfrozen flows, and over flows of their caps.
+		bottleneck := math.Inf(1)
+		for l, st := range ls {
+			if st.active <= 0 {
+				continue
+			}
+			share := st.remaining / float64(st.active)
+			if share < bottleneck {
+				bottleneck = share
+			}
+			_ = l
+		}
+		for f := range unfrozen {
+			if f.rateCap < bottleneck {
+				bottleneck = f.rateCap
+			}
+		}
+		if math.IsInf(bottleneck, 1) {
+			// No finite constraint (pathless flows): unbounded rate is
+			// meaningless; treat as instantaneous by a very large rate.
+			bottleneck = math.MaxFloat64 / 4
+		}
+		if bottleneck < 0 {
+			bottleneck = 0
+		}
+
+		// Freeze every flow bound by this bottleneck: flows whose cap
+		// equals it, and flows crossing a link whose fair share equals it.
+		frozen := make([]*Flow, 0)
+		for f := range unfrozen {
+			bound := f.rateCap <= bottleneck+1e-9
+			if !bound {
+				for _, l := range f.path {
+					st := ls[l]
+					if st == nil {
+						continue
+					}
+					share := st.remaining / float64(st.active)
+					if share <= bottleneck+1e-9 {
+						bound = true
+						break
+					}
+				}
+			}
+			if bound {
+				frozen = append(frozen, f)
+			}
+		}
+		if len(frozen) == 0 {
+			// Numerical corner: freeze everything at the bottleneck.
+			for f := range unfrozen {
+				frozen = append(frozen, f)
+			}
+		}
+		for _, f := range frozen {
+			rate := math.Min(bottleneck, f.rateCap)
+			f.rate = rate
+			delete(unfrozen, f)
+			for _, l := range f.path {
+				if st := ls[l]; st != nil {
+					st.remaining -= rate
+					if st.remaining < 0 {
+						st.remaining = 0
+					}
+					st.active--
+				}
+			}
+		}
+	}
+}
+
+// scheduleCompletion re-arms the flow's completion event for its current
+// rate. A zero-rate flow gets no completion event (it is stalled until the
+// next Reshare gives it bandwidth or its owner times it out).
+func (n *Network) scheduleCompletion(f *Flow) {
+	if f.completion != nil {
+		f.completion.Cancel()
+		f.completion = nil
+	}
+	if f.rate <= 0 {
+		return
+	}
+	eta := time.Duration(f.remaining / f.rate * float64(time.Second))
+	if eta < 0 {
+		eta = 0
+	}
+	f.completion = n.eng.After(eta, func(*sim.Engine) {
+		n.finish(f)
+	})
+}
+
+func (n *Network) finish(f *Flow) {
+	if f.state != FlowActive {
+		return
+	}
+	n.settle(f)
+	f.remaining = 0
+	f.state = FlowDone
+	f.finished = n.eng.Now()
+	n.detach(f)
+	n.Reshare()
+	if f.onDone != nil {
+		f.onDone(f)
+	}
+}

@@ -1,0 +1,263 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"odr/internal/sim"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100) // 100 B/s
+	var done *Flow
+	n.StartFlow(1000, 0, []*Link{l}, func(f *Flow) { done = f })
+	eng.Run()
+	if done == nil {
+		t.Fatal("flow never completed")
+	}
+	if done.State() != FlowDone {
+		t.Fatalf("state = %v", done.State())
+	}
+	approx(t, done.Finished().Seconds(), 10, 1e-9, "completion time")
+	approx(t, done.Transferred(), 1000, 1e-6, "transferred")
+}
+
+func TestRateCapBinds(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 1000)
+	var finished time.Duration
+	n.StartFlow(100, 10, []*Link{l}, func(f *Flow) { finished = f.Finished() })
+	eng.Run()
+	approx(t, finished.Seconds(), 10, 1e-9, "cap-bound completion")
+}
+
+func TestFairShareTwoFlows(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	var t1, t2 time.Duration
+	n.StartFlow(500, 0, []*Link{l}, func(f *Flow) { t1 = f.Finished() })
+	n.StartFlow(500, 0, []*Link{l}, func(f *Flow) { t2 = f.Finished() })
+	eng.Run()
+	// Both share 50 B/s until the first finishes; identical sizes finish
+	// together at t = 10 s.
+	approx(t, t1.Seconds(), 10, 1e-6, "flow 1")
+	approx(t, t2.Seconds(), 10, 1e-6, "flow 2")
+}
+
+func TestBandwidthReallocatedAfterDeparture(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	var tShort, tLong time.Duration
+	n.StartFlow(200, 0, []*Link{l}, func(f *Flow) { tShort = f.Finished() })
+	n.StartFlow(600, 0, []*Link{l}, func(f *Flow) { tLong = f.Finished() })
+	eng.Run()
+	// Phase 1: both at 50 B/s. Short finishes at t=4 (200/50). Long has
+	// 600-200=400 left, then runs at 100 B/s: 4 more seconds → t=8.
+	approx(t, tShort.Seconds(), 4, 1e-6, "short flow")
+	approx(t, tLong.Seconds(), 8, 1e-6, "long flow")
+}
+
+func TestLateArrivalSlowsExisting(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	var tFirst time.Duration
+	n.StartFlow(1000, 0, []*Link{l}, func(f *Flow) { tFirst = f.Finished() })
+	eng.Schedule(5*time.Second, func(*sim.Engine) {
+		n.StartFlow(10000, 0, []*Link{l}, nil)
+	})
+	eng.Run()
+	// First 5 s at 100 B/s → 500 B done; remaining 500 B at 50 B/s → 10 s
+	// more → finishes at t=15.
+	approx(t, tFirst.Seconds(), 15, 1e-6, "slowed flow")
+}
+
+func TestMultiLinkPathBottleneck(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	fast := n.AddLink("fast", 1000)
+	slow := n.AddLink("slow", 10)
+	var fin time.Duration
+	n.StartFlow(100, 0, []*Link{fast, slow}, func(f *Flow) { fin = f.Finished() })
+	eng.Run()
+	approx(t, fin.Seconds(), 10, 1e-9, "bottleneck link governs")
+}
+
+func TestMaxMinFairnessCrossTraffic(t *testing.T) {
+	// Classic max-min scenario: flow A crosses links L1 and L2; flow B
+	// only L1; flow C only L2. L1 cap 100, L2 cap 30. A is bound by L2's
+	// fair share (15), B gets the L1 slack (85), C gets 15.
+	eng := sim.New()
+	n := New(eng)
+	l1 := n.AddLink("l1", 100)
+	l2 := n.AddLink("l2", 30)
+	a := n.StartFlow(1e9, 0, []*Link{l1, l2}, nil)
+	b := n.StartFlow(1e9, 0, []*Link{l1}, nil)
+	c := n.StartFlow(1e9, 0, []*Link{l2}, nil)
+	approx(t, a.Rate(), 15, 1e-6, "flow A rate")
+	approx(t, b.Rate(), 85, 1e-6, "flow B rate")
+	approx(t, c.Rate(), 15, 1e-6, "flow C rate")
+}
+
+func TestCancelReleasesBandwidth(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	victim := n.StartFlow(1e6, 0, []*Link{l}, nil)
+	var fin time.Duration
+	n.StartFlow(400, 0, []*Link{l}, func(f *Flow) { fin = f.Finished() })
+	eng.Schedule(2*time.Second, func(*sim.Engine) { victim.Cancel() })
+	eng.Run()
+	// 2 s at 50 B/s → 100 B done; then 300 B at 100 B/s → 3 s → t=5.
+	approx(t, fin.Seconds(), 5, 1e-6, "survivor completion")
+	if victim.State() != FlowCancelled {
+		t.Fatalf("victim state = %v", victim.State())
+	}
+	if l.ActiveFlows() != 0 {
+		t.Fatalf("link still has %d flows", l.ActiveFlows())
+	}
+}
+
+func TestCancelledCallbackNotInvoked(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	called := false
+	f := n.StartFlow(1000, 0, []*Link{l}, func(*Flow) { called = true })
+	f.Cancel()
+	eng.Run()
+	if called {
+		t.Fatal("cancelled flow's callback fired")
+	}
+}
+
+func TestZeroSizeFlowCompletesImmediately(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	done := false
+	f := n.StartFlow(0, 0, []*Link{l}, func(*Flow) { done = true })
+	if !done || f.State() != FlowDone {
+		t.Fatal("zero-size flow did not complete synchronously")
+	}
+	if l.ActiveFlows() != 0 {
+		t.Fatal("zero-size flow left residue on the link")
+	}
+}
+
+func TestZeroCapacityLinkStalls(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("dead", 0)
+	f := n.StartFlow(100, 0, []*Link{l}, nil)
+	eng.RunUntil(time.Hour)
+	if f.State() != FlowActive {
+		t.Fatalf("flow on zero-capacity link should stall, state=%v", f.State())
+	}
+	approx(t, f.Transferred(), 0, 1e-9, "stalled transfer")
+}
+
+func TestCapacityIncreaseResharesFlows(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 10)
+	var fin time.Duration
+	n.StartFlow(100, 0, []*Link{l}, func(f *Flow) { fin = f.Finished() })
+	eng.Schedule(5*time.Second, func(*sim.Engine) {
+		l.SetCapacity(50)
+		n.Reshare()
+	})
+	eng.Run()
+	// 5 s at 10 B/s → 50 B; remaining 50 B at 50 B/s → 1 s → t=6.
+	approx(t, fin.Seconds(), 6, 1e-6, "post-upgrade completion")
+}
+
+func TestTransferredMidFlight(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	f := n.StartFlow(1000, 0, []*Link{l}, nil)
+	eng.RunUntil(3 * time.Second)
+	approx(t, f.Transferred(), 300, 1e-6, "mid-flight progress")
+}
+
+func TestDuplicateLinkPanics(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	n.AddLink("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate link name did not panic")
+		}
+	}()
+	n.AddLink("x", 2)
+}
+
+func TestNegativeFlowSizePanics(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	n.StartFlow(-1, 0, []*Link{l}, nil)
+}
+
+func TestUtilization(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	n.StartFlow(1e6, 30, []*Link{l}, nil)
+	approx(t, l.Utilization(), 0.3, 1e-9, "utilization with one capped flow")
+}
+
+func TestManyFlowsConservation(t *testing.T) {
+	// Total allocated rate on a saturated link must equal its capacity.
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 997)
+	flows := make([]*Flow, 50)
+	for i := range flows {
+		flows[i] = n.StartFlow(1e9, 0, []*Link{l}, nil)
+	}
+	var total float64
+	for _, f := range flows {
+		total += f.Rate()
+	}
+	approx(t, total, 997, 1e-6, "rate conservation")
+	// And fairness: all equal.
+	for _, f := range flows {
+		approx(t, f.Rate(), 997.0/50, 1e-6, "equal shares")
+	}
+}
+
+func TestHeterogeneousCapsWaterFilling(t *testing.T) {
+	// Capacity 100 shared by caps {10, 20, inf, inf}: capped flows take
+	// 10 and 20; the rest split 70 → 35 each.
+	eng := sim.New()
+	n := New(eng)
+	l := n.AddLink("pipe", 100)
+	f1 := n.StartFlow(1e9, 10, []*Link{l}, nil)
+	f2 := n.StartFlow(1e9, 20, []*Link{l}, nil)
+	f3 := n.StartFlow(1e9, 0, []*Link{l}, nil)
+	f4 := n.StartFlow(1e9, 0, []*Link{l}, nil)
+	approx(t, f1.Rate(), 10, 1e-6, "f1")
+	approx(t, f2.Rate(), 20, 1e-6, "f2")
+	approx(t, f3.Rate(), 35, 1e-6, "f3")
+	approx(t, f4.Rate(), 35, 1e-6, "f4")
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"odr/internal/sim"
+)
+
+// Property: whatever the topology and flow set, the max-min allocation
+// (a) never oversubscribes a link, (b) never exceeds a flow's rate cap,
+// and (c) leaves no flow improvable — every unbounded flow crosses at
+// least one saturated link (the defining property of max-min fairness).
+func TestMaxMinAllocationProperties(t *testing.T) {
+	f := func(linkCaps []uint16, flowSpec []uint32) bool {
+		if len(linkCaps) == 0 || len(flowSpec) == 0 {
+			return true
+		}
+		if len(linkCaps) > 12 {
+			linkCaps = linkCaps[:12]
+		}
+		if len(flowSpec) > 64 {
+			flowSpec = flowSpec[:64]
+		}
+		eng := sim.New()
+		n := New(eng)
+		links := make([]*Link, len(linkCaps))
+		for i, c := range linkCaps {
+			links[i] = n.AddLink(fmt.Sprintf("l%d", i), float64(c%5000)+100)
+		}
+		flows := make([]*Flow, 0, len(flowSpec))
+		for _, spec := range flowSpec {
+			a := int(spec) % len(links)
+			b := int(spec>>8) % len(links)
+			path := []*Link{links[a]}
+			if b != a {
+				path = append(path, links[b])
+			}
+			var cap float64 // 0 = unbounded
+			if spec>>16%3 == 0 {
+				cap = float64(spec%977) + 1
+			}
+			flows = append(flows, n.StartFlow(1e12, cap, path, nil))
+		}
+
+		const eps = 1e-6
+		// (a) no link oversubscribed.
+		used := map[*Link]float64{}
+		for _, fl := range flows {
+			seen := map[*Link]bool{}
+			for _, l := range fl.path {
+				if !seen[l] {
+					used[l] += fl.Rate()
+					seen[l] = true
+				}
+			}
+		}
+		for l, u := range used {
+			if u > l.Capacity()*(1+1e-9)+eps {
+				return false
+			}
+		}
+		// (b) caps respected; (c) max-min: every flow is cap-bound or
+		// crosses a saturated link.
+		for _, fl := range flows {
+			if fl.rateCap > 0 && fl.Rate() > fl.rateCap+eps {
+				return false
+			}
+			if !math.IsInf(fl.rateCap, 1) && math.Abs(fl.Rate()-fl.rateCap) < eps {
+				continue // cap-bound
+			}
+			saturated := false
+			for _, l := range fl.path {
+				if used[l] >= l.Capacity()-math.Max(eps, l.Capacity()*1e-9) {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total transferred bytes equal flow sizes once everything
+// completes, whatever the arrival pattern.
+func TestFlowByteConservationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 32 {
+			sizes = sizes[:32]
+		}
+		eng := sim.New()
+		n := New(eng)
+		l := n.AddLink("pipe", 997)
+		var want, got float64
+		for _, sz := range sizes {
+			size := float64(sz%10000) + 1
+			want += size
+			n.StartFlow(size, 0, []*Link{l}, func(fl *Flow) {
+				got += fl.Transferred()
+			})
+		}
+		eng.Run()
+		return math.Abs(want-got) < 1e-3*want+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

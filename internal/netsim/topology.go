@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"fmt"
+
+	"odr/internal/workload"
+)
+
+// Topology models China's Internet structure as the paper describes it
+// (§2.1): a small number of giant per-ISP autonomous systems, each with a
+// fast nationwide backbone, interconnected through constrained peering
+// points — the "ISP barrier". Users hang off their ISP's backbone through
+// individual access links.
+type Topology struct {
+	net       *Network
+	backbones [workload.NumISPs]*Link
+	peering   map[[2]workload.ISP]*Link
+	access    map[int]*Link
+
+	peeringCapacity float64
+}
+
+// NewChinaTopology builds per-ISP backbones of the given capacity and
+// lazily created peering links of peeringCapacity (both bytes/second) —
+// backbones are fast, peering points are the bottleneck.
+func NewChinaTopology(n *Network, backboneCapacity, peeringCapacity float64) *Topology {
+	if backboneCapacity <= 0 || peeringCapacity <= 0 {
+		panic("netsim: topology capacities must be positive")
+	}
+	t := &Topology{
+		net:             n,
+		peering:         make(map[[2]workload.ISP]*Link),
+		access:          make(map[int]*Link),
+		peeringCapacity: peeringCapacity,
+	}
+	for isp := workload.ISP(0); int(isp) < workload.NumISPs; isp++ {
+		t.backbones[isp] = n.AddLink(fmt.Sprintf("backbone/%s", isp), backboneCapacity)
+	}
+	return t
+}
+
+// Backbone returns an ISP's backbone link.
+func (t *Topology) Backbone(isp workload.ISP) *Link { return t.backbones[isp] }
+
+// Peering returns the (lazily created) peering link between two distinct
+// ISPs. The link is direction-agnostic: (a,b) and (b,a) are the same.
+func (t *Topology) Peering(a, b workload.ISP) *Link {
+	if a == b {
+		panic("netsim: no peering link within one ISP")
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]workload.ISP{a, b}
+	l, ok := t.peering[key]
+	if !ok {
+		l = t.net.AddLink(fmt.Sprintf("peering/%s-%s", a, b), t.peeringCapacity)
+		t.peering[key] = l
+	}
+	return l
+}
+
+// AccessLink returns the user's access link, created on first use with
+// the user's access bandwidth as capacity.
+func (t *Topology) AccessLink(u *workload.User) *Link {
+	l, ok := t.access[u.ID]
+	if !ok {
+		l = t.net.AddLink(fmt.Sprintf("access/u%d", u.ID), u.AccessBW)
+		t.access[u.ID] = l
+	}
+	return l
+}
+
+// Path returns the link path from a server in serverISP to the user:
+// server backbone, a peering link when the ISPs differ, the user's
+// backbone, and the user's access link. Crossing the barrier adds the
+// constrained peering hop — the topological cause of Bottleneck 1.
+func (t *Topology) Path(serverISP workload.ISP, u *workload.User) []*Link {
+	if serverISP == u.ISP {
+		return []*Link{t.Backbone(serverISP), t.AccessLink(u)}
+	}
+	return []*Link{
+		t.Backbone(serverISP),
+		t.Peering(serverISP, u.ISP),
+		t.Backbone(u.ISP),
+		t.AccessLink(u),
+	}
+}
+
+// CrossesBarrier reports whether a path from serverISP to the user's ISP
+// traverses a peering point.
+func (t *Topology) CrossesBarrier(serverISP workload.ISP, u *workload.User) bool {
+	return serverISP != u.ISP
+}

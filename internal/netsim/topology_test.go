@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/sim"
+	"odr/internal/workload"
+)
+
+func newTopo(t *testing.T) (*sim.Engine, *Topology) {
+	t.Helper()
+	eng := sim.New()
+	n := New(eng)
+	// Fast backbones, constrained peering — the ISP barrier.
+	return eng, NewChinaTopology(n, 1e9, 1e6)
+}
+
+func user(id int, isp workload.ISP, bw float64) *workload.User {
+	return &workload.User{ID: id, ISP: isp, AccessBW: bw}
+}
+
+func TestIntraISPPathBypassesPeering(t *testing.T) {
+	_, topo := newTopo(t)
+	u := user(1, workload.ISPUnicom, 5e5)
+	path := topo.Path(workload.ISPUnicom, u)
+	if len(path) != 2 {
+		t.Fatalf("intra-ISP path has %d links, want 2", len(path))
+	}
+	if topo.CrossesBarrier(workload.ISPUnicom, u) {
+		t.Fatal("intra-ISP path should not cross the barrier")
+	}
+}
+
+func TestCrossISPPathIncludesPeering(t *testing.T) {
+	_, topo := newTopo(t)
+	u := user(1, workload.ISPTelecom, 5e5)
+	path := topo.Path(workload.ISPUnicom, u)
+	if len(path) != 4 {
+		t.Fatalf("cross-ISP path has %d links, want 4", len(path))
+	}
+	if !topo.CrossesBarrier(workload.ISPUnicom, u) {
+		t.Fatal("cross-ISP path should cross the barrier")
+	}
+}
+
+func TestPeeringSymmetric(t *testing.T) {
+	_, topo := newTopo(t)
+	ab := topo.Peering(workload.ISPUnicom, workload.ISPTelecom)
+	ba := topo.Peering(workload.ISPTelecom, workload.ISPUnicom)
+	if ab != ba {
+		t.Fatal("peering link not direction-agnostic")
+	}
+}
+
+func TestPeeringSameISPPanics(t *testing.T) {
+	_, topo := newTopo(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	topo.Peering(workload.ISPUnicom, workload.ISPUnicom)
+}
+
+func TestAccessLinkMemoized(t *testing.T) {
+	_, topo := newTopo(t)
+	u := user(7, workload.ISPMobile, 3e5)
+	if topo.AccessLink(u) != topo.AccessLink(u) {
+		t.Fatal("access link not memoized")
+	}
+	if topo.AccessLink(u).Capacity() != 3e5 {
+		t.Fatal("access capacity wrong")
+	}
+}
+
+// The ISP barrier in action: an intra-ISP transfer runs at access speed;
+// the same transfer across a congested peering point crawls.
+func TestBarrierDegradesThroughput(t *testing.T) {
+	eng, topo := newTopo(t)
+	n := topo.net
+
+	same := user(1, workload.ISPUnicom, 5e5)
+	cross := user(2, workload.ISPTelecom, 5e5)
+	// Load the peering link with competing cross-ISP flows.
+	for i := 0; i < 9; i++ {
+		other := user(100+i, workload.ISPTelecom, 1e9)
+		n.StartFlow(1e15, 0, topo.Path(workload.ISPUnicom, other), nil)
+	}
+
+	var sameDone, crossDone time.Duration
+	n.StartFlow(5e6, 0, topo.Path(workload.ISPUnicom, same), func(f *Flow) {
+		sameDone = f.Finished()
+	})
+	n.StartFlow(5e6, 0, topo.Path(workload.ISPUnicom, cross), func(f *Flow) {
+		crossDone = f.Finished()
+	})
+	eng.RunUntil(2 * time.Hour)
+	if sameDone == 0 {
+		t.Fatal("intra-ISP transfer never finished")
+	}
+	if crossDone == 0 {
+		t.Fatal("cross-ISP transfer never finished within 2h")
+	}
+	// Intra: 5e6 B at 5e5 B/s = 10 s. Cross: fair share of 1e6/10 flows
+	// = 1e5 B/s → 50 s.
+	if crossDone < 4*sameDone {
+		t.Fatalf("barrier too weak: same=%v cross=%v", sameDone, crossDone)
+	}
+}
+
+func TestTopologyPanicsOnBadCapacities(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChinaTopology(n, 0, 1)
+}

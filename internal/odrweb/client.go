@@ -1,0 +1,87 @@
+package odrweb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+)
+
+// Client talks to an ODR web service. It keeps the service's auxiliary
+// cookie, so Aux only needs to be supplied on the first Decide.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at baseURL. httpClient may be
+// nil; a cookie-jar-equipped default is used.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("odrweb: bad base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("odrweb: base URL %q must be absolute", baseURL)
+	}
+	if httpClient == nil {
+		jar, err := cookiejar.New(nil)
+		if err != nil {
+			return nil, err
+		}
+		httpClient = &http.Client{Jar: jar}
+	}
+	return &Client{base: u.String(), http: httpClient}, nil
+}
+
+// Decide asks ODR where to download link. aux may be nil after the first
+// call (the remembered cookie is used).
+func (c *Client) Decide(ctx context.Context, link string, aux *AuxInfo) (*DecideResponse, error) {
+	body, err := json.Marshal(DecideRequest{Link: link, Aux: aux})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/api/v1/decide", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return nil, fmt.Errorf("odrweb: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("odrweb: HTTP %d", resp.StatusCode)
+	}
+	var out DecideResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks the service's /healthz endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("odrweb: health check HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

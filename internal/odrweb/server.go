@@ -1,0 +1,310 @@
+// Package odrweb exposes the ODR decision engine as a web service, the
+// deployment form of §6.1: users submit the link to an original data
+// source plus auxiliary information (IP-derived ISP, access bandwidth,
+// smart-AP storage type), and ODR answers with a redirection decision.
+// Auxiliary information is remembered in a cookie so users do not retype
+// it (§6.1 footnote). ODR never transfers file content itself, so the
+// service is lightweight enough for a $20/month VM.
+package odrweb
+
+import (
+	"crypto/md5"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"odr/internal/core"
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+// Resolver maps a source link to file metadata (protocol, size,
+// popularity key). Production Xuanfeng resolves links against its content
+// database; tests and demos use a MapResolver.
+type Resolver interface {
+	Resolve(link string) (*workload.FileMeta, error)
+}
+
+// MapResolver resolves links from an in-memory index.
+type MapResolver map[string]*workload.FileMeta
+
+// Resolve implements Resolver.
+func (m MapResolver) Resolve(link string) (*workload.FileMeta, error) {
+	if f, ok := m[link]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("odrweb: unknown source link %q", link)
+}
+
+// NewMapResolver indexes files by their source URL.
+func NewMapResolver(files []*workload.FileMeta) MapResolver {
+	m := make(MapResolver, len(files))
+	for _, f := range files {
+		m[f.SourceURL] = f
+	}
+	return m
+}
+
+// FallbackResolver tries a primary resolver and synthesizes metadata for
+// unknown links: a file nobody has requested yet is, by definition,
+// unpopular and uncached, which is exactly how the production content
+// database treats first-seen links. The protocol is inferred from the
+// link scheme.
+type FallbackResolver struct {
+	Primary Resolver
+}
+
+// Resolve implements Resolver.
+func (r FallbackResolver) Resolve(link string) (*workload.FileMeta, error) {
+	if r.Primary != nil {
+		if f, err := r.Primary.Resolve(link); err == nil {
+			return f, nil
+		}
+	}
+	if link == "" {
+		return nil, errors.New("odrweb: empty link")
+	}
+	return &workload.FileMeta{
+		ID:        md5.Sum([]byte(link)),
+		Protocol:  protocolOf(link),
+		SourceURL: link,
+		// Size and WeeklyRequests stay zero: unknown and unpopular.
+	}, nil
+}
+
+// protocolOf infers the transfer protocol from a link's scheme.
+func protocolOf(link string) workload.Protocol {
+	switch {
+	case strings.HasPrefix(link, "magnet:"):
+		return workload.ProtoBitTorrent
+	case strings.HasPrefix(link, "ed2k:"):
+		return workload.ProtoEMule
+	case strings.HasPrefix(link, "ftp://"):
+		return workload.ProtoFTP
+	default:
+		return workload.ProtoHTTP
+	}
+}
+
+// DecideRequest is the JSON body of POST /api/v1/decide.
+type DecideRequest struct {
+	// Link is the HTTP/FTP/P2P link to the original data source.
+	Link string `json:"link"`
+	// Aux is the auxiliary information; omitted fields fall back to the
+	// remembered cookie.
+	Aux *AuxInfo `json:"aux,omitempty"`
+}
+
+// AuxInfo is the user-supplied context of §6.1.
+type AuxInfo struct {
+	ISP       string  `json:"isp"`
+	AccessBW  float64 `json:"access_bw"` // bytes/second
+	HasAP     bool    `json:"has_ap"`
+	APStorage string  `json:"ap_storage,omitempty"` // e.g. "usb-flash"
+	APFS      string  `json:"ap_fs,omitempty"`      // e.g. "ntfs"
+	APCPUGHz  float64 `json:"ap_cpu_ghz,omitempty"`
+}
+
+// DecideResponse is the JSON answer.
+type DecideResponse struct {
+	Route     string `json:"route"`
+	Source    string `json:"source"`
+	Reason    string `json:"reason"`
+	Addresses []int  `json:"addresses"`
+	// Band and Cached echo what ODR learned from the content database.
+	Band   string `json:"band"`
+	Cached bool   `json:"cached"`
+}
+
+// ErrorResponse is the JSON error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// auxCookie is the cookie remembering auxiliary information.
+const auxCookie = "odr_aux"
+
+// Server is the ODR web service.
+type Server struct {
+	advisor  *core.Advisor
+	resolver Resolver
+	mux      *http.ServeMux
+	logger   *log.Logger
+	started  time.Time
+}
+
+// NewServer assembles the service. logger may be nil to disable logging.
+func NewServer(advisor *core.Advisor, resolver Resolver, logger *log.Logger) *Server {
+	if advisor == nil || resolver == nil {
+		panic("odrweb: nil advisor or resolver")
+	}
+	s := &Server{
+		advisor:  advisor,
+		resolver: resolver,
+		logger:   logger,
+		started:  time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/decide", s.handleDecide)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).String(),
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html>
+<html><head><title>ODR — Offline Downloading Redirector</title></head>
+<body>
+<h1>ODR — Offline Downloading Redirector</h1>
+<p>POST a JSON body to <code>/api/v1/decide</code> with your download link
+and auxiliary information; ODR answers with the backend expected to give
+the best offline-downloading experience (cloud, smart AP, your own device,
+or cloud+AP).</p>
+</body></html>`)
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req DecideRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	if req.Link == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing link"})
+		return
+	}
+	aux := req.Aux
+	if aux == nil {
+		var err error
+		aux, err = auxFromCookie(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				ErrorResponse{Error: "no auxiliary info supplied and no remembered cookie"})
+			return
+		}
+	}
+	in, err := buildInput(aux)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	file, err := s.resolver.Resolve(req.Link)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		return
+	}
+	in.Protocol = file.Protocol
+	in.Band = s.advisor.DB.Band(file.ID)
+	in.Cached = s.advisor.Cache.Contains(file.ID)
+
+	dec := core.Decide(in)
+	s.logf("decide link=%s band=%v cached=%v -> %v from %v",
+		req.Link, in.Band, in.Cached, dec.Route, dec.Source)
+
+	// Remember the auxiliary info for next time.
+	if req.Aux != nil {
+		setAuxCookie(w, req.Aux)
+	}
+	writeJSON(w, http.StatusOK, DecideResponse{
+		Route:     dec.Route.String(),
+		Source:    dec.Source.String(),
+		Reason:    dec.Reason,
+		Addresses: dec.Addresses,
+		Band:      in.Band.String(),
+		Cached:    in.Cached,
+	})
+}
+
+// buildInput validates and converts auxiliary info into a decision input
+// (without the file-dependent fields).
+func buildInput(aux *AuxInfo) (core.Input, error) {
+	var in core.Input
+	isp, err := workload.ParseISP(aux.ISP)
+	if err != nil {
+		return in, err
+	}
+	if aux.AccessBW <= 0 {
+		return in, errors.New("odrweb: access_bw must be positive")
+	}
+	in.ISP = isp
+	in.AccessBW = aux.AccessBW
+	if aux.HasAP {
+		devType, err := storage.ParseDeviceType(aux.APStorage)
+		if err != nil {
+			return in, err
+		}
+		fs, err := storage.ParseFilesystem(aux.APFS)
+		if err != nil {
+			return in, err
+		}
+		if aux.APCPUGHz <= 0 {
+			return in, errors.New("odrweb: ap_cpu_ghz must be positive when has_ap")
+		}
+		in.HasAP = true
+		in.APStorage = storage.Device{Type: devType, FS: fs}
+		in.APCPUGHz = aux.APCPUGHz
+	}
+	return in, nil
+}
+
+func setAuxCookie(w http.ResponseWriter, aux *AuxInfo) {
+	raw, err := json.Marshal(aux)
+	if err != nil {
+		return // best effort; the cookie is a convenience
+	}
+	http.SetCookie(w, &http.Cookie{
+		Name:     auxCookie,
+		Value:    base64.URLEncoding.EncodeToString(raw),
+		Path:     "/",
+		MaxAge:   int((30 * 24 * time.Hour).Seconds()),
+		HttpOnly: true,
+	})
+}
+
+func auxFromCookie(r *http.Request) (*AuxInfo, error) {
+	c, err := r.Cookie(auxCookie)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := base64.URLEncoding.DecodeString(c.Value)
+	if err != nil {
+		return nil, err
+	}
+	var aux AuxInfo
+	if err := json.Unmarshal(raw, &aux); err != nil {
+		return nil, err
+	}
+	return &aux, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,272 @@
+package odrweb
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"odr/internal/core"
+	"odr/internal/workload"
+)
+
+// testFiles builds a small content universe.
+func testFiles() []*workload.FileMeta {
+	return []*workload.FileMeta{
+		{
+			ID: workload.FileIDFromIndex(1), Size: 700 << 20,
+			Class: workload.ClassVideo, Protocol: workload.ProtoBitTorrent,
+			SourceURL: "magnet:?xt=urn:btih:hot", WeeklyRequests: 900,
+		},
+		{
+			ID: workload.FileIDFromIndex(2), Size: 200 << 20,
+			Class: workload.ClassVideo, Protocol: workload.ProtoHTTP,
+			SourceURL: "http://origin/rare.mkv", WeeklyRequests: 2,
+		},
+		{
+			ID: workload.FileIDFromIndex(3), Size: 300 << 20,
+			Class: workload.ClassSoftware, Protocol: workload.ProtoHTTP,
+			SourceURL: "http://origin/hot.iso", WeeklyRequests: 500,
+		},
+	}
+}
+
+type cacheSet map[workload.FileID]bool
+
+func (c cacheSet) Contains(id workload.FileID) bool { return c[id] }
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	files := testFiles()
+	advisor := &core.Advisor{
+		DB:    core.NewStaticDB(files),
+		Cache: cacheSet{files[1].ID: true},
+	}
+	srv := httptest.NewServer(NewServer(advisor, NewMapResolver(files), nil))
+	t.Cleanup(srv.Close)
+	client, err := NewClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, client
+}
+
+func goodAux() *AuxInfo {
+	return &AuxInfo{
+		ISP: "unicom", AccessBW: 2.5 * 1024 * 1024,
+		HasAP: true, APStorage: "sata-hdd", APFS: "ext4", APCPUGHz: 1.0,
+	}
+}
+
+func TestDecideHighlyPopularP2P(t *testing.T) {
+	_, c := newTestServer(t)
+	resp, err := c.Decide(context.Background(), "magnet:?xt=urn:btih:hot", goodAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != "original" {
+		t.Fatalf("source = %s, want original", resp.Source)
+	}
+	if resp.Route != "smart-ap" {
+		t.Fatalf("route = %s, want smart-ap", resp.Route)
+	}
+	if resp.Band != "highly-popular" {
+		t.Fatalf("band = %s", resp.Band)
+	}
+	if resp.Reason == "" {
+		t.Fatal("missing reason")
+	}
+}
+
+func TestDecideCachedUnpopular(t *testing.T) {
+	_, c := newTestServer(t)
+	resp, err := c.Decide(context.Background(), "http://origin/rare.mkv", goodAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("file should be cached")
+	}
+	if resp.Route != "cloud" {
+		t.Fatalf("route = %s, want cloud", resp.Route)
+	}
+}
+
+func TestDecideHighlyPopularHTTPUsesCloud(t *testing.T) {
+	_, c := newTestServer(t)
+	resp, err := c.Decide(context.Background(), "http://origin/hot.iso", goodAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != "cloud" {
+		t.Fatalf("source = %s, want cloud", resp.Source)
+	}
+}
+
+func TestDecideBottleneck4RoutesToUserDevice(t *testing.T) {
+	_, c := newTestServer(t)
+	aux := goodAux()
+	aux.APStorage = "usb-flash"
+	aux.APFS = "ntfs"
+	aux.APCPUGHz = 0.58
+	resp, err := c.Decide(context.Background(), "magnet:?xt=urn:btih:hot", aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Route != "user-device" {
+		t.Fatalf("route = %s, want user-device (Bottleneck 4)", resp.Route)
+	}
+}
+
+func TestCookieRemembersAux(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Decide(context.Background(), "http://origin/rare.mkv", goodAux()); err != nil {
+		t.Fatal(err)
+	}
+	// Second call with nil aux: the cookie must carry it.
+	resp, err := c.Decide(context.Background(), "http://origin/rare.mkv", nil)
+	if err != nil {
+		t.Fatalf("cookie-based decide failed: %v", err)
+	}
+	if resp.Route != "cloud" {
+		t.Fatalf("route = %s", resp.Route)
+	}
+}
+
+func TestDecideWithoutAuxOrCookieFails(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Decide(context.Background(), "http://origin/rare.mkv", nil); err == nil {
+		t.Fatal("expected error without aux or cookie")
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	_, c := newTestServer(t)
+	cases := []*AuxInfo{
+		{ISP: "marsnet", AccessBW: 1000},                                                  // bad ISP
+		{ISP: "unicom", AccessBW: 0},                                                      // bad bandwidth
+		{ISP: "unicom", AccessBW: 1000, HasAP: true, APStorage: "tape"},                   // bad device
+		{ISP: "unicom", AccessBW: 1000, HasAP: true, APStorage: "usb-flash", APFS: "zfs"}, // bad fs
+		{ISP: "unicom", AccessBW: 1000, HasAP: true, APStorage: "usb-flash", APFS: "fat"}, // no CPU
+	}
+	for i, aux := range cases {
+		if _, err := c.Decide(context.Background(), "http://origin/rare.mkv", aux); err == nil {
+			t.Errorf("case %d: invalid aux accepted", i)
+		}
+	}
+}
+
+func TestDecideUnknownLink(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Decide(context.Background(), "http://nowhere/x", goodAux()); err == nil {
+		t.Fatal("unknown link should 404")
+	}
+}
+
+func TestDecideMalformedBody(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/api/v1/decide", "application/json",
+		strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, c := newTestServer(t)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type = %s", ct)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/api/v1/decide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient("not a url", nil); err == nil {
+		t.Fatal("relative URL accepted")
+	}
+	if _, err := NewClient("/relative", nil); err == nil {
+		t.Fatal("relative URL accepted")
+	}
+}
+
+func TestNewServerPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewServer(nil, nil, nil)
+}
+
+func TestFallbackResolver(t *testing.T) {
+	files := testFiles()
+	r := FallbackResolver{Primary: NewMapResolver(files)}
+	// Known links resolve to the primary's metadata.
+	f, err := r.Resolve(files[0].SourceURL)
+	if err != nil || f != files[0] {
+		t.Fatalf("primary resolution failed: %v", err)
+	}
+	// Unknown links synthesize first-seen metadata.
+	cases := map[string]workload.Protocol{
+		"magnet:?xt=urn:btih:deadbeef": workload.ProtoBitTorrent,
+		"ed2k://|file|x|":              workload.ProtoEMule,
+		"ftp://host/file":              workload.ProtoFTP,
+		"http://host/file":             workload.ProtoHTTP,
+	}
+	for link, proto := range cases {
+		f, err := r.Resolve(link)
+		if err != nil {
+			t.Fatalf("%s: %v", link, err)
+		}
+		if f.Protocol != proto {
+			t.Errorf("%s: protocol %v, want %v", link, f.Protocol, proto)
+		}
+		if f.WeeklyRequests != 0 {
+			t.Errorf("%s: first-seen file must be unpopular", link)
+		}
+	}
+	// Distinct links get distinct IDs; the same link is stable.
+	a, _ := r.Resolve("http://host/a")
+	b, _ := r.Resolve("http://host/b")
+	a2, _ := r.Resolve("http://host/a")
+	if a.ID == b.ID {
+		t.Error("distinct links share an ID")
+	}
+	if a.ID != a2.ID {
+		t.Error("same link resolved to different IDs")
+	}
+	if _, err := r.Resolve(""); err == nil {
+		t.Error("empty link accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package ratelimit provides a token-bucket rate limiter and an io.Reader
+// wrapper that throttles transfers to a byte rate — the mechanism the
+// replay harness's real downloads use to reproduce each request's recorded
+// access bandwidth (§5.1), and the building block for LEDBAT-style
+// background transfers.
+package ratelimit
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter: tokens accrue at Rate per second
+// up to Burst, and Take blocks until the requested tokens are available.
+// Bucket is safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+	sleep  func(time.Duration)
+}
+
+// NewBucket returns a bucket producing rate tokens/second with the given
+// burst capacity. It starts full. Rate and burst must be positive.
+func NewBucket(rate, burst float64) *Bucket {
+	if rate <= 0 || burst <= 0 {
+		panic("ratelimit: rate and burst must be positive")
+	}
+	b := &Bucket{
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+	b.last = b.now()
+	return b
+}
+
+// Rate returns the refill rate in tokens/second.
+func (b *Bucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// SetRate changes the refill rate, settling accrued tokens first. Rate
+// must be positive.
+func (b *Bucket) SetRate(rate float64) {
+	if rate <= 0 {
+		panic("ratelimit: rate must be positive")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	b.rate = rate
+}
+
+// refill accrues tokens since the last settlement. Caller holds mu.
+func (b *Bucket) refill() {
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// TryTake removes n tokens if available without blocking, reporting
+// whether it succeeded.
+func (b *Bucket) TryTake(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Take blocks until n tokens are available or the context is done. Taking
+// more than the burst size in one call is an error (it would never
+// complete).
+func (b *Bucket) Take(ctx context.Context, n float64) error {
+	if n > b.burstSize() {
+		return errors.New("ratelimit: request exceeds burst capacity")
+	}
+	for {
+		b.mu.Lock()
+		b.refill()
+		if b.tokens >= n {
+			b.tokens -= n
+			b.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-after(b, wait):
+		}
+	}
+}
+
+func (b *Bucket) burstSize() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.burst
+}
+
+// after sleeps via the bucket's injectable sleeper but still honors
+// context cancellation through the Take select.
+func after(b *Bucket, d time.Duration) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		b.sleep(d)
+		close(ch)
+	}()
+	return ch
+}
+
+// Reader throttles an io.Reader to the bucket's rate: each Read takes as
+// many tokens as bytes delivered.
+type Reader struct {
+	r      io.Reader
+	bucket *Bucket
+	ctx    context.Context
+}
+
+// NewReader wraps r so reads consume tokens from bucket. The context
+// cancels blocked reads.
+func NewReader(ctx context.Context, r io.Reader, bucket *Bucket) *Reader {
+	if bucket == nil {
+		panic("ratelimit: nil bucket")
+	}
+	return &Reader{r: r, bucket: bucket, ctx: ctx}
+}
+
+// Read implements io.Reader with throttling. Reads are chunked to the
+// burst size so a large buffer cannot dodge the limiter.
+func (t *Reader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return t.r.Read(p)
+	}
+	max := int(math.Max(1, t.bucket.burstSize()))
+	if len(p) > max {
+		p = p[:max]
+	}
+	n, err := t.r.Read(p)
+	if n > 0 {
+		if terr := t.bucket.Take(t.ctx, float64(n)); terr != nil {
+			return n, terr
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,220 @@
+package ratelimit
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock makes bucket behavior deterministic: sleep advances time.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func fakeBucket(rate, burst float64) (*Bucket, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBucket(rate, burst)
+	b.now = clk.Now
+	b.sleep = clk.Sleep
+	b.last = clk.Now()
+	return b, clk
+}
+
+func TestNewBucketPanics(t *testing.T) {
+	for _, c := range []struct{ r, b float64 }{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBucket(%g,%g) did not panic", c.r, c.b)
+				}
+			}()
+			NewBucket(c.r, c.b)
+		}()
+	}
+}
+
+func TestTryTakeFromFullBucket(t *testing.T) {
+	b, _ := fakeBucket(10, 100)
+	if !b.TryTake(100) {
+		t.Fatal("full bucket refused its burst")
+	}
+	if b.TryTake(1) {
+		t.Fatal("empty bucket granted a token")
+	}
+}
+
+func TestRefillOverTime(t *testing.T) {
+	b, clk := fakeBucket(10, 100)
+	b.TryTake(100)
+	clk.Sleep(5 * time.Second) // 50 tokens accrue
+	if !b.TryTake(50) {
+		t.Fatal("50 tokens should have accrued after 5 s at 10/s")
+	}
+	if b.TryTake(1) {
+		t.Fatal("bucket should be empty again")
+	}
+}
+
+func TestRefillCapsAtBurst(t *testing.T) {
+	b, clk := fakeBucket(10, 100)
+	b.TryTake(100)
+	clk.Sleep(time.Hour)
+	if b.TryTake(101) {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+	if !b.TryTake(100) {
+		t.Fatal("bucket should be full")
+	}
+}
+
+func TestTakeBlocksUntilAvailable(t *testing.T) {
+	b, clk := fakeBucket(10, 100)
+	b.TryTake(100)
+	start := clk.Now()
+	if err := b.Take(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now().Sub(start)
+	if elapsed < 1900*time.Millisecond {
+		t.Fatalf("Take(20) at 10/s returned after %v, want ≈2 s", elapsed)
+	}
+}
+
+func TestTakeOverBurstErrors(t *testing.T) {
+	b, _ := fakeBucket(10, 100)
+	if err := b.Take(context.Background(), 101); err == nil {
+		t.Fatal("Take above burst must error")
+	}
+}
+
+func TestTakeHonorsContext(t *testing.T) {
+	// Real clock here: cancellation must win over a long sleep.
+	b := NewBucket(0.001, 10)
+	b.TryTake(10)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := b.Take(ctx, 10); err == nil {
+		t.Fatal("cancelled Take returned nil")
+	}
+}
+
+func TestSetRate(t *testing.T) {
+	b, clk := fakeBucket(10, 100)
+	b.TryTake(100)
+	b.SetRate(1000)
+	clk.Sleep(100 * time.Millisecond) // 100 tokens at the new rate
+	if !b.TryTake(100) {
+		t.Fatal("rate change not applied")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetRate(0) did not panic")
+			}
+		}()
+		b.SetRate(0)
+	}()
+}
+
+func TestReaderDeliversAllBytes(t *testing.T) {
+	b, _ := fakeBucket(1e6, 1e6)
+	src := strings.NewReader(strings.Repeat("x", 10000))
+	r := NewReader(context.Background(), src, b)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10000 {
+		t.Fatalf("read %d bytes", len(got))
+	}
+}
+
+func TestReaderThrottles(t *testing.T) {
+	b, clk := fakeBucket(1000, 1000) // 1000 B/s
+	src := bytes.NewReader(make([]byte, 3000))
+	r := NewReader(context.Background(), src, b)
+	start := clk.Now()
+	if _, err := io.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	// 3000 bytes at 1000 B/s with a 1000-token initial burst ≈ 2 s.
+	elapsed := clk.Now().Sub(start)
+	if elapsed < 1500*time.Millisecond {
+		t.Fatalf("3000 B at 1000 B/s finished in %v, want ≈2 s", elapsed)
+	}
+}
+
+func TestReaderChunksToBurst(t *testing.T) {
+	b, _ := fakeBucket(1e6, 64)
+	src := bytes.NewReader(make([]byte, 1000))
+	r := NewReader(context.Background(), src, b)
+	buf := make([]byte, 512)
+	n, err := r.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 64 {
+		t.Fatalf("read %d bytes in one call, burst is 64", n)
+	}
+}
+
+func TestReaderNilBucketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReader(context.Background(), strings.NewReader(""), nil)
+}
+
+func TestReaderEmptyBuffer(t *testing.T) {
+	b, _ := fakeBucket(1, 1)
+	r := NewReader(context.Background(), strings.NewReader("abc"), b)
+	n, err := r.Read(nil)
+	if n != 0 || err != nil {
+		t.Fatalf("Read(nil) = %d, %v", n, err)
+	}
+}
+
+func TestConcurrentTryTake(t *testing.T) {
+	// A negligible refill rate: only the initial burst is available, so
+	// concurrent drainers must collectively get exactly ≈1000 tokens.
+	b := NewBucket(1e-9, 1000)
+	var wg sync.WaitGroup
+	granted := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b.TryTake(1) {
+				granted[i]++
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, g := range granted {
+		total += g
+	}
+	if total != 1000 {
+		t.Fatalf("granted %d tokens from a 1000-burst bucket, want 1000", total)
+	}
+}

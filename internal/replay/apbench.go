@@ -1,0 +1,206 @@
+// Package replay implements the paper's two replay methodologies: the
+// §5.1 smart-AP benchmark (a 1000-request Unicom sample split across the
+// three APs and replayed sequentially under each request's recorded access
+// bandwidth) and the §6.2 ODR evaluation (the same sample replayed through
+// the ODR decision procedure against a warmed cloud).
+package replay
+
+import (
+	"time"
+
+	"odr/internal/dist"
+	"odr/internal/smartap"
+	"odr/internal/sources"
+	"odr/internal/stats"
+	"odr/internal/workload"
+)
+
+// EnvCap is the benchmark environment's 20 Mbps ADSL ceiling: no replayed
+// transfer can beat it (§5.1, Figure 17's max).
+const EnvCap = 2.5 * 1024 * 1024
+
+// APTask is one replayed request on one AP.
+type APTask struct {
+	Request workload.Request
+	APName  string
+	Result  smartap.Result
+	// B4Exposed reports whether the task ran on an AP whose storage
+	// write ceiling sits below the usable access bandwidth — the
+	// precondition for Bottleneck 4.
+	B4Exposed bool
+}
+
+// APBench is the outcome of the §5 benchmark.
+type APBench struct {
+	Tasks []APTask
+}
+
+// RunAPBenchmark replays the sample across the given APs (round-robin,
+// sequentially per AP, as in §5.1) with each request throttled to its
+// user's recorded access bandwidth and the environment's ADSL ceiling.
+func RunAPBenchmark(sample []workload.Request, aps []*smartap.AP, seed uint64) *APBench {
+	if len(aps) == 0 {
+		panic("replay: RunAPBenchmark needs at least one AP")
+	}
+	g := dist.NewRNG(seed).Split("ap-bench")
+	b := &APBench{Tasks: make([]APTask, 0, len(sample))}
+	for i, req := range sample {
+		ap := aps[i%len(aps)]
+		bw := req.User.AccessBW
+		if bw > EnvCap {
+			bw = EnvCap
+		}
+		res := ap.PreDownload(g, req.File, bw)
+		b.Tasks = append(b.Tasks, APTask{
+			Request:   req,
+			APName:    ap.Spec().Name,
+			Result:    res,
+			B4Exposed: ap.StorageThroughput() < bw,
+		})
+	}
+	return b
+}
+
+// B4ExposedRatio returns the fraction of tasks exposed to Bottleneck 4:
+// routed to an AP whose storage write ceiling is below the usable access
+// bandwidth.
+func (b *APBench) B4ExposedRatio() float64 {
+	if len(b.Tasks) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range b.Tasks {
+		if t.B4Exposed {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b.Tasks))
+}
+
+// FailureRatio returns the overall pre-downloading failure ratio
+// (§5.2: ≈16.8 %).
+func (b *APBench) FailureRatio() float64 {
+	if len(b.Tasks) == 0 {
+		return 0
+	}
+	fails := 0
+	for _, t := range b.Tasks {
+		if !t.Result.Success {
+			fails++
+		}
+	}
+	return float64(fails) / float64(len(b.Tasks))
+}
+
+// UnpopularFailureRatio returns the failure ratio restricted to unpopular
+// files (§5.2: ≈42 %).
+func (b *APBench) UnpopularFailureRatio() float64 {
+	var fails, total int
+	for _, t := range b.Tasks {
+		if t.Request.File.Band() != workload.BandUnpopular {
+			continue
+		}
+		total++
+		if !t.Result.Success {
+			fails++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(fails) / float64(total)
+}
+
+// CauseBreakdown returns the share of failures per cause (§5.2: ≈86 %
+// insufficient seeds, ≈10 % poor HTTP/FTP connections, ≈4 % client bugs).
+func (b *APBench) CauseBreakdown() map[string]float64 {
+	counts := map[string]int{}
+	total := 0
+	for _, t := range b.Tasks {
+		if t.Result.Success {
+			continue
+		}
+		counts[t.Result.Cause]++
+		total++
+	}
+	out := make(map[string]float64, len(counts))
+	for c, n := range counts {
+		out[c] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// Speeds returns the pre-downloading speed sample in bytes/second,
+// including failures at 0 (Figure 13's CDF has min 0).
+func (b *APBench) Speeds() *stats.Sample {
+	s := stats.NewSample(len(b.Tasks))
+	for _, t := range b.Tasks {
+		s.Add(t.Result.Rate)
+	}
+	return s
+}
+
+// Delays returns the pre-downloading delay sample in minutes over
+// successful tasks (Figure 14).
+func (b *APBench) Delays() *stats.Sample {
+	s := stats.NewSample(len(b.Tasks))
+	for _, t := range b.Tasks {
+		if t.Result.Success {
+			s.Add(t.Result.Delay.Minutes())
+		}
+	}
+	return s
+}
+
+// StorageBoundRatio returns the fraction of successful pre-downloads whose
+// binding constraint was the storage write path (Bottleneck 4 exposure).
+func (b *APBench) StorageBoundRatio() float64 {
+	var bound, ok int
+	for _, t := range b.Tasks {
+		if !t.Result.Success {
+			continue
+		}
+		ok++
+		if t.Result.StorageBound {
+			bound++
+		}
+	}
+	if ok == 0 {
+		return 0
+	}
+	return float64(bound) / float64(ok)
+}
+
+// MeanIOWait returns the average iowait ratio over successful tasks.
+func (b *APBench) MeanIOWait() float64 {
+	var sum float64
+	var n int
+	for _, t := range b.Tasks {
+		if t.Result.Success {
+			sum += t.Result.IOWait
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// sourceDownload is a direct download on the user's own device (a full
+// P2P client): bounded by the source, the user's access link, and the
+// environment ceiling.
+func sourceDownload(g *dist.RNG, src *sources.Mix, file *workload.FileMeta, accessBW float64) (ok bool, rate float64, delay time.Duration, cause string) {
+	att := src.AttemptFull(g, file)
+	if !att.OK {
+		return false, 0, smartap.StagnationTimeout, att.Cause.String()
+	}
+	r := att.Rate
+	if accessBW < r {
+		r = accessBW
+	}
+	if r > EnvCap {
+		r = EnvCap
+	}
+	return true, r, time.Duration(float64(file.Size) / r * float64(time.Second)), ""
+}

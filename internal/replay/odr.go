@@ -1,0 +1,498 @@
+package replay
+
+import (
+	"math"
+	"time"
+
+	"odr/internal/cloud"
+	"odr/internal/core"
+	"odr/internal/dist"
+	"odr/internal/smartap"
+	"odr/internal/sources"
+	"odr/internal/stats"
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+// bestStorage is the ideal AP storage configuration, used by the
+// storage-signal ablation.
+var bestStorage = storage.Device{Type: storage.SATAHDD, FS: storage.EXT4}
+
+// MiniCloud is a closed-form stand-in for the Xuanfeng cloud used by the
+// replay experiments: a warmed deduplicating pool, the shared fetch-path
+// model, and source attempts for cache misses. A 1000-request replay does
+// not stress cloud admission, so upload-pool bookkeeping reduces to byte
+// accounting.
+type MiniCloud struct {
+	pool *cloud.StoragePool
+	fm   cloud.FetchModel
+	src  *sources.Mix
+	g    *dist.RNG
+
+	// BytesServed accumulates cloud-upload bytes, split by whether the
+	// file was highly popular (the Bottleneck 2 ledger).
+	BytesServed   float64
+	BytesServedHP float64
+}
+
+// ReplayWarmProbs is the probability that a file of each popularity band
+// is cached at the moment a replayed request arrives. Unlike the week
+// simulation's cold-start per-file warm probabilities, these are
+// steady-state per-request hit rates: the production cloud keeps serving
+// its full workload during the replay weeks, so a random request sees the
+// long-run cache state (≈89 % hits overall, ≈70 % for unpopular files).
+var ReplayWarmProbs = [3]float64{0.70, 0.97, 0.998}
+
+// NewMiniCloud builds a warmed mini cloud over the file population.
+func NewMiniCloud(files []*workload.FileMeta, cfg cloud.Config, seed uint64) *MiniCloud {
+	g := dist.NewRNG(seed).Split("mini-cloud")
+	mc := &MiniCloud{
+		pool: cloud.NewStoragePool(cfg.PoolCapacity),
+		fm:   cloud.NewFetchModel(cfg),
+		src:  sources.NewMix(),
+		g:    g,
+	}
+	warm := g.Split("warm")
+	for _, f := range files {
+		if warm.Bool(ReplayWarmProbs[f.Band()]) {
+			mc.pool.Add(f.ID, f.Size)
+		}
+	}
+	return mc
+}
+
+// Contains implements core.CacheProbe.
+func (mc *MiniCloud) Contains(id workload.FileID) bool { return mc.pool.Contains(id) }
+
+// PreDownload runs the cloud pre-download path for a cache miss. On
+// success the file joins the pool.
+func (mc *MiniCloud) PreDownload(file *workload.FileMeta) (ok bool, delay time.Duration, cause string) {
+	att := mc.src.Attempt(mc.g, file)
+	if !att.OK {
+		return false, time.Hour, att.Cause.String()
+	}
+	rate := math.Min(att.Rate, cloud.PreDownloaderBW)
+	mc.pool.Add(file.ID, file.Size)
+	return true, time.Duration(float64(file.Size) / rate * float64(time.Second)), ""
+}
+
+// Fetch serves one user fetch from the cloud, charging the upload ledger.
+// The returned rate is capped by the replay environment.
+func (mc *MiniCloud) Fetch(user *workload.User, file *workload.FileMeta) float64 {
+	privRate, crossRate, _ := mc.fm.Sample(mc.g, user)
+	rate := privRate
+	if !user.ISP.Supported() {
+		rate = crossRate
+	}
+	if rate > EnvCap {
+		rate = EnvCap
+	}
+	mc.BytesServed += float64(file.Size)
+	if file.Band() == workload.BandHighlyPopular {
+		mc.BytesServedHP += float64(file.Size)
+	}
+	return rate
+}
+
+// ODRTask is one request replayed through ODR.
+type ODRTask struct {
+	Request  workload.Request
+	Decision core.Decision
+	// Success reports whether the file was ultimately obtained.
+	Success bool
+	// Cause classifies a failure.
+	Cause string
+	// PerceivedRate is the user-perceived fetch/download speed in
+	// bytes/second — the quantity Figure 17 plots (0 on failure).
+	PerceivedRate float64
+	// PreDelay is time spent before the user-facing fetch could start
+	// (cloud or AP pre-downloading).
+	PreDelay time.Duration
+	// CloudBytes is upload traffic charged to the cloud by this task.
+	CloudBytes float64
+	// StorageBound reports whether AP storage capped the transfer
+	// (Bottleneck 4 residue; should be ≈0 under ODR).
+	StorageBound bool
+	// B4Exposed reports whether the task was routed onto an AP whose
+	// storage ceiling sits below the usable access bandwidth.
+	B4Exposed bool
+}
+
+// Impeded reports whether the user-perceived speed fell below the
+// 125 KBps HD threshold.
+func (t *ODRTask) Impeded() bool {
+	return !t.Success || t.PerceivedRate < core.HDThreshold
+}
+
+// ODRResult is the outcome of a §6.2 replay.
+type ODRResult struct {
+	Tasks []ODRTask
+	Cloud *MiniCloud
+}
+
+// Options tunes an ODR replay.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// CloudScale sizes the mini cloud (pool capacity, warm probabilities
+	// use cloud defaults at this scale).
+	CloudScale float64
+	// DisablePopularitySignal makes ODR treat every file as not highly
+	// popular (ablation: Bottleneck 2/3 logic off).
+	DisablePopularitySignal bool
+	// DisableISPSignal makes ODR treat every user as barrier-free
+	// (ablation: Bottleneck 1 logic off).
+	DisableISPSignal bool
+	// DisableStorageSignal makes ODR ignore AP storage restrictions
+	// (ablation: Bottleneck 4 logic off).
+	DisableStorageSignal bool
+}
+
+// RunODR replays the sample through the ODR decision procedure. Each
+// request's user owns the AP it was assigned in the §5.1 environment
+// (round-robin over aps).
+func RunODR(sample []workload.Request, files []*workload.FileMeta,
+	aps []*smartap.AP, opts Options) *ODRResult {
+	if len(aps) == 0 {
+		panic("replay: RunODR needs at least one AP")
+	}
+	if opts.CloudScale <= 0 {
+		opts.CloudScale = float64(len(files)) / cloud.FullScaleFiles
+	}
+	cfg := cloud.DefaultConfig(opts.CloudScale, opts.Seed)
+	mc := NewMiniCloud(files, cfg, opts.Seed)
+	db := core.NewStaticDB(files)
+	advisor := &core.Advisor{DB: db, Cache: mc}
+	g := dist.NewRNG(opts.Seed).Split("odr-replay")
+	src := sources.NewMix()
+
+	res := &ODRResult{Tasks: make([]ODRTask, 0, len(sample)), Cloud: mc}
+	for i, req := range sample {
+		ap := aps[i%len(aps)]
+		task := runOne(req, ap, advisor, mc, src, g, opts)
+		res.Tasks = append(res.Tasks, task)
+	}
+	return res
+}
+
+func runOne(req workload.Request, ap *smartap.AP, advisor *core.Advisor,
+	mc *MiniCloud, src *sources.Mix, g *dist.RNG, opts Options) ODRTask {
+	user, file := req.User, req.File
+	apInfo := &core.APInfo{Storage: ap.Device(), CPUGHz: ap.Spec().CPUGHz}
+
+	in := core.Input{
+		Protocol:  file.Protocol,
+		Band:      advisor.DB.Band(file.ID),
+		Cached:    mc.Contains(file.ID),
+		ISP:       user.ISP,
+		AccessBW:  user.AccessBW,
+		HasAP:     true,
+		APStorage: apInfo.Storage,
+		APCPUGHz:  apInfo.CPUGHz,
+	}
+	applyAblations(&in, opts)
+	dec := core.Decide(in)
+	task := ODRTask{Request: req, Decision: dec}
+
+	switch dec.Route {
+	case core.RouteUserDevice:
+		ok, rate, delay, cause := sourceDownload(g, src, file, user.AccessBW)
+		task.Success = ok
+		task.PerceivedRate = rate
+		task.Cause = cause
+		if !ok {
+			task.PreDelay = delay
+		}
+
+	case core.RouteSmartAP:
+		r := ap.PreDownload(g, file, math.Min(user.AccessBW, EnvCap))
+		task.Success = r.Success
+		task.Cause = r.Cause
+		task.PreDelay = r.Delay
+		task.StorageBound = r.StorageBound
+		task.B4Exposed = ap.StorageThroughput() < math.Min(user.AccessBW, EnvCap)
+		if r.Success {
+			_, lan := ap.LANFetch(g, file.Size)
+			task.PerceivedRate = math.Min(lan, EnvCap)
+		}
+
+	case core.RouteCloud:
+		task.Success = true
+		task.PerceivedRate = mc.Fetch(user, file)
+
+	case core.RouteCloudThenAP:
+		cloudThenAP(&task, ap, mc, g, user, file)
+
+	case core.RouteCloudPreDownload:
+		ok, delay, cause := mc.PreDownload(file)
+		task.PreDelay = delay
+		if !ok {
+			task.Success = false
+			task.Cause = cause
+			break
+		}
+		// Notified; ask ODR again — the file is now cached.
+		in.Cached = true
+		dec2 := core.Decide(in)
+		task.Decision = dec2
+		task.Success = true
+		if dec2.Route == core.RouteCloudThenAP {
+			pre := task.PreDelay
+			cloudThenAP(&task, ap, mc, g, user, file)
+			task.PreDelay += pre
+		} else {
+			task.PerceivedRate = mc.Fetch(user, file)
+			task.CloudBytes += float64(file.Size)
+		}
+	}
+	return task
+}
+
+// cloudThenAP executes the Bottleneck 1 mitigation: the AP pulls the file
+// from the cloud over a stable, resumable HTTP path — bounded by the
+// access link and the AP's storage write path, but immune to swarm health
+// — and the user later fetches over the LAN.
+func cloudThenAP(task *ODRTask, ap *smartap.AP, mc *MiniCloud, g *dist.RNG,
+	user *workload.User, file *workload.FileMeta) {
+	task.Success = true
+	ceiling := math.Min(user.AccessBW, EnvCap)
+	rate := math.Min(ceiling, ap.StorageThroughput())
+	task.StorageBound = ap.StorageThroughput() < ceiling
+	task.B4Exposed = task.StorageBound
+	task.PreDelay = time.Duration(float64(file.Size) / rate * float64(time.Second))
+	task.CloudBytes = float64(file.Size)
+	mc.BytesServed += float64(file.Size)
+	_, lan := ap.LANFetch(g, file.Size)
+	task.PerceivedRate = math.Min(lan, EnvCap)
+}
+
+func applyAblations(in *core.Input, opts Options) {
+	if opts.DisablePopularitySignal && in.Band == workload.BandHighlyPopular {
+		in.Band = workload.BandPopular
+	}
+	if opts.DisableISPSignal {
+		if !in.ISP.Supported() {
+			in.ISP = workload.ISPUnicom
+		}
+		if in.AccessBW < core.HDThreshold {
+			in.AccessBW = core.HDThreshold
+		}
+	}
+	if opts.DisableStorageSignal && in.HasAP {
+		// Pretend the AP has ideal storage.
+		in.APStorage = bestStorage
+		in.APCPUGHz = 1.0
+	}
+}
+
+// ImpededRatio returns the fraction of completed fetching processes whose
+// user-perceived speed fell below the HD threshold (Figure 16,
+// Bottleneck 1 bar). As in §4.2, the metric is over fetching processes:
+// tasks whose pre-download failed never fetch and are excluded.
+func (r *ODRResult) ImpededRatio() float64 {
+	var impeded, completed int
+	for i := range r.Tasks {
+		if !r.Tasks[i].Success {
+			continue
+		}
+		completed++
+		if r.Tasks[i].PerceivedRate < core.HDThreshold {
+			impeded++
+		}
+	}
+	if completed == 0 {
+		return 0
+	}
+	return float64(impeded) / float64(completed)
+}
+
+// FailureRatio returns the overall share of tasks that never obtained
+// their file.
+func (r *ODRResult) FailureRatio() float64 {
+	if len(r.Tasks) == 0 {
+		return 0
+	}
+	fails := 0
+	for i := range r.Tasks {
+		if !r.Tasks[i].Success {
+			fails++
+		}
+	}
+	return float64(fails) / float64(len(r.Tasks))
+}
+
+// MeanPreDelay returns the mean pre-download (availability) delay over
+// successful tasks — how long users waited before their fetch could start.
+func (r *ODRResult) MeanPreDelay() time.Duration {
+	return r.MeanPreDelayIf(func(*ODRTask) bool { return true })
+}
+
+// MeanPreDelayIf returns the mean availability delay over successful
+// tasks satisfying keep.
+func (r *ODRResult) MeanPreDelayIf(keep func(*ODRTask) bool) time.Duration {
+	var sum time.Duration
+	var n int
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		if !t.Success || !keep(t) {
+			continue
+		}
+		sum += t.PreDelay
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// MeanPreDelayHighlyPopular returns the mean pre-download delay over
+// successful highly-popular tasks — the waiting cost the storage signal
+// saves by routing fast users' downloads off slow-storage APs.
+func (r *ODRResult) MeanPreDelayHighlyPopular() time.Duration {
+	var sum time.Duration
+	var n int
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		if !t.Success || t.Request.File.Band() != workload.BandHighlyPopular {
+			continue
+		}
+		sum += t.PreDelay
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// UnpopularFailureRatio returns the failure ratio over unpopular files
+// (Figure 16, Bottleneck 3 bar; ≈13 % under ODR).
+func (r *ODRResult) UnpopularFailureRatio() float64 {
+	var fails, total int
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		if t.Request.File.Band() != workload.BandUnpopular {
+			continue
+		}
+		total++
+		if !t.Success {
+			fails++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(fails) / float64(total)
+}
+
+// StorageBoundRatio returns the fraction of successful tasks capped by AP
+// storage (Figure 16, Bottleneck 4 bar; ≈0 under ODR).
+func (r *ODRResult) StorageBoundRatio() float64 {
+	var bound, ok int
+	for i := range r.Tasks {
+		if !r.Tasks[i].Success {
+			continue
+		}
+		ok++
+		if r.Tasks[i].StorageBound {
+			bound++
+		}
+	}
+	if ok == 0 {
+		return 0
+	}
+	return float64(bound) / float64(ok)
+}
+
+// B4ExposedRatio returns the fraction of tasks routed onto an AP whose
+// storage would cap the transfer below the access link (Figure 16,
+// Bottleneck 4 bar; ≈0 under ODR).
+func (r *ODRResult) B4ExposedRatio() float64 {
+	if len(r.Tasks) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range r.Tasks {
+		if r.Tasks[i].B4Exposed {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Tasks))
+}
+
+// CloudBytes returns total bytes the cloud uploaded during the replay.
+func (r *ODRResult) CloudBytes() float64 { return r.Cloud.BytesServed }
+
+// FetchSpeeds returns the Figure 17 sample: user-perceived fetch speeds in
+// bytes/second, failures included at 0.
+func (r *ODRResult) FetchSpeeds() *stats.Sample {
+	s := stats.NewSample(len(r.Tasks))
+	for i := range r.Tasks {
+		s.Add(r.Tasks[i].PerceivedRate)
+	}
+	return s
+}
+
+// HybridBaseline replays the sample through the commercial hybrid
+// approach the paper contrasts ODR with in §7 (HiWiFi/MiWiFi/Newifi's
+// cloud integration): every file always travels the longest data flow —
+// Internet → cloud → smart AP → user — regardless of popularity, cache
+// state, path quality, or AP storage. It inherits the cloud's success
+// rate but maximizes cloud upload bytes and exposes every task to the
+// AP's storage write path.
+func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
+	aps []*smartap.AP, seed uint64) *ODRResult {
+	if len(aps) == 0 {
+		panic("replay: HybridBaseline needs at least one AP")
+	}
+	cfg := cloud.DefaultConfig(float64(len(files))/cloud.FullScaleFiles, seed)
+	mc := NewMiniCloud(files, cfg, seed)
+	g := dist.NewRNG(seed).Split("hybrid")
+	res := &ODRResult{Tasks: make([]ODRTask, 0, len(sample)), Cloud: mc}
+	for i, req := range sample {
+		ap := aps[i%len(aps)]
+		task := ODRTask{Request: req}
+		if !mc.Contains(req.File.ID) {
+			ok, delay, cause := mc.PreDownload(req.File)
+			task.PreDelay = delay
+			if !ok {
+				task.Cause = cause
+				res.Tasks = append(res.Tasks, task)
+				continue
+			}
+		}
+		// The AP then pulls from the cloud, always.
+		pre := task.PreDelay
+		cloudThenAP(&task, ap, mc, g, req.User, req.File)
+		task.PreDelay += pre
+		res.Tasks = append(res.Tasks, task)
+	}
+	return res
+}
+
+// CloudOnlyBaseline replays the sample forcing every task through the
+// cloud (the pure cloud-based approach), returning the byte ledger and the
+// impeded ratio for Figure 16's baseline bars.
+func CloudOnlyBaseline(sample []workload.Request, files []*workload.FileMeta, seed uint64) *ODRResult {
+	cfg := cloud.DefaultConfig(float64(len(files))/cloud.FullScaleFiles, seed)
+	mc := NewMiniCloud(files, cfg, seed)
+	res := &ODRResult{Tasks: make([]ODRTask, 0, len(sample)), Cloud: mc}
+	for _, req := range sample {
+		task := ODRTask{Request: req}
+		if !mc.Contains(req.File.ID) {
+			ok, delay, cause := mc.PreDownload(req.File)
+			task.PreDelay = delay
+			if !ok {
+				task.Cause = cause
+				res.Tasks = append(res.Tasks, task)
+				continue
+			}
+		}
+		task.Success = true
+		task.PerceivedRate = mc.Fetch(req.User, req.File)
+		task.CloudBytes = float64(req.File.Size)
+		res.Tasks = append(res.Tasks, task)
+	}
+	return res
+}

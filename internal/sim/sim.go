@@ -1,0 +1,174 @@
+// Package sim provides a minimal discrete-event simulation kernel: a
+// virtual clock and a priority queue of timestamped events. Every
+// time-based simulator in this repository (the cloud, the smart APs, the
+// flow-level network) runs on top of this kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. Fired events receive the engine so they
+// can schedule follow-up events.
+type Event struct {
+	at     time.Duration
+	seq    uint64 // FIFO tie-break for simultaneous events
+	fn     func(*Engine)
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Engine is a discrete-event executor. The zero value is ready to use and
+// starts at virtual time zero. Engine is not safe for concurrent use.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns a fresh engine at virtual time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling in
+// the past panics: the simulated world cannot rewind.
+func (e *Engine) Schedule(at time.Duration, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil event function")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run after delay d from now. Negative delays panic.
+func (e *Engine) After(d time.Duration, fn func(*Engine)) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Halt stops the current Run/RunUntil after the in-flight event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue empties or Halt is called. It
+// returns the final virtual time (the time of the last executed event).
+func (e *Engine) Run() time.Duration {
+	e.drain(1<<62 - 1)
+	return e.now
+}
+
+// RunUntil executes events whose time is <= horizon, advancing the clock.
+// Events scheduled beyond the horizon remain queued; if no runnable event
+// remains at or before the horizon, the clock advances to the horizon.
+func (e *Engine) RunUntil(horizon time.Duration) time.Duration {
+	e.drain(horizon)
+	if e.now < horizon && horizonReached(e, horizon) {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// drain executes queued events with time <= horizon until the queue
+// empties, Halt is called, or only later events remain.
+func (e *Engine) drain(horizon time.Duration) {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		next := e.queue[0]
+		if next.at > horizon {
+			return
+		}
+		heap.Pop(&e.queue)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn(e)
+	}
+}
+
+// horizonReached reports whether the clock should advance to the horizon:
+// only when no runnable events remain at or before it.
+func horizonReached(e *Engine, horizon time.Duration) bool {
+	for _, ev := range e.queue {
+		if !ev.cancel && ev.at <= horizon {
+			return false
+		}
+	}
+	return true
+}
+
+// Step executes exactly one event if any is queued, returning whether an
+// event ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn(e)
+		return true
+	}
+	return false
+}
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

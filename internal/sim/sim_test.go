@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3*time.Second, func(*Engine) { order = append(order, 3) })
+	e.Schedule(1*time.Second, func(*Engine) { order = append(order, 1) })
+	e.Schedule(2*time.Second, func(*Engine) { order = append(order, 2) })
+	end := e.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end time = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNowAdvancesDuringEvents(t *testing.T) {
+	e := New()
+	var seen []time.Duration
+	e.Schedule(5*time.Second, func(en *Engine) { seen = append(seen, en.Now()) })
+	e.Schedule(9*time.Second, func(en *Engine) { seen = append(seen, en.Now()) })
+	e.Run()
+	if seen[0] != 5*time.Second || seen[1] != 9*time.Second {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at time.Duration
+	e.Schedule(10*time.Second, func(en *Engine) {
+		en.After(5*time.Second, func(en *Engine) { at = en.Now() })
+	})
+	e.Run()
+	if at != 15*time.Second {
+		t.Fatalf("After fired at %v, want 15s", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10*time.Second, func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		en.Schedule(5*time.Second, func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event fn did not panic")
+		}
+	}()
+	New().Schedule(0, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(time.Second, func(*Engine) { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := New()
+	fired := false
+	later := e.Schedule(2*time.Second, func(*Engine) { fired = true })
+	e.Schedule(1*time.Second, func(*Engine) { later.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New()
+	var fired []int
+	e.Schedule(1*time.Second, func(*Engine) { fired = append(fired, 1) })
+	e.Schedule(10*time.Second, func(*Engine) { fired = append(fired, 10) })
+	end := e.RunUntil(5 * time.Second)
+	if end != 5*time.Second {
+		t.Fatalf("end = %v, want horizon 5s", end)
+	}
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Continue to completion.
+	e.Run()
+	if len(fired) != 2 || fired[1] != 10 {
+		t.Fatalf("fired after resume = %v", fired)
+	}
+}
+
+func TestRunUntilDoesNotAdvancePastPendingEvents(t *testing.T) {
+	e := New()
+	e.Schedule(3*time.Second, func(*Engine) {})
+	end := e.RunUntil(10 * time.Second)
+	if end != 10*time.Second {
+		t.Fatalf("end = %v, want 10s (queue drained)", end)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(1*time.Second, func(en *Engine) { count++; en.Halt() })
+	e.Schedule(2*time.Second, func(*Engine) { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d after Halt, want 1", count)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(1*time.Second, func(*Engine) { count++ })
+	e.Schedule(2*time.Second, func(*Engine) { count++ })
+	if !e.Step() || count != 1 {
+		t.Fatal("first Step failed")
+	}
+	if !e.Step() || count != 2 {
+		t.Fatal("second Step failed")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestStepSkipsCancelled(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(time.Second, func(*Engine) {})
+	ev.Cancel()
+	e.Schedule(2*time.Second, func(*Engine) { fired = true })
+	if !e.Step() {
+		t.Fatal("Step should skip cancelled and run next")
+	}
+	if !fired {
+		t.Fatal("Step ran the cancelled event instead of the live one")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain: each event schedules the next until 100 steps.
+	e := New()
+	count := 0
+	var step func(*Engine)
+	step = func(en *Engine) {
+		count++
+		if count < 100 {
+			en.After(time.Millisecond, step)
+		}
+	}
+	e.Schedule(0, step)
+	end := e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+	if end != 99*time.Millisecond {
+		t.Fatalf("end = %v", end)
+	}
+}

@@ -1,0 +1,202 @@
+// Package smartap models smart WiFi access points with offline-downloading
+// capability — HiWiFi, MiWiFi and Newifi (§2.2, Table 1). An AP
+// pre-downloads a requested file onto its attached storage device through
+// three potential bottlenecks: the original source (swarm/origin health),
+// the home ADSL access link, and the storage write path (§5.2's
+// Bottleneck 4). Users later fetch over the LAN at WiFi speeds, which the
+// paper shows is almost never the constraint.
+package smartap
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"odr/internal/dist"
+	"odr/internal/sources"
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+// Spec is a smart AP's hardware configuration (Table 1).
+type Spec struct {
+	Name   string
+	CPUGHz float64
+	RAMMB  int
+	// WiFi is the supported protocol string (e.g. "802.11 b/g/n/ac").
+	WiFi string
+	// Bands lists supported radio bands in GHz.
+	Bands []float64
+	// DefaultDevice is the storage configuration the device ships with
+	// (or the one used in the paper's benchmarks).
+	DefaultDevice storage.Device
+	// Reformattable reports whether the storage device can be formatted
+	// with a different filesystem (HiWiFi's SD card only works as FAT;
+	// MiWiFi's SATA disk ships as EXT4 and cannot be reformatted).
+	Reformattable bool
+	// PriceUSD is the retail price, for the record.
+	PriceUSD float64
+}
+
+// The three benchmarked devices.
+var (
+	specHiWiFi = Spec{
+		Name: "HiWiFi (1S)", CPUGHz: 0.58, RAMMB: 128,
+		WiFi: "802.11 b/g/n", Bands: []float64{2.4},
+		DefaultDevice: storage.Device{Type: storage.SDCard, FS: storage.FAT},
+		Reformattable: false, PriceUSD: 20,
+	}
+	specMiWiFi = Spec{
+		Name: "MiWiFi", CPUGHz: 1.0, RAMMB: 256,
+		WiFi: "802.11 b/g/n/ac", Bands: []float64{2.4, 5.0},
+		DefaultDevice: storage.Device{Type: storage.SATAHDD, FS: storage.EXT4},
+		Reformattable: false, PriceUSD: 100,
+	}
+	specNewifi = Spec{
+		Name: "Newifi", CPUGHz: 0.58, RAMMB: 128,
+		WiFi: "802.11 b/g/n/ac", Bands: []float64{2.4, 5.0},
+		DefaultDevice: storage.Device{Type: storage.USBFlash, FS: storage.NTFS},
+		Reformattable: true, PriceUSD: 20,
+	}
+)
+
+// StagnationTimeout mirrors the cloud's failure rule: a pre-download whose
+// progress stalls for an hour is declared failed.
+const StagnationTimeout = time.Hour
+
+// WiFi LAN fetch speeds observed in §5.2 (8–12 MBps even at worst).
+const (
+	LANFetchMin = 8 * 1024 * 1024
+	LANFetchMax = 12 * 1024 * 1024
+)
+
+// AP is one smart access point instance with its attached storage.
+type AP struct {
+	spec Spec
+	dev  storage.Device
+	wm   storage.WriteModel
+	src  *sources.Mix
+}
+
+// NewHiWiFi returns a HiWiFi 1S with its embedded FAT SD card.
+func NewHiWiFi() *AP { return newAP(specHiWiFi) }
+
+// NewMiWiFi returns a MiWiFi with its internal EXT4 SATA disk.
+func NewMiWiFi() *AP { return newAP(specMiWiFi) }
+
+// NewNewifi returns a Newifi with the NTFS USB flash drive used in the
+// paper's benchmarks.
+func NewNewifi() *AP { return newAP(specNewifi) }
+
+func newAP(s Spec) *AP {
+	return &AP{
+		spec: s,
+		dev:  s.DefaultDevice,
+		wm:   storage.WriteModel{CPUGHz: s.CPUGHz},
+		src:  sources.NewMix(),
+	}
+}
+
+// Benchmarked returns the three devices the paper measures, in its order.
+func Benchmarked() []*AP {
+	return []*AP{NewHiWiFi(), NewMiWiFi(), NewNewifi()}
+}
+
+// Spec returns the AP's hardware description.
+func (ap *AP) Spec() Spec { return ap.spec }
+
+// Device returns the current storage configuration.
+func (ap *AP) Device() storage.Device { return ap.dev }
+
+// SetDevice swaps the storage device/filesystem (Newifi benchmarks try
+// FAT/NTFS/EXT4 flash and a USB hard disk). It returns an error when the
+// AP's storage is fixed by the manufacturer.
+func (ap *AP) SetDevice(d storage.Device) error {
+	if !ap.spec.Reformattable && d != ap.spec.DefaultDevice {
+		return fmt.Errorf("smartap: %s storage cannot be changed to %v", ap.spec.Name, d)
+	}
+	ap.dev = d
+	return nil
+}
+
+// StorageThroughput returns the storage write path's sustainable rate in
+// bytes/second for the current device.
+func (ap *AP) StorageThroughput() float64 { return ap.wm.Throughput(ap.dev) }
+
+// MaxPreDownloadSpeed returns the fastest observable pre-downloading speed
+// given a network ceiling (Table 2's experiment runs with netCap = the
+// 20 Mbps ADSL line).
+func (ap *AP) MaxPreDownloadSpeed(netCap float64) float64 {
+	return ap.wm.MaxSpeed(ap.dev, netCap)
+}
+
+// Result is the outcome of one AP pre-download attempt.
+type Result struct {
+	// Success reports whether the file was fully pre-downloaded.
+	Success bool
+	// Rate is the average pre-downloading speed in bytes/second (0 on
+	// failure).
+	Rate float64
+	// Delay is how long the attempt took: size/rate on success, the
+	// stagnation timeout on failure.
+	Delay time.Duration
+	// Traffic is the bytes pulled over the access link.
+	Traffic float64
+	// IOWait is the storage device's iowait ratio while writing at Rate.
+	IOWait float64
+	// StorageBound reports whether the storage write path (not the
+	// source or the access link) was the binding constraint —
+	// Bottleneck 4 in action.
+	StorageBound bool
+	// Cause classifies a failure (sources taxonomy); empty on success.
+	Cause string
+}
+
+// PreDownload simulates pre-downloading file through this AP with the
+// given access-link bandwidth in bytes/second (the paper replays each
+// request throttled to the originating user's recorded access bandwidth).
+func (ap *AP) PreDownload(g *dist.RNG, file *workload.FileMeta, accessBW float64) Result {
+	if accessBW <= 0 {
+		panic("smartap: PreDownload requires positive access bandwidth")
+	}
+	att := ap.src.Attempt(g, file)
+	if !att.OK {
+		return Result{
+			Delay: StagnationTimeout,
+			Cause: att.Cause.String(),
+		}
+	}
+	storageRate := ap.StorageThroughput()
+	rate := math.Min(att.Rate, math.Min(accessBW, storageRate))
+	res := Result{
+		Success:      true,
+		Rate:         rate,
+		Delay:        time.Duration(float64(file.Size) / rate * float64(time.Second)),
+		Traffic:      float64(file.Size) * att.OverheadRatio,
+		IOWait:       ap.wm.IOWait(ap.dev, rate),
+		StorageBound: storageRate < att.Rate && storageRate < accessBW,
+	}
+	return res
+}
+
+// LANFetch returns the time for a user device to fetch size bytes from the
+// AP over the local network, and the achieved rate. Even the slowest WiFi
+// fetch (≈8 MBps) beats the fastest cloud fetch, so this phase is almost
+// never the bottleneck (§5.2).
+func (ap *AP) LANFetch(g *dist.RNG, size int64) (time.Duration, float64) {
+	return ap.LANFetchShared(g, size, 1)
+}
+
+// LANFetchShared models the one situation where the fetching phase does
+// matter (§5.2): multiple user devices pulling from the AP at once split
+// the WiFi airtime fairly, and the storage device's sequential read
+// bandwidth bounds the aggregate.
+func (ap *AP) LANFetchShared(g *dist.RNG, size int64, devices int) (time.Duration, float64) {
+	if devices < 1 {
+		panic("smartap: LANFetchShared requires devices >= 1")
+	}
+	wifi := g.Uniform(LANFetchMin, LANFetchMax) / float64(devices)
+	readCeil := storage.ReadBandwidth(ap.dev.Type) / float64(devices)
+	rate := math.Min(wifi, readCeil)
+	return time.Duration(float64(size) / rate * float64(time.Second)), rate
+}

@@ -1,0 +1,279 @@
+package smartap
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/dist"
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+func btFile(weekly int, size int64) *workload.FileMeta {
+	return &workload.FileMeta{
+		ID:             workload.FileIDFromIndex(uint64(weekly)),
+		Size:           size,
+		Protocol:       workload.ProtoBitTorrent,
+		WeeklyRequests: weekly,
+	}
+}
+
+func TestBenchmarkedDevices(t *testing.T) {
+	aps := Benchmarked()
+	if len(aps) != 3 {
+		t.Fatalf("devices = %d", len(aps))
+	}
+	names := []string{"HiWiFi (1S)", "MiWiFi", "Newifi"}
+	for i, ap := range aps {
+		if ap.Spec().Name != names[i] {
+			t.Errorf("device %d = %s, want %s", i, ap.Spec().Name, names[i])
+		}
+	}
+	// Table 1 invariants.
+	if Benchmarked()[1].Spec().CPUGHz <= Benchmarked()[0].Spec().CPUGHz {
+		t.Error("MiWiFi must have the fastest CPU")
+	}
+	if Benchmarked()[1].Spec().RAMMB != 256 {
+		t.Error("MiWiFi has 256 MB RAM")
+	}
+}
+
+func TestDefaultStorage(t *testing.T) {
+	if d := NewHiWiFi().Device(); d != (storage.Device{Type: storage.SDCard, FS: storage.FAT}) {
+		t.Errorf("HiWiFi default device = %v", d)
+	}
+	if d := NewMiWiFi().Device(); d != (storage.Device{Type: storage.SATAHDD, FS: storage.EXT4}) {
+		t.Errorf("MiWiFi default device = %v", d)
+	}
+	if d := NewNewifi().Device(); d != (storage.Device{Type: storage.USBFlash, FS: storage.NTFS}) {
+		t.Errorf("Newifi default device = %v", d)
+	}
+}
+
+func TestSetDeviceRestrictions(t *testing.T) {
+	// HiWiFi's SD card only works as FAT; MiWiFi's disk is fixed EXT4.
+	if err := NewHiWiFi().SetDevice(storage.Device{Type: storage.SDCard, FS: storage.EXT4}); err == nil {
+		t.Error("HiWiFi reformat should fail")
+	}
+	if err := NewMiWiFi().SetDevice(storage.Device{Type: storage.USBHDD, FS: storage.EXT4}); err == nil {
+		t.Error("MiWiFi storage swap should fail")
+	}
+	// Newifi can swap devices and filesystems.
+	n := NewNewifi()
+	for _, d := range []storage.Device{
+		{Type: storage.USBFlash, FS: storage.FAT},
+		{Type: storage.USBFlash, FS: storage.EXT4},
+		{Type: storage.USBHDD, FS: storage.NTFS},
+		{Type: storage.USBHDD, FS: storage.EXT4},
+	} {
+		if err := n.SetDevice(d); err != nil {
+			t.Errorf("Newifi SetDevice(%v): %v", d, err)
+		}
+		if n.Device() != d {
+			t.Errorf("device not applied: %v", n.Device())
+		}
+	}
+	// Setting the default back on a fixed AP is fine.
+	h := NewHiWiFi()
+	if err := h.SetDevice(h.Spec().DefaultDevice); err != nil {
+		t.Errorf("resetting default device: %v", err)
+	}
+}
+
+// Table 2 headline: Newifi on NTFS flash maxes out at ≈0.93 MBps while
+// HiWiFi and MiWiFi reach the 2.37 MBps network ceiling.
+func TestMaxPreDownloadSpeeds(t *testing.T) {
+	const netCap = 2.37 * 1024 * 1024
+	const mb = 1024 * 1024
+	if v := NewHiWiFi().MaxPreDownloadSpeed(netCap) / mb; v < 2.3 {
+		t.Errorf("HiWiFi max speed = %.2f MBps, want 2.37", v)
+	}
+	if v := NewMiWiFi().MaxPreDownloadSpeed(netCap) / mb; v < 2.3 {
+		t.Errorf("MiWiFi max speed = %.2f MBps, want 2.37", v)
+	}
+	if v := NewNewifi().MaxPreDownloadSpeed(netCap) / mb; v > 1.1 {
+		t.Errorf("Newifi/NTFS max speed = %.2f MBps, want ≈0.93", v)
+	}
+}
+
+func TestPreDownloadSuccessPath(t *testing.T) {
+	ap := NewMiWiFi()
+	g := dist.NewRNG(1)
+	f := btFile(500, 100<<20) // highly popular: sources essentially never fail
+	res := ap.PreDownload(g, f, 2.5*1024*1024)
+	if !res.Success {
+		t.Fatalf("pre-download failed: %s", res.Cause)
+	}
+	if res.Rate <= 0 || res.Delay <= 0 {
+		t.Fatalf("rate=%g delay=%v", res.Rate, res.Delay)
+	}
+	wantDelay := time.Duration(float64(f.Size) / res.Rate * float64(time.Second))
+	if res.Delay != wantDelay {
+		t.Fatalf("delay inconsistent with rate")
+	}
+	if res.Traffic < float64(f.Size)*1.5 {
+		t.Fatalf("P2P traffic %g below tit-for-tat floor", res.Traffic)
+	}
+	if res.IOWait <= 0 || res.IOWait > 1 {
+		t.Fatalf("iowait = %g", res.IOWait)
+	}
+}
+
+func TestPreDownloadRespectsAccessBW(t *testing.T) {
+	ap := NewMiWiFi()
+	g := dist.NewRNG(2)
+	f := btFile(1000, 10<<20)
+	const bw = 50 * 1024
+	for i := 0; i < 200; i++ {
+		if res := ap.PreDownload(g, f, bw); res.Success && res.Rate > bw {
+			t.Fatalf("rate %g exceeds access bandwidth %d", res.Rate, bw)
+		}
+	}
+}
+
+func TestPreDownloadRespectsStorageCeiling(t *testing.T) {
+	ap := NewNewifi() // NTFS flash: ≈0.93 MBps ceiling
+	g := dist.NewRNG(3)
+	f := btFile(2000, 10<<20)
+	ceiling := ap.StorageThroughput()
+	sawStorageBound := false
+	for i := 0; i < 500; i++ {
+		res := ap.PreDownload(g, f, 2.5*1024*1024)
+		if !res.Success {
+			continue
+		}
+		if res.Rate > ceiling+1 {
+			t.Fatalf("rate %g exceeds storage ceiling %g", res.Rate, ceiling)
+		}
+		if res.StorageBound {
+			sawStorageBound = true
+		}
+	}
+	if !sawStorageBound {
+		t.Fatal("Newifi/NTFS never storage-bound on a fast swarm — Bottleneck 4 absent")
+	}
+}
+
+func TestPreDownloadFailureIsTimeout(t *testing.T) {
+	ap := NewNewifi()
+	g := dist.NewRNG(5)
+	f := btFile(0, 1<<30) // zero popularity: most attempts find no seeds
+	for i := 0; i < 200; i++ {
+		res := ap.PreDownload(g, f, 2.5*1024*1024)
+		if res.Success {
+			continue
+		}
+		if res.Delay != StagnationTimeout {
+			t.Fatalf("failure delay = %v, want %v", res.Delay, StagnationTimeout)
+		}
+		if res.Cause == "" {
+			t.Fatal("failure without cause")
+		}
+		if res.Rate != 0 {
+			t.Fatal("failed attempt with nonzero rate")
+		}
+		return
+	}
+	t.Fatal("no failure observed for zero-popularity file")
+}
+
+// §5.2: the AP failure ratio on unpopular files is ≈42 %.
+func TestUnpopularFailureRatio(t *testing.T) {
+	ap := NewNewifi()
+	g := dist.NewRNG(7)
+	fails, n := 0, 5000
+	for i := 0; i < n; i++ {
+		f := btFile(3, 100<<20)
+		if !ap.PreDownload(g, f, 2.5*1024*1024).Success {
+			fails++
+		}
+	}
+	got := float64(fails) / float64(n)
+	if got < 0.30 || got > 0.55 {
+		t.Errorf("unpopular AP failure ratio = %.3f, want ≈0.42", got)
+	}
+}
+
+func TestPreDownloadPanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHiWiFi().PreDownload(dist.NewRNG(1), btFile(1, 100), 0)
+}
+
+func TestLANFetchFastAndBounded(t *testing.T) {
+	ap := NewHiWiFi()
+	g := dist.NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		d, rate := ap.LANFetch(g, 1<<30)
+		if rate < LANFetchMin || rate >= LANFetchMax {
+			t.Fatalf("LAN rate %g outside [8,12] MBps", rate)
+		}
+		if d <= 0 {
+			t.Fatal("non-positive LAN fetch delay")
+		}
+		// 1 GB at ≥8 MBps is ≤ ~135 s: far faster than any cloud fetch.
+		if d > 3*time.Minute {
+			t.Fatalf("LAN fetch of 1 GB took %v", d)
+		}
+	}
+}
+
+// Replacing Newifi's flash+NTFS with the recommended USB-HDD+EXT4 must
+// unlock the full network rate — the paper's upgrade advice.
+func TestUpgradeReleasesFullPotential(t *testing.T) {
+	n := NewNewifi()
+	const netCap = 2.37 * 1024 * 1024
+	before := n.MaxPreDownloadSpeed(netCap)
+	up, changed := storage.RecommendedUpgrade(n.Device())
+	if !changed {
+		t.Fatal("upgrade expected for NTFS flash")
+	}
+	if err := n.SetDevice(up); err != nil {
+		t.Fatal(err)
+	}
+	after := n.MaxPreDownloadSpeed(netCap)
+	if after <= before*1.8 {
+		t.Errorf("upgrade speedup %.2fx too small", after/before)
+	}
+	if after < netCap*0.99 {
+		t.Errorf("upgraded Newifi should reach the network ceiling, got %.2f MBps",
+			after/(1024*1024))
+	}
+}
+
+func TestLANFetchSharedSplitsAirtime(t *testing.T) {
+	ap := NewMiWiFi()
+	g := dist.NewRNG(11)
+	_, solo := ap.LANFetchShared(g, 1<<30, 1)
+	_, four := ap.LANFetchShared(g, 1<<30, 4)
+	if four >= solo {
+		t.Fatalf("4-device rate %g not below solo rate %g", four, solo)
+	}
+	if four < LANFetchMin/4/2 {
+		t.Fatalf("4-device rate %g implausibly low", four)
+	}
+}
+
+func TestLANFetchSharedReadCeiling(t *testing.T) {
+	// Newifi's USB flash reads at 20 MBps; with several devices pulling,
+	// the per-device rate must respect the shared read ceiling.
+	ap := NewNewifi()
+	g := dist.NewRNG(13)
+	_, rate := ap.LANFetchShared(g, 1<<30, 4)
+	ceil := storage.ReadBandwidth(ap.Device().Type) / 4
+	if rate > ceil+1 {
+		t.Fatalf("rate %g exceeds the storage read ceiling %g", rate, ceil)
+	}
+}
+
+func TestLANFetchSharedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHiWiFi().LANFetchShared(dist.NewRNG(1), 100, 0)
+}

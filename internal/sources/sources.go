@@ -1,0 +1,112 @@
+// Package sources dispatches download attempts to the right origin model
+// for a file's transfer protocol — P2P swarms for BitTorrent/eMule,
+// client-server origins for HTTP/FTP — and classifies failures with the
+// taxonomy of §5.2 (insufficient seeds / poor HTTP connections / client
+// bugs).
+package sources
+
+import (
+	"fmt"
+
+	"odr/internal/dist"
+	"odr/internal/httpsource"
+	"odr/internal/swarm"
+	"odr/internal/workload"
+)
+
+// FailureCause classifies why a download attempt made no progress.
+type FailureCause uint8
+
+// Failure causes, matching the paper's §5.2 breakdown.
+const (
+	// CauseNone means the attempt succeeded.
+	CauseNone FailureCause = iota
+	// CauseNoSeeds means the P2P swarm had no seeds.
+	CauseNoSeeds
+	// CauseBadServer means the HTTP/FTP server could not sustain a
+	// persistent or resumable download.
+	CauseBadServer
+	// CauseClientBug means the downloader itself misbehaved.
+	CauseClientBug
+)
+
+// String names the failure cause.
+func (c FailureCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseNoSeeds:
+		return "no-seeds"
+	case CauseBadServer:
+		return "bad-server"
+	case CauseClientBug:
+		return "client-bug"
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// Result is the outcome of one source attempt.
+type Result struct {
+	// OK reports whether the source can sustain the download.
+	OK bool
+	// Rate is the source-side achievable rate in bytes/second.
+	Rate float64
+	// OverheadRatio is total network traffic divided by file size.
+	OverheadRatio float64
+	// Seeds is the observed seed count (P2P only).
+	Seeds int
+	// Cause explains a failure; CauseNone on success.
+	Cause FailureCause
+}
+
+// Mix bundles the two source models.
+type Mix struct {
+	Swarm  *swarm.Model
+	Origin *httpsource.Model
+}
+
+// NewMix returns a Mix with paper-calibrated defaults.
+func NewMix() *Mix {
+	return &Mix{
+		Swarm:  swarm.NewModel(swarm.DefaultConfig()),
+		Origin: httpsource.NewModel(httpsource.DefaultConfig()),
+	}
+}
+
+// Attempt simulates one download attempt of f from its original source by
+// an embedded-class client (a smart AP or a pre-downloader VM).
+func (m *Mix) Attempt(g *dist.RNG, f *workload.FileMeta) Result {
+	return m.attempt(g, f, swarm.ClientEmbedded)
+}
+
+// AttemptFull simulates a download attempt by a full end-user client (the
+// path ODR's direct-download redirections take).
+func (m *Mix) AttemptFull(g *dist.RNG, f *workload.FileMeta) Result {
+	return m.attempt(g, f, swarm.ClientFull)
+}
+
+func (m *Mix) attempt(g *dist.RNG, f *workload.FileMeta, class swarm.ClientClass) Result {
+	if f.Protocol.IsP2P() {
+		a := m.Swarm.AttemptAs(g, f, class)
+		r := Result{
+			OK:            a.OK,
+			Rate:          a.Rate,
+			OverheadRatio: a.OverheadRatio,
+			Seeds:         a.Seeds,
+		}
+		if !a.OK {
+			if a.Seeds == 0 {
+				r.Cause = CauseNoSeeds
+			} else {
+				r.Cause = CauseClientBug
+			}
+		}
+		return r
+	}
+	a := m.Origin.Attempt(g, f)
+	r := Result{OK: a.OK, Rate: a.Rate, OverheadRatio: a.OverheadRatio}
+	if !a.OK {
+		r.Cause = CauseBadServer
+	}
+	return r
+}

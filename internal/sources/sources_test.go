@@ -1,0 +1,102 @@
+package sources
+
+import (
+	"testing"
+
+	"odr/internal/dist"
+	"odr/internal/workload"
+)
+
+func file(proto workload.Protocol, weekly int) *workload.FileMeta {
+	return &workload.FileMeta{
+		ID:             workload.FileIDFromIndex(uint64(weekly)),
+		Size:           100 << 20,
+		Protocol:       proto,
+		WeeklyRequests: weekly,
+	}
+}
+
+func TestDispatchP2P(t *testing.T) {
+	m := NewMix()
+	g := dist.NewRNG(1)
+	r := m.Attempt(g, file(workload.ProtoBitTorrent, 500))
+	if !r.OK {
+		t.Fatal("highly popular swarm attempt should almost surely succeed")
+	}
+	if r.Seeds == 0 {
+		t.Fatal("successful P2P attempt should report seeds")
+	}
+	if r.OverheadRatio < 1.5 {
+		t.Fatalf("P2P overhead %g below tit-for-tat floor", r.OverheadRatio)
+	}
+}
+
+func TestDispatchHTTP(t *testing.T) {
+	m := NewMix()
+	g := dist.NewRNG(2)
+	r := m.Attempt(g, file(workload.ProtoHTTP, 1))
+	if r.Seeds != 0 {
+		t.Fatal("HTTP attempt must not report seeds")
+	}
+	if r.OverheadRatio > 1.10 {
+		t.Fatalf("HTTP overhead %g above header ceiling", r.OverheadRatio)
+	}
+}
+
+func TestFailureCauses(t *testing.T) {
+	m := NewMix()
+	g := dist.NewRNG(3)
+	// Unpopular P2P failures must be dominated by no-seeds.
+	var noSeeds, bugs, total int
+	f := file(workload.ProtoBitTorrent, 1)
+	for i := 0; i < 50000; i++ {
+		r := m.Attempt(g, f)
+		if r.OK {
+			if r.Cause != CauseNone {
+				t.Fatal("success with non-none cause")
+			}
+			continue
+		}
+		total++
+		switch r.Cause {
+		case CauseNoSeeds:
+			noSeeds++
+		case CauseClientBug:
+			bugs++
+		default:
+			t.Fatalf("unexpected P2P failure cause %v", r.Cause)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no failures observed for unpopular P2P file")
+	}
+	if frac := float64(noSeeds) / float64(total); frac < 0.9 {
+		t.Fatalf("no-seeds fraction = %.3f, want ≈1 for unpopular files", frac)
+	}
+
+	// HTTP failures must be classified as bad-server.
+	h := file(workload.ProtoHTTP, 1)
+	for i := 0; i < 50000; i++ {
+		r := m.Attempt(g, h)
+		if !r.OK && r.Cause != CauseBadServer {
+			t.Fatalf("HTTP failure cause = %v", r.Cause)
+		}
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	want := map[FailureCause]string{
+		CauseNone:      "none",
+		CauseNoSeeds:   "no-seeds",
+		CauseBadServer: "bad-server",
+		CauseClientBug: "client-bug",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("cause %d String = %q, want %q", c, c.String(), s)
+		}
+	}
+	if FailureCause(99).String() == "" {
+		t.Error("unknown cause should still format")
+	}
+}

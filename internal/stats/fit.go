@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// KSAgainst returns the Kolmogorov-Smirnov distance between the sample's
+// empirical CDF and a reference CDF: sup_x |F_sample(x) - F_ref(x)|,
+// evaluated at the sample points (where the empirical CDF jumps). It is
+// the repository's quantitative "shape match" metric for comparing
+// regenerated distributions against the paper's published CDF anchors.
+func KSAgainst(s *Sample, ref func(float64) float64) (float64, error) {
+	if s.N() == 0 {
+		return 0, errors.New("stats: KSAgainst on empty sample")
+	}
+	if ref == nil {
+		return 0, errors.New("stats: KSAgainst with nil reference CDF")
+	}
+	xs := s.Values() // sorted
+	n := float64(len(xs))
+	var worst float64
+	for i, x := range xs {
+		r := ref(x)
+		// The empirical CDF jumps at x from i/n to (i+1)/n; check both
+		// sides of the step.
+		lo := math.Abs(float64(i)/n - r)
+		hi := math.Abs(float64(i+1)/n - r)
+		if lo > worst {
+			worst = lo
+		}
+		if hi > worst {
+			worst = hi
+		}
+	}
+	return worst, nil
+}
+
+// LineFit is the result of an ordinary-least-squares fit y = Slope*x +
+// Intercept.
+type LineFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+}
+
+// FitLine performs ordinary least squares on the given points. It returns
+// an error if fewer than two points are supplied or x has zero variance.
+func FitLine(xs, ys []float64) (LineFit, error) {
+	if len(xs) != len(ys) {
+		return LineFit{}, errors.New("stats: FitLine length mismatch")
+	}
+	if len(xs) < 2 {
+		return LineFit{}, errors.New("stats: FitLine needs >= 2 points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LineFit{}, errors.New("stats: FitLine x has zero variance")
+	}
+	slope := sxy / sxx
+	f := LineFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		f.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		f.R2 = 1
+	}
+	return f, nil
+}
+
+// PopularityFit describes a fitted rank-popularity model together with its
+// average relative error of fitness, defined as in the paper:
+// mean over ranks of |fitted - measured| / measured.
+type PopularityFit struct {
+	A      float64 // slope magnitude in the transformed space
+	B      float64 // intercept in the transformed space
+	C      float64 // SE stretch exponent (0 for Zipf)
+	RelErr float64 // average relative error of fitness
+}
+
+// FitZipf fits the paper's Figure 6 model log10(y) = -a*log10(x) + b to a
+// rank-ordered popularity vector (popularity[i] is the request count of the
+// file with rank i+1). Entries with popularity <= 0 are skipped.
+func FitZipf(popularity []float64) (PopularityFit, error) {
+	xs := make([]float64, 0, len(popularity))
+	ys := make([]float64, 0, len(popularity))
+	for i, y := range popularity {
+		if y <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log10(float64(i+1)))
+		ys = append(ys, math.Log10(y))
+	}
+	lf, err := FitLine(xs, ys)
+	if err != nil {
+		return PopularityFit{}, err
+	}
+	fit := PopularityFit{A: -lf.Slope, B: lf.Intercept}
+	fit.RelErr = relErrZipf(popularity, fit.A, fit.B)
+	return fit, nil
+}
+
+// FitSE fits the paper's Figure 7 stretched-exponential model
+// y^c = -a*log10(x) + b with the paper's fixed stretch exponent c = 0.01,
+// choosing a and b by least squares in the transformed space.
+func FitSE(popularity []float64, c float64) (PopularityFit, error) {
+	if c <= 0 {
+		return PopularityFit{}, errors.New("stats: FitSE requires c > 0")
+	}
+	xs := make([]float64, 0, len(popularity))
+	ys := make([]float64, 0, len(popularity))
+	for i, y := range popularity {
+		if y <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log10(float64(i+1)))
+		ys = append(ys, math.Pow(y, c))
+	}
+	lf, err := FitLine(xs, ys)
+	if err != nil {
+		return PopularityFit{}, err
+	}
+	fit := PopularityFit{A: -lf.Slope, B: lf.Intercept, C: c}
+	fit.RelErr = relErrSE(popularity, fit.A, fit.B, c)
+	return fit, nil
+}
+
+func relErrZipf(pop []float64, a, b float64) float64 {
+	var sum float64
+	var n int
+	for i, y := range pop {
+		if y <= 0 {
+			continue
+		}
+		fitted := math.Pow(10, b-a*math.Log10(float64(i+1)))
+		sum += math.Abs(fitted-y) / y
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func relErrSE(pop []float64, a, b, c float64) float64 {
+	var sum float64
+	var n int
+	for i, y := range pop {
+		if y <= 0 {
+			continue
+		}
+		v := b - a*math.Log10(float64(i+1))
+		var fitted float64
+		if v > 0 {
+			fitted = math.Pow(v, 1/c)
+		}
+		sum += math.Abs(fitted-y) / y
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

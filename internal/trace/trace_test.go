@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"odr/internal/cloud"
+	"odr/internal/sim"
+	"odr/internal/workload"
+)
+
+func sampleRequests(t *testing.T, n int) []workload.Request {
+	t.Helper()
+	tr, err := workload.Generate(workload.DefaultConfig(500, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) < n {
+		t.Fatalf("trace too small: %d", len(tr.Requests))
+	}
+	return tr.Requests[:n]
+}
+
+func TestWorkloadCSVRoundTrip(t *testing.T) {
+	reqs := sampleRequests(t, 200)
+	var buf bytes.Buffer
+	if err := WriteWorkloadCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkloadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("rows = %d, want %d", len(back), len(reqs))
+	}
+	for i := range reqs {
+		a, b := reqs[i], back[i]
+		if a.User.ID != b.User.ID || a.User.ISP != b.User.ISP {
+			t.Fatalf("row %d: user mismatch", i)
+		}
+		if a.File.ID != b.File.ID || a.File.Size != b.File.Size ||
+			a.File.Class != b.File.Class || a.File.Protocol != b.File.Protocol ||
+			a.File.SourceURL != b.File.SourceURL ||
+			a.File.WeeklyRequests != b.File.WeeklyRequests {
+			t.Fatalf("row %d: file mismatch", i)
+		}
+		if a.Time.Milliseconds() != b.Time.Milliseconds() {
+			t.Fatalf("row %d: time mismatch", i)
+		}
+	}
+}
+
+func TestWorkloadJSONLRoundTrip(t *testing.T) {
+	reqs := sampleRequests(t, 200)
+	var buf bytes.Buffer
+	if err := WriteWorkloadJSONL(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkloadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("rows = %d", len(back))
+	}
+	for i := range reqs {
+		if reqs[i].File.ID != back[i].File.ID {
+			t.Fatalf("row %d: file mismatch", i)
+		}
+	}
+}
+
+func TestReadDeduplicatesIdentities(t *testing.T) {
+	reqs := sampleRequests(t, 500)
+	var buf bytes.Buffer
+	if err := WriteWorkloadCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkloadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byUser := map[int]*workload.User{}
+	byFile := map[workload.FileID]*workload.FileMeta{}
+	for _, r := range back {
+		if prev, ok := byUser[r.User.ID]; ok && prev != r.User {
+			t.Fatal("same user ID parsed to distinct *User values")
+		}
+		byUser[r.User.ID] = r.User
+		if prev, ok := byFile[r.File.ID]; ok && prev != r.File {
+			t.Fatal("same file ID parsed to distinct *FileMeta values")
+		}
+		byFile[r.File.ID] = r.File
+	}
+}
+
+func TestUnreportedBandwidthRoundTrips(t *testing.T) {
+	u := &workload.User{ID: 1, ISP: workload.ISPUnicom, AccessBW: 999, ReportsBW: false}
+	f := &workload.FileMeta{ID: workload.FileIDFromIndex(1), Size: 10,
+		Class: workload.ClassVideo, Protocol: workload.ProtoHTTP, SourceURL: "http://x"}
+	rec := FromRequest(workload.Request{User: u, File: f})
+	if rec.AccessBW != 0 {
+		t.Fatalf("unreported bandwidth leaked: %g", rec.AccessBW)
+	}
+	back, err := rec.ToRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.User.ReportsBW {
+		t.Fatal("ReportsBW should stay false")
+	}
+}
+
+func TestReadWorkloadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "a,b,c\n",
+		"bad isp": "user_id,isp,access_bw,time_ms,file_id,size,class,protocol,source_url,weekly_requests\n" +
+			"1,marsnet,0,0,0102030405060708090a0b0c0d0e0f10,5,video,http,u,1\n",
+		"bad id": "user_id,isp,access_bw,time_ms,file_id,size,class,protocol,source_url,weekly_requests\n" +
+			"1,unicom,0,0,xyz,5,video,http,u,1\n",
+		"short id": "user_id,isp,access_bw,time_ms,file_id,size,class,protocol,source_url,weekly_requests\n" +
+			"1,unicom,0,0,0102,5,video,http,u,1\n",
+		"bad size": "user_id,isp,access_bw,time_ms,file_id,size,class,protocol,source_url,weekly_requests\n" +
+			"1,unicom,0,0,0102030405060708090a0b0c0d0e0f10,NaNx,video,http,u,1\n",
+		"negative size": "user_id,isp,access_bw,time_ms,file_id,size,class,protocol,source_url,weekly_requests\n" +
+			"1,unicom,0,0,0102030405060708090a0b0c0d0e0f10,-5,video,http,u,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadWorkloadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTasksJSONLRoundTrip(t *testing.T) {
+	// Run a tiny simulation to get realistic task records.
+	tr, err := workload.Generate(workload.DefaultConfig(300, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	c := cloud.New(cloud.DefaultConfig(0.01, 99), eng)
+	c.Prewarm(tr.Files)
+	c.RunTrace(tr)
+
+	var buf bytes.Buffer
+	if err := WriteTasksJSONL(&buf, c.Records()); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := ReadTasksJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(c.Records()) {
+		t.Fatalf("lines = %d, want %d", len(lines), len(c.Records()))
+	}
+	for i, rec := range c.Records() {
+		l := lines[i]
+		if l.CacheHit != rec.CacheHit || l.PreSuccess != rec.PreSuccess ||
+			l.Rejected != rec.Rejected || l.Privileged != rec.Privileged {
+			t.Fatalf("line %d: flags mismatch", i)
+		}
+		if l.PreDelayMS != rec.PreDelay().Milliseconds() {
+			t.Fatalf("line %d: pre delay mismatch", i)
+		}
+		if l.Impediment != rec.Impediment.String() {
+			t.Fatalf("line %d: impediment mismatch", i)
+		}
+	}
+}
+
+func TestReadTasksJSONLBadInput(t *testing.T) {
+	if _, err := ReadTasksJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTimePrecision(t *testing.T) {
+	u := &workload.User{ID: 1, ISP: workload.ISPUnicom, AccessBW: 100, ReportsBW: true}
+	f := &workload.FileMeta{ID: workload.FileIDFromIndex(2), Size: 1,
+		Class: workload.ClassImage, Protocol: workload.ProtoFTP}
+	req := workload.Request{User: u, File: f, Time: 36*time.Hour + 123*time.Millisecond}
+	back, err := FromRequest(req).ToRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Time != req.Time {
+		t.Fatalf("time %v != %v", back.Time, req.Time)
+	}
+}

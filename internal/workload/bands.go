@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math"
+
+	"odr/internal/dist"
+)
+
+// bandModel generates per-file weekly request counts reproducing the
+// paper's three-band popularity skew. Counts are sampled per band:
+//
+//   - unpopular  (1..6):    truncated geometric, mean ≈ 2.80
+//   - popular    (7..84):   bounded Pareto, mean ≈ 30.4
+//   - highly pop (85..max): bounded Pareto, mean ≈ 336
+//
+// The band means follow from the published file/request shares
+// (93.2 % / 5.96 % / 0.84 % of files vs 36 % / 25 % / 39 % of requests over
+// 4,084,417 requests to 563,517 files, i.e. 7.25 requests per file).
+type bandModel struct {
+	// file-share of each band
+	fileShare [3]float64
+	// geometric ratio for the unpopular band
+	unpopRatio float64
+	// Pareto shapes for the popular and highly popular bands
+	popAlpha  float64
+	highAlpha float64
+	// highest weekly count a single file may receive
+	maxCount float64
+}
+
+// newBandModel calibrates the three band samplers so their means hit the
+// published targets. maxCount bounds the most popular file's weekly count
+// (it scales mildly with trace size in the generator).
+func newBandModel(maxCount float64) *bandModel {
+	m := &bandModel{
+		fileShare: [3]float64{0.932, 0.0596, 0.0084},
+		maxCount:  maxCount,
+	}
+	m.unpopRatio = solveGeometricRatio(1, 6, 2.80)
+	m.popAlpha = solveParetoShape(7, 84, 30.4)
+	m.highAlpha = solveParetoShape(85, maxCount, 336)
+	return m
+}
+
+// sampleBand picks a popularity band according to the file shares.
+func (m *bandModel) sampleBand(g *dist.RNG) PopularityBand {
+	u := g.Float64()
+	switch {
+	case u < m.fileShare[BandUnpopular]:
+		return BandUnpopular
+	case u < m.fileShare[BandUnpopular]+m.fileShare[BandPopular]:
+		return BandPopular
+	default:
+		return BandHighlyPopular
+	}
+}
+
+// sampleCount draws a weekly request count within the given band.
+func (m *bandModel) sampleCount(g *dist.RNG, b PopularityBand) int {
+	switch b {
+	case BandUnpopular:
+		return sampleTruncGeometric(g, m.unpopRatio, 1, 6)
+	case BandPopular:
+		v := g.BoundedPareto(7, m.popAlpha, 84)
+		return clampInt(int(math.Round(v)), 7, 84)
+	default:
+		v := g.BoundedPareto(85, m.highAlpha, m.maxCount)
+		return clampInt(int(math.Round(v)), 85, int(m.maxCount))
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// sampleTruncGeometric samples k in [lo, hi] with P(k) ∝ r^k.
+func sampleTruncGeometric(g *dist.RNG, r float64, lo, hi int) int {
+	var total float64
+	w := math.Pow(r, float64(lo))
+	for k := lo; k <= hi; k++ {
+		total += w
+		w *= r
+	}
+	u := g.Float64() * total
+	w = math.Pow(r, float64(lo))
+	for k := lo; k < hi; k++ {
+		u -= w
+		if u < 0 {
+			return k
+		}
+		w *= r
+	}
+	return hi
+}
+
+// truncGeometricMean returns the mean of the truncated geometric law with
+// ratio r over [lo, hi].
+func truncGeometricMean(r float64, lo, hi int) float64 {
+	var total, weighted float64
+	w := math.Pow(r, float64(lo))
+	for k := lo; k <= hi; k++ {
+		total += w
+		weighted += float64(k) * w
+		w *= r
+	}
+	return weighted / total
+}
+
+// solveGeometricRatio finds r such that the truncated geometric over
+// [lo, hi] has the target mean, by bisection. The mean is increasing in r.
+func solveGeometricRatio(lo, hi int, target float64) float64 {
+	a, b := 1e-6, 4.0
+	for i := 0; i < 200; i++ {
+		mid := (a + b) / 2
+		if truncGeometricMean(mid, lo, hi) < target {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return (a + b) / 2
+}
+
+// boundedParetoMean returns the mean of a Pareto(xm, alpha) truncated to
+// [xm, cap].
+func boundedParetoMean(xm, alpha, capV float64) float64 {
+	if capV <= xm {
+		return xm
+	}
+	if math.Abs(alpha-1) < 1e-9 {
+		// E[X] = xm * cap/(cap-xm) * ln(cap/xm) ... derive via integral:
+		// f(x) = (1/x^2) * xm*cap/(cap-xm); E = xm*cap/(cap-xm) * ln(cap/xm).
+		return xm * capV / (capV - xm) * math.Log(capV/xm)
+	}
+	l := math.Pow(xm, alpha)
+	h := math.Pow(capV, alpha)
+	// Standard truncated-Pareto mean.
+	return l / (1 - l/h) * alpha / (alpha - 1) *
+		(1/math.Pow(xm, alpha-1) - 1/math.Pow(capV, alpha-1))
+}
+
+// solveParetoShape finds alpha such that the bounded Pareto over
+// [xm, cap] has the target mean, by bisection. The mean is decreasing in
+// alpha.
+func solveParetoShape(xm, capV, target float64) float64 {
+	a, b := 1e-4, 20.0
+	for i := 0; i < 200; i++ {
+		mid := (a + b) / 2
+		if boundedParetoMean(xm, mid, capV) > target {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return (a + b) / 2
+}

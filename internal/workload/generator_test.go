@@ -1,0 +1,378 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"odr/internal/stats"
+)
+
+func testTrace(t *testing.T, numFiles int, seed uint64) *Trace {
+	t.Helper()
+	tr, err := Generate(DefaultConfig(numFiles, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := testTrace(t, 2000, 1)
+	b := testTrace(t, 2000, 1)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("request counts differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		ra, rb := a.Requests[i], b.Requests[i]
+		if ra.File.ID != rb.File.ID || ra.User.ID != rb.User.ID || ra.Time != rb.Time {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := testTrace(t, 2000, 1)
+	b := testTrace(t, 2000, 2)
+	if len(a.Requests) == len(b.Requests) {
+		same := true
+		for i := range a.Requests {
+			if a.Requests[i].File.ID != b.Requests[i].File.ID {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig(100, 1)
+	cfg.NumFiles = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("want error for NumFiles=0")
+	}
+	cfg = DefaultConfig(100, 1)
+	cfg.ClassShares = [4]float64{0.5, 0.5, 0.5, 0.5}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("want error for class shares not summing to 1")
+	}
+	cfg = DefaultConfig(100, 1)
+	cfg.ISPShares[0] = -0.1
+	cfg.ISPShares[1] += 0.1
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("want error for negative ISP share")
+	}
+	cfg = DefaultConfig(100, 1)
+	cfg.Span = -time.Hour
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("want error for negative span")
+	}
+}
+
+// §3: ~7.25 requests per unique file.
+func TestRequestsPerFileRatio(t *testing.T) {
+	tr := testTrace(t, 30000, 7)
+	ratio := float64(len(tr.Requests)) / float64(len(tr.Files))
+	if ratio < 6.3 || ratio > 8.3 {
+		t.Fatalf("requests/file = %.2f, want ≈7.25", ratio)
+	}
+}
+
+// §4.1 / Figure 10: 93.2 % of files unpopular, 0.84 % highly popular;
+// 36 % of requests for unpopular files, 39 % for highly popular ones.
+func TestPopularityBandShares(t *testing.T) {
+	tr := testTrace(t, 50000, 11)
+	fb := tr.FilesPerBand()
+	rb := tr.RequestsPerBand()
+	nf, nr := float64(len(tr.Files)), float64(len(tr.Requests))
+
+	if got := float64(fb[BandUnpopular]) / nf; math.Abs(got-0.932) > 0.01 {
+		t.Errorf("unpopular file share = %.3f, want ≈0.932", got)
+	}
+	if got := float64(fb[BandHighlyPopular]) / nf; math.Abs(got-0.0084) > 0.003 {
+		t.Errorf("highly popular file share = %.4f, want ≈0.0084", got)
+	}
+	if got := float64(rb[BandUnpopular]) / nr; math.Abs(got-0.36) > 0.04 {
+		t.Errorf("unpopular request share = %.3f, want ≈0.36", got)
+	}
+	if got := float64(rb[BandHighlyPopular]) / nr; math.Abs(got-0.39) > 0.06 {
+		t.Errorf("highly popular request share = %.3f, want ≈0.39", got)
+	}
+}
+
+// Figure 5: min ≈4 B, ≈25 % below 8 MB, median ≈115 MB, mean ≈390 MB,
+// max ≤ 4 GB.
+func TestFileSizeDistribution(t *testing.T) {
+	tr := testTrace(t, 60000, 13)
+	s := stats.NewSample(len(tr.Files))
+	for _, f := range tr.Files {
+		if f.Size < 4 || f.Size > 4<<30 {
+			t.Fatalf("file size %d outside [4 B, 4 GB]", f.Size)
+		}
+		s.Add(float64(f.Size))
+	}
+	const mb = 1 << 20
+	if small := s.CDFAt(8 * mb); math.Abs(small-0.25) > 0.05 {
+		t.Errorf("P(size <= 8 MB) = %.3f, want ≈0.25", small)
+	}
+	if med := s.Median() / mb; med < 85 || med > 150 {
+		t.Errorf("median size = %.0f MB, want ≈115 MB", med)
+	}
+	if mean := s.Mean() / mb; mean < 320 || mean > 460 {
+		t.Errorf("mean size = %.0f MB, want ≈390 MB", mean)
+	}
+}
+
+// §3: 75 % of requests for videos, 15 % software; 87 % of files in P2P
+// swarms (68 % BitTorrent, 19 % eMule).
+func TestClassAndProtocolShares(t *testing.T) {
+	tr := testTrace(t, 40000, 17)
+	var video, software, p2p, bt int
+	for _, r := range tr.Requests {
+		switch r.File.Class {
+		case ClassVideo:
+			video++
+		case ClassSoftware:
+			software++
+		}
+		if r.File.Protocol.IsP2P() {
+			p2p++
+		}
+		if r.File.Protocol == ProtoBitTorrent {
+			bt++
+		}
+	}
+	n := float64(len(tr.Requests))
+	if got := float64(video) / n; math.Abs(got-0.75) > 0.03 {
+		t.Errorf("video request share = %.3f, want ≈0.75", got)
+	}
+	if got := float64(software) / n; math.Abs(got-0.15) > 0.03 {
+		t.Errorf("software request share = %.3f, want ≈0.15", got)
+	}
+	if got := float64(p2p) / n; math.Abs(got-0.87) > 0.03 {
+		t.Errorf("P2P request share = %.3f, want ≈0.87", got)
+	}
+	if got := float64(bt) / n; math.Abs(got-0.68) > 0.03 {
+		t.Errorf("BitTorrent request share = %.3f, want ≈0.68", got)
+	}
+}
+
+func TestISPShares(t *testing.T) {
+	tr := testTrace(t, 20000, 19)
+	counts := make([]int, NumISPs)
+	for _, u := range tr.Users {
+		counts[u.ISP]++
+	}
+	n := float64(len(tr.Users))
+	if got := float64(counts[ISPOther]) / n; math.Abs(got-0.096) > 0.02 {
+		t.Errorf("Other-ISP user share = %.3f, want ≈0.096", got)
+	}
+}
+
+// §4.2: ≈10.8 % of users below the 125 KBps access-bandwidth threshold.
+func TestAccessBandwidthLowTail(t *testing.T) {
+	tr := testTrace(t, 20000, 23)
+	below := 0
+	for _, u := range tr.Users {
+		if u.AccessBW < 125*1024 {
+			below++
+		}
+	}
+	got := float64(below) / float64(len(tr.Users))
+	if math.Abs(got-0.108) > 0.02 {
+		t.Errorf("P(accessBW < 125 KBps) = %.3f, want ≈0.108", got)
+	}
+}
+
+func TestRequestsSortedAndWithinSpan(t *testing.T) {
+	tr := testTrace(t, 5000, 29)
+	var prev time.Duration
+	for i, r := range tr.Requests {
+		if r.Time < prev {
+			t.Fatalf("requests not time-ordered at %d", i)
+		}
+		if r.Time < 0 || r.Time >= tr.Span {
+			t.Fatalf("request time %v outside span %v", r.Time, tr.Span)
+		}
+		prev = r.Time
+	}
+}
+
+func TestDaySevenBusiest(t *testing.T) {
+	tr := testTrace(t, 50000, 31)
+	var perDay [7]int
+	for _, r := range tr.Requests {
+		perDay[int(r.Time/(24*time.Hour))]++
+	}
+	for d := 0; d < 6; d++ {
+		if perDay[d] >= perDay[6] {
+			t.Fatalf("day 7 (%d reqs) not the busiest (day %d has %d)",
+				perDay[6], d+1, perDay[d])
+		}
+	}
+}
+
+func TestFileIDsUnique(t *testing.T) {
+	tr := testTrace(t, 10000, 37)
+	seen := make(map[FileID]bool, len(tr.Files))
+	for _, f := range tr.Files {
+		if seen[f.ID] {
+			t.Fatalf("duplicate FileID %s", f.ID)
+		}
+		seen[f.ID] = true
+	}
+}
+
+func TestUnicomSample(t *testing.T) {
+	tr := testTrace(t, 20000, 41)
+	sample := UnicomSample(tr, 1000, 99)
+	if len(sample) != 1000 {
+		t.Fatalf("sample size = %d, want 1000", len(sample))
+	}
+	for _, r := range sample {
+		if r.User.ISP != ISPUnicom {
+			t.Fatal("sampled non-Unicom user")
+		}
+		if !r.User.ReportsBW {
+			t.Fatal("sampled user without reported bandwidth")
+		}
+	}
+	// Deterministic for fixed seed.
+	again := UnicomSample(tr, 1000, 99)
+	for i := range sample {
+		if sample[i].File.ID != again[i].File.ID {
+			t.Fatal("UnicomSample not deterministic")
+		}
+	}
+}
+
+func TestUnicomSampleSmallPool(t *testing.T) {
+	tr := testTrace(t, 200, 43)
+	sample := UnicomSample(tr, 1<<30, 1)
+	for _, r := range sample {
+		if r.User.ISP != ISPUnicom || !r.User.ReportsBW {
+			t.Fatal("pool filter violated")
+		}
+	}
+}
+
+func TestPopularityVectorSorted(t *testing.T) {
+	tr := testTrace(t, 5000, 47)
+	v := PopularityVector(tr.Files)
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[i-1] {
+			t.Fatal("popularity vector not descending")
+		}
+	}
+	if len(v) != len(tr.Files) {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestBandOf(t *testing.T) {
+	cases := []struct {
+		n    int
+		want PopularityBand
+	}{
+		{0, BandUnpopular}, {1, BandUnpopular}, {6, BandUnpopular},
+		{7, BandPopular}, {50, BandPopular}, {84, BandPopular},
+		{85, BandHighlyPopular}, {100000, BandHighlyPopular},
+	}
+	for _, c := range cases {
+		if got := BandOf(c.n); got != c.want {
+			t.Errorf("BandOf(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestEnumStringRoundTrips(t *testing.T) {
+	for p := Protocol(0); p < protoCount; p++ {
+		back, err := ParseProtocol(p.String())
+		if err != nil || back != p {
+			t.Errorf("protocol %v round trip failed: %v", p, err)
+		}
+	}
+	for c := FileClass(0); c < classCount; c++ {
+		back, err := ParseFileClass(c.String())
+		if err != nil || back != c {
+			t.Errorf("class %v round trip failed: %v", c, err)
+		}
+	}
+	for i := ISP(0); i < ispCount; i++ {
+		back, err := ParseISP(i.String())
+		if err != nil || back != i {
+			t.Errorf("ISP %v round trip failed: %v", i, err)
+		}
+	}
+	if _, err := ParseProtocol("gopher"); err == nil {
+		t.Error("ParseProtocol accepted junk")
+	}
+	if _, err := ParseFileClass("junk"); err == nil {
+		t.Error("ParseFileClass accepted junk")
+	}
+	if _, err := ParseISP("junk"); err == nil {
+		t.Error("ParseISP accepted junk")
+	}
+}
+
+func TestFileIDFromIndexDistinct(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return FileIDFromIndex(a) != FileIDFromIndex(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every generated weekly count lands in the band the band model
+// assigned, i.e. counts respect band boundaries.
+func TestBandCountsWithinBounds(t *testing.T) {
+	tr := testTrace(t, 20000, 53)
+	for _, f := range tr.Files {
+		if f.WeeklyRequests < 1 {
+			t.Fatalf("file with %d weekly requests", f.WeeklyRequests)
+		}
+	}
+}
+
+func TestBandModelMeans(t *testing.T) {
+	// The calibrated samplers must hit the derived per-band means.
+	m := newBandModel(50000)
+	if got := truncGeometricMean(m.unpopRatio, 1, 6); math.Abs(got-2.80) > 0.01 {
+		t.Errorf("unpopular mean = %.3f, want 2.80", got)
+	}
+	if got := boundedParetoMean(7, m.popAlpha, 84); math.Abs(got-30.4) > 0.1 {
+		t.Errorf("popular mean = %.2f, want 30.4", got)
+	}
+	if got := boundedParetoMean(85, m.highAlpha, 50000); math.Abs(got-336) > 1 {
+		t.Errorf("highly popular mean = %.1f, want 336", got)
+	}
+}
+
+// §3 / Figures 6-7: the SE model fits the popularity distribution better
+// than Zipf, with relative errors in the paper's ballpark.
+func TestSEFitsBetterThanZipf(t *testing.T) {
+	tr := testTrace(t, 60000, 59)
+	pop := PopularityVector(tr.Files)
+	zipf, err := stats.FitZipf(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := stats.FitSE(pop, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.RelErr >= zipf.RelErr {
+		t.Errorf("SE rel-err %.3f not better than Zipf %.3f", se.RelErr, zipf.RelErr)
+	}
+	if zipf.RelErr > 0.60 {
+		t.Errorf("Zipf rel-err %.3f implausibly large", zipf.RelErr)
+	}
+}

@@ -1,0 +1,92 @@
+package odr
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"odr/internal/storage"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the quickstart
+// example does: generate a trace, simulate the week, replay ODR, and query
+// the web service.
+func TestFacadeEndToEnd(t *testing.T) {
+	tr, err := GenerateTrace(DefaultTraceConfig(3000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := SimulateWeek(tr, DefaultCloudConfig(3000.0/563517, 1))
+	if len(c.Records()) != len(tr.Requests) {
+		t.Fatal("week simulation incomplete")
+	}
+
+	sample := UnicomSample(tr, 200, 1)
+	aps := BenchmarkedAPs()
+	bench := RunAPBenchmark(sample, aps, 1)
+	if bench.FailureRatio() <= 0 {
+		t.Fatal("AP benchmark produced no failures at all — implausible")
+	}
+	res := RunODR(sample, tr.Files, aps, ReplayOptions{Seed: 1})
+	if res.UnpopularFailureRatio() >= bench.UnpopularFailureRatio() {
+		t.Fatal("ODR did not improve on the AP baseline")
+	}
+}
+
+func TestFacadeDecide(t *testing.T) {
+	d := Decide(Input{
+		Protocol: 0, // bittorrent
+		Band:     2, // highly popular
+		Cached:   true,
+		ISP:      1, // unicom
+		AccessBW: 2.5 * 1024 * 1024,
+		HasAP:    true,
+		APStorage: StorageDevice{
+			Type: storage.SATAHDD, FS: storage.EXT4,
+		},
+		APCPUGHz: 1.0,
+	})
+	if d.Source != SourceOriginal || d.Route != RouteSmartAP {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestFacadeWebService(t *testing.T) {
+	tr, err := GenerateTrace(DefaultTraceConfig(500, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := SimulateWeek(tr, DefaultCloudConfig(500.0/563517, 2))
+	advisor := &Advisor{DB: c.DB(), Cache: c.Pool()}
+	srv := httptest.NewServer(NewWebServer(advisor, NewMapResolver(tr.Files), nil))
+	defer srv.Close()
+
+	client, err := NewWebClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Decide(context.Background(), tr.Files[0].SourceURL, &AuxInfo{
+		ISP: "unicom", AccessBW: 1024 * 1024,
+		HasAP: true, APStorage: "usb-hdd", APFS: "ext4", APCPUGHz: 0.58,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Route == "" || resp.Reason == "" {
+		t.Fatalf("incomplete decision %+v", resp)
+	}
+}
+
+func TestLabSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lab smoke test is slow")
+	}
+	lab := NewLab(LabConfig{NumFiles: 3000, SampleSize: 300, Seed: 3})
+	reports := lab.All()
+	if len(reports) != 19 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+}
