@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build test vet race determinism bench
+
+# check is the CI gate: static checks, a full build, the race-enabled
+# test suite, and the engine determinism test at several GOMAXPROCS.
+check: vet build race determinism
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The sharded replay engine must produce byte-identical results at any
+# parallelism; run its invariance test single- and multi-threaded.
+determinism:
+	$(GO) test -run TestReplayDeterminism -cpu 1,4 ./internal/replay
+
+# Shard-count throughput sweep over the 50k-request benchmark trace.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkReplayParallel -benchtime 3x ./internal/replay

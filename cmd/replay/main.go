@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	replay [-files N] [-sample N] [-seed S] [-tasks PATH]
+//	replay [-files N] [-sample N] [-seed S] [-shards N] [-tasks PATH]
 //
 // With -tasks it also dumps the week simulation's task records as JSON
 // Lines (the pre-downloading + fetching traces of §3).
@@ -28,17 +28,18 @@ func main() {
 	files := flag.Int("files", 20000, "unique files in the synthetic week")
 	sampleN := flag.Int("sample", 1000, "replay sample size")
 	seed := flag.Uint64("seed", 1, "random seed")
+	shards := flag.Int("shards", 0, "replay engine shards (0 = GOMAXPROCS; results are identical for any value)")
 	tasks := flag.String("tasks", "", "also dump week task records as JSONL to this path")
 	tracePath := flag.String("trace", "", "replay a workload CSV (wgen format) instead of generating one")
 	flag.Parse()
 
-	if err := run(*files, *sampleN, *seed, *tasks, *tracePath); err != nil {
+	if err := run(*files, *sampleN, *seed, *shards, *tasks, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(files, sampleN int, seed uint64, tasksPath, tracePath string) error {
+func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath string) error {
 	tr, err := loadOrGenerate(files, seed, tracePath)
 	if err != nil {
 		return err
@@ -65,8 +66,10 @@ func run(files, sampleN int, seed uint64, tasksPath, tracePath string) error {
 
 	// §6.2 ODR evaluation.
 	baseline := replay.CloudOnlyBaseline(sample, tr.Files, seed)
-	odr := replay.RunODR(sample, tr.Files, aps, replay.Options{Seed: seed})
+	odr := replay.RunODR(sample, tr.Files, aps, replay.Options{Seed: seed, Shards: shards})
 	fmt.Println("\n== ODR evaluation (§6.2) ==")
+	fmt.Printf("engine:             %d shard(s), %d tasks\n",
+		odr.Engine.Shards, odr.Engine.Totals().Tasks)
 	fmt.Printf("impeded fetches:    cloud %5.1f%%  ODR %5.1f%%  (paper: 28%% -> 9%%)\n",
 		baseline.ImpededRatio()*100, odr.ImpededRatio()*100)
 	fmt.Printf("cloud bytes:        %.3g -> %.3g  (-%.0f%%, paper: -35%%)\n",

@@ -1,0 +1,208 @@
+// Package backendtest is the conformance suite for backend.Backend
+// implementations. Any backend — the four built-ins or a future
+// transport — must pass Run before the replay engine may schedule it:
+// the engine's determinism guarantee holds only if every backend is a
+// pure function of (construction seed, request) with order-independent
+// ledgers.
+package backendtest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"odr/internal/backend"
+)
+
+// Instance is one freshly constructed backend under test plus a request
+// factory. Request(i) must return the i-th request of a fixed scenario
+// and must carry a fresh request-scoped RNG on every call, so that
+// replaying an index reproduces the same draws.
+type Instance struct {
+	Backend backend.Backend
+	Request func(i int) *backend.Request
+}
+
+// Factory constructs a fresh, independent Instance over the same
+// underlying scenario (same seed, users, files, APs).
+type Factory func() Instance
+
+// Run exercises a backend against the Backend contract over n requests:
+// well-formed results, stable probes, accurate ledgers, determinism
+// across instances, and concurrent execution matching sequential
+// execution exactly.
+func Run(t *testing.T, n int, factory Factory) {
+	t.Helper()
+
+	t.Run("Name", func(t *testing.T) {
+		inst := factory()
+		if inst.Backend.Name() == "" {
+			t.Fatal("backend has an empty name")
+		}
+		if got := factory().Backend.Name(); got != inst.Backend.Name() {
+			t.Fatalf("name not stable across instances: %q vs %q", got, inst.Backend.Name())
+		}
+	})
+
+	t.Run("WellFormedResults", func(t *testing.T) {
+		inst := factory()
+		for i := 0; i < n; i++ {
+			pre := inst.Backend.PreDownload(inst.Request(i))
+			if pre.OK {
+				if pre.Cause != "" {
+					t.Fatalf("request %d: successful pre-download has cause %q", i, pre.Cause)
+				}
+				if pre.Rate < 0 || pre.Delay < 0 {
+					t.Fatalf("request %d: negative rate/delay on success: %+v", i, pre)
+				}
+			} else {
+				if pre.Cause == "" {
+					t.Fatalf("request %d: failed pre-download has no cause", i)
+				}
+				if pre.Rate != 0 {
+					t.Fatalf("request %d: failed pre-download reports rate %g", i, pre.Rate)
+				}
+				if pre.Delay <= 0 {
+					t.Fatalf("request %d: failure must charge a stagnation delay, got %v", i, pre.Delay)
+				}
+			}
+			f := inst.Backend.Fetch(inst.Request(i))
+			if f.OK {
+				if f.Rate <= 0 {
+					t.Fatalf("request %d: successful fetch at rate %g", i, f.Rate)
+				}
+				if cap := inst.Request(i).EnvCap; cap > 0 && f.Rate > cap {
+					t.Fatalf("request %d: fetch rate %g beats environment ceiling %g", i, f.Rate, cap)
+				}
+			} else if f.Cause == "" {
+				t.Fatalf("request %d: failed fetch has no cause", i)
+			}
+		}
+	})
+
+	t.Run("LedgerCounts", func(t *testing.T) {
+		inst := factory()
+		for i := 0; i < n; i++ {
+			inst.Backend.PreDownload(inst.Request(i))
+			inst.Backend.Fetch(inst.Request(i))
+		}
+		l := inst.Backend.Ledger()
+		if got := l.Fetches(); got != int64(n) {
+			t.Errorf("ledger counted %d fetches, ran %d", got, n)
+		}
+		if l.PreDownloads() > int64(n) {
+			t.Errorf("ledger counted %d pre-downloads, ran %d", l.PreDownloads(), n)
+		}
+		if l.BytesOut() < 0 || l.BytesOutHP() < 0 || l.BytesOutHP() > l.BytesOut() {
+			t.Errorf("implausible byte ledger: out=%d hp=%d", l.BytesOut(), l.BytesOutHP())
+		}
+	})
+
+	t.Run("ProbeStable", func(t *testing.T) {
+		probed := factory()
+		plain := factory()
+		for i := 0; i < n; i++ {
+			a := probed.Backend.Probe(probed.Request(i))
+			if b := probed.Backend.Probe(probed.Request(i)); a != b {
+				t.Fatalf("request %d: probe flapped %v -> %v with no intervening work", i, a, b)
+			}
+			// Probing must not perturb outcomes: compare against an
+			// instance that never probes.
+			got := probed.Backend.PreDownload(probed.Request(i))
+			want := plain.Backend.PreDownload(plain.Request(i))
+			if got != want {
+				t.Fatalf("request %d: probing changed the pre-download outcome:\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+	})
+
+	t.Run("DeterministicAcrossInstances", func(t *testing.T) {
+		a, b := replayAll(factory, n, false), replayAll(factory, n, false)
+		for i := 0; i < n; i++ {
+			if a.pres[i] != b.pres[i] {
+				t.Fatalf("request %d: pre-download diverged across identical instances:\n a %+v\n b %+v", i, a.pres[i], b.pres[i])
+			}
+			if a.fetches[i] != b.fetches[i] {
+				t.Fatalf("request %d: fetch diverged across identical instances:\n a %+v\n b %+v", i, a.fetches[i], b.fetches[i])
+			}
+		}
+		if a.ledger != b.ledger {
+			t.Fatalf("ledgers diverged across identical instances:\n a %+v\n b %+v", a.ledger, b.ledger)
+		}
+	})
+
+	t.Run("ConcurrentMatchesSequential", func(t *testing.T) {
+		seq := replayAll(factory, n, false)
+		conc := replayAll(factory, n, true)
+		for i := 0; i < n; i++ {
+			if seq.pres[i] != conc.pres[i] {
+				t.Fatalf("request %d: pre-download depends on scheduling:\n sequential %+v\n concurrent %+v", i, seq.pres[i], conc.pres[i])
+			}
+			if seq.fetches[i] != conc.fetches[i] {
+				t.Fatalf("request %d: fetch depends on scheduling:\n sequential %+v\n concurrent %+v", i, seq.fetches[i], conc.fetches[i])
+			}
+		}
+		if seq.ledger != conc.ledger {
+			t.Fatalf("ledger totals depend on scheduling:\n sequential %+v\n concurrent %+v", seq.ledger, conc.ledger)
+		}
+	})
+}
+
+// ledgerSnapshot freezes a Ledger's counters into a comparable value.
+type ledgerSnapshot struct {
+	pres, fetches, failures, bytesOut, bytesOutHP int64
+}
+
+func snapshot(l *backend.Ledger) ledgerSnapshot {
+	return ledgerSnapshot{
+		pres:       l.PreDownloads(),
+		fetches:    l.Fetches(),
+		failures:   l.Failures(),
+		bytesOut:   l.BytesOut(),
+		bytesOutHP: l.BytesOutHP(),
+	}
+}
+
+func (s ledgerSnapshot) String() string {
+	return fmt.Sprintf("{pre:%d fetch:%d fail:%d out:%d hp:%d}",
+		s.pres, s.fetches, s.failures, s.bytesOut, s.bytesOutHP)
+}
+
+type transcript struct {
+	pres    []backend.PreResult
+	fetches []backend.FetchResult
+	ledger  ledgerSnapshot
+}
+
+// replayAll runs probe+pre-download+fetch for every request on a fresh
+// instance and records the outcomes by index, either sequentially or
+// with one goroutine per request.
+func replayAll(factory Factory, n int, concurrent bool) transcript {
+	inst := factory()
+	tr := transcript{
+		pres:    make([]backend.PreResult, n),
+		fetches: make([]backend.FetchResult, n),
+	}
+	one := func(i int) {
+		inst.Backend.Probe(inst.Request(i))
+		tr.pres[i] = inst.Backend.PreDownload(inst.Request(i))
+		tr.fetches[i] = inst.Backend.Fetch(inst.Request(i))
+	}
+	if concurrent {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				one(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			one(i)
+		}
+	}
+	tr.ledger = snapshot(inst.Backend.Ledger())
+	return tr
+}

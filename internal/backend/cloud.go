@@ -1,0 +1,182 @@
+package backend
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"odr/internal/cloud"
+	"odr/internal/dist"
+	"odr/internal/sources"
+	"odr/internal/workload"
+)
+
+// CloudConfig parameterizes the cloud backend; it is the cloud
+// simulator's own configuration so replay and simulation share one
+// calibration.
+type CloudConfig = cloud.Config
+
+// WarmProbs is the probability that a file of each popularity band is
+// cached at the moment a replayed request arrives. Unlike the week
+// simulation's cold-start per-file warm probabilities, these are
+// steady-state per-request hit rates: the production cloud keeps serving
+// its full workload during the replay weeks, so a random request sees the
+// long-run cache state (≈89 % hits overall, ≈70 % for unpopular files).
+var WarmProbs = [3]float64{0.70, 0.97, 0.998}
+
+// Cloud is the cloud backend: a warmed deduplicating pool, the shared
+// fetch-path model, and source attempts for cache misses. A replay does
+// not stress cloud admission, so upload-pool bookkeeping reduces to byte
+// accounting in the Ledger.
+//
+// Concurrency and determinism: the warm pool is immutable after
+// construction, and each cache miss's pre-download outcome is a memoized
+// pure function of (seed, file) drawn from a file-keyed RNG substream —
+// never from a shared sequential stream. Whether a request sees the file
+// cached therefore depends only on the warm set, that per-file outcome,
+// and the index order recorded by Prime, not on which goroutine got there
+// first.
+type Cloud struct {
+	cfg  cloud.Config
+	fm   cloud.FetchModel
+	src  *sources.Mix
+	pool *cloud.StoragePool
+	root *dist.RNG
+
+	mu sync.Mutex
+	// outcomes memoizes the single pre-download attempt per file.
+	outcomes map[workload.FileID]PreResult
+	// firstIdx records each sampled file's earliest request index; a
+	// request sees a pre-downloaded (not warm) file as cached only when a
+	// strictly earlier request could have triggered the pre-download.
+	firstIdx map[workload.FileID]int
+
+	ledger Ledger
+}
+
+// NewCloud builds a warmed cloud backend over the file population.
+func NewCloud(files []*workload.FileMeta, cfg cloud.Config, seed uint64) *Cloud {
+	g := dist.NewRNG(seed).Split("mini-cloud")
+	c := &Cloud{
+		cfg:      cfg,
+		fm:       cloud.NewFetchModel(cfg),
+		src:      sources.NewMix(),
+		pool:     cloud.NewStoragePool(cfg.PoolCapacity),
+		root:     g,
+		outcomes: make(map[workload.FileID]PreResult),
+		firstIdx: make(map[workload.FileID]int),
+	}
+	warm := g.Split("warm")
+	for _, f := range files {
+		if warm.Bool(WarmProbs[f.Band()]) {
+			c.pool.Add(f.ID, f.Size)
+		}
+	}
+	return c
+}
+
+// Name implements Backend.
+func (c *Cloud) Name() string { return "cloud" }
+
+// Ledger implements Backend.
+func (c *Cloud) Ledger() *Ledger { return &c.ledger }
+
+// Config returns the backend's cloud configuration.
+func (c *Cloud) Config() cloud.Config { return c.cfg }
+
+// Contains implements core.CacheProbe over the warm pool (the state ODR's
+// advisor would see at replay start).
+func (c *Cloud) Contains(id workload.FileID) bool { return c.pool.Contains(id) }
+
+// Prime records each sampled file's earliest request index and resolves
+// the pre-download outcome of every non-warm sampled file up front, so
+// the parallel replay phase only reads. Calling Prime again extends the
+// index map without disturbing already-recorded entries.
+func (c *Cloud) Prime(sample []workload.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range sample {
+		f := sample[i].File
+		if _, ok := c.firstIdx[f.ID]; !ok {
+			c.firstIdx[f.ID] = i
+		}
+		if !c.pool.Contains(f.ID) {
+			c.outcomeLocked(f)
+		}
+	}
+}
+
+// Probe implements Backend: the file is available to this request when it
+// is warm, or when a strictly earlier request's cloud pre-download
+// succeeded.
+func (c *Cloud) Probe(req *Request) bool {
+	if c.pool.Contains(req.File.ID) {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first, ok := c.firstIdx[req.File.ID]
+	if !ok || first >= req.Index {
+		return false
+	}
+	return c.outcomeLocked(req.File).OK
+}
+
+// PreDownload implements Backend: the cloud pre-downloads the file from
+// its original source through a pre-downloader VM. The outcome is
+// memoized per file — concurrent requests for one file deduplicate onto a
+// single attempt, exactly as the production cloud's in-flight
+// deduplication does. A failed attempt runs for the configured stagnation
+// timeout before the cloud declares failure.
+func (c *Cloud) PreDownload(req *Request) PreResult {
+	c.ledger.preDownloads.Add(1)
+	c.mu.Lock()
+	out := c.outcomeLocked(req.File)
+	c.mu.Unlock()
+	if !out.OK {
+		c.ledger.failures.Add(1)
+	}
+	return out
+}
+
+// outcomeLocked resolves (and memoizes) the file's single pre-download
+// attempt. The caller holds c.mu.
+func (c *Cloud) outcomeLocked(f *workload.FileMeta) PreResult {
+	if out, ok := c.outcomes[f.ID]; ok {
+		return out
+	}
+	g := c.root.Split("pre:" + f.ID.String())
+	att := c.src.Attempt(g, f)
+	var out PreResult
+	if !att.OK {
+		out = PreResult{Delay: c.cfg.StagnationTimeout, Cause: att.Cause.String()}
+	} else {
+		rate := math.Min(att.Rate, cloud.PreDownloaderBW)
+		out = PreResult{
+			OK:      true,
+			Rate:    rate,
+			Delay:   time.Duration(float64(f.Size) / rate * float64(time.Second)),
+			Traffic: float64(f.Size) * att.OverheadRatio,
+		}
+	}
+	c.outcomes[f.ID] = out
+	return out
+}
+
+// Fetch implements Backend: one user fetch from the cloud, charging the
+// upload ledger. The rate is the privileged-path draw for supported ISPs
+// and the cross-ISP draw otherwise, capped by the replay environment.
+func (c *Cloud) Fetch(req *Request) FetchResult {
+	c.ledger.fetches.Add(1)
+	privRate, crossRate, _ := c.fm.Sample(req.RNG, req.User)
+	rate := privRate
+	if !req.User.ISP.Supported() {
+		rate = crossRate
+	}
+	c.ledger.serve(req.File)
+	return FetchResult{
+		OK:         true,
+		Rate:       req.capped(rate),
+		CloudBytes: req.File.Size,
+	}
+}

@@ -1,0 +1,59 @@
+package backend
+
+// SmartAP is the smart-AP backend: the user's own AP pre-downloads the
+// file from its original source onto attached storage, and the user later
+// fetches it over the LAN. The AP instance rides on each Request, so one
+// SmartAP backend serves a whole heterogeneous AP fleet.
+type SmartAP struct {
+	ledger Ledger
+}
+
+// NewSmartAP returns the smart-AP backend.
+func NewSmartAP() *SmartAP { return &SmartAP{} }
+
+// Name implements Backend.
+func (s *SmartAP) Name() string { return "smart-ap" }
+
+// Ledger implements Backend.
+func (s *SmartAP) Ledger() *Ledger { return &s.ledger }
+
+// Probe implements Backend: an AP holds nothing before its pre-download.
+func (s *SmartAP) Probe(*Request) bool { return false }
+
+// PreDownload implements Backend: the AP pulls from the original source,
+// bounded by the source, the access link, and the storage write path
+// (Bottleneck 4).
+func (s *SmartAP) PreDownload(req *Request) PreResult {
+	s.ledger.preDownloads.Add(1)
+	r := req.AP.PreDownload(req.RNG, req.File, req.UsableBW())
+	if !r.Success {
+		s.ledger.failures.Add(1)
+		return PreResult{Delay: r.Delay, Cause: r.Cause}
+	}
+	s.ledger.serve(req.File)
+	return PreResult{
+		OK:           true,
+		Rate:         r.Rate,
+		Delay:        r.Delay,
+		Traffic:      r.Traffic,
+		IOWait:       r.IOWait,
+		StorageBound: r.StorageBound,
+	}
+}
+
+// Fetch implements Backend: the LAN fetch from the AP, which §5.2 shows
+// is almost never the constraint.
+func (s *SmartAP) Fetch(req *Request) FetchResult {
+	s.ledger.fetches.Add(1)
+	_, lan := req.AP.LANFetch(req.RNG, req.File.Size)
+	return FetchResult{OK: true, Rate: req.capped(lan)}
+}
+
+// StorageExposed reports whether req's AP would cap a transfer below the
+// usable access bandwidth — the Bottleneck 4 precondition the replay
+// tasks record.
+func StorageExposed(req *Request) bool {
+	return req.AP != nil && req.AP.StorageThroughput() < req.UsableBW()
+}
+
+var _ Backend = (*SmartAP)(nil)

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"odr/internal/storage"
 	"odr/internal/workload"
@@ -117,15 +118,23 @@ type Input struct {
 	APCPUGHz float64
 }
 
-// Validate reports structural problems with the input.
+// Validate reports structural problems with the input. Bandwidth and
+// clock values must be positive finite numbers: NaN would silently fall
+// through every threshold comparison in the decision procedure, and ±Inf
+// would defeat the Bottleneck 1/4 ceilings.
 func (in *Input) Validate() error {
-	if in.AccessBW <= 0 {
-		return fmt.Errorf("core: access bandwidth must be positive, got %g", in.AccessBW)
+	if !finitePositive(in.AccessBW) {
+		return fmt.Errorf("core: access bandwidth must be a positive finite number, got %g", in.AccessBW)
 	}
-	if in.HasAP && in.APCPUGHz <= 0 {
-		return fmt.Errorf("core: AP CPU clock must be positive, got %g", in.APCPUGHz)
+	if in.HasAP && !finitePositive(in.APCPUGHz) {
+		return fmt.Errorf("core: AP CPU clock must be a positive finite number, got %g", in.APCPUGHz)
 	}
 	return nil
+}
+
+// finitePositive reports whether v is a finite number greater than zero.
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1) && !math.IsNaN(v)
 }
 
 // Decision is ODR's answer.

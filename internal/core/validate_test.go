@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"odr/internal/storage"
+	"odr/internal/workload"
+)
+
+// validInput returns an input that passes Validate, for the table tests to
+// perturb one field at a time.
+func validInput() Input {
+	return Input{
+		Protocol: workload.ProtoBitTorrent,
+		Band:     workload.BandPopular,
+		ISP:      workload.ISPUnicom,
+		AccessBW: 1024 * 1024,
+		HasAP:    true,
+		APStorage: storage.Device{
+			Type: storage.SATAHDD, FS: storage.EXT4,
+		},
+		APCPUGHz: 1.0,
+	}
+}
+
+func TestValidateRejectsNonFiniteValues(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Input)
+		ok     bool
+	}{
+		{"valid", func(*Input) {}, true},
+		{"zero access bw", func(in *Input) { in.AccessBW = 0 }, false},
+		{"negative access bw", func(in *Input) { in.AccessBW = -1 }, false},
+		{"NaN access bw", func(in *Input) { in.AccessBW = math.NaN() }, false},
+		{"+Inf access bw", func(in *Input) { in.AccessBW = math.Inf(1) }, false},
+		{"-Inf access bw", func(in *Input) { in.AccessBW = math.Inf(-1) }, false},
+		{"zero AP clock", func(in *Input) { in.APCPUGHz = 0 }, false},
+		{"negative AP clock", func(in *Input) { in.APCPUGHz = -0.5 }, false},
+		{"NaN AP clock", func(in *Input) { in.APCPUGHz = math.NaN() }, false},
+		{"+Inf AP clock", func(in *Input) { in.APCPUGHz = math.Inf(1) }, false},
+		{"-Inf AP clock", func(in *Input) { in.APCPUGHz = math.Inf(-1) }, false},
+		{"bad AP clock ignored without AP", func(in *Input) {
+			in.HasAP = false
+			in.APCPUGHz = math.NaN()
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := validInput()
+			tc.mutate(&in)
+			err := in.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate() accepted %+v", in)
+			}
+		})
+	}
+}
+
+// Decide documents that it panics on invalid input; non-finite values must
+// trip that guard rather than corrupt the decision.
+func TestDecidePanicsOnNaNInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	in := validInput()
+	in.AccessBW = math.NaN()
+	Decide(in)
+}

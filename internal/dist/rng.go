@@ -45,6 +45,16 @@ func (g *RNG) Split(label string) *RNG {
 	return NewRNG(mix(h))
 }
 
+// Split64 derives an independent substream identified by a numeric key —
+// the allocation-light sibling of Split for hot loops that derive one
+// stream per item (the replay engine derives one per request index).
+// Like Split, the derivation depends only on the construction seed, never
+// on how much the parent has been consumed, so (seed, n) always yields the
+// same stream.
+func (g *RNG) Split64(n uint64) *RNG {
+	return NewRNG(mix(g.seed ^ mix(n+0x51ed2701)))
+}
+
 // mix is a SplitMix64 finalizer; it decorrelates adjacent seeds.
 func mix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

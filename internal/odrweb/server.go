@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"odr/internal/backend"
 	"odr/internal/core"
 	"odr/internal/storage"
 	"odr/internal/workload"
@@ -112,7 +113,11 @@ type AuxInfo struct {
 
 // DecideResponse is the JSON answer.
 type DecideResponse struct {
-	Route     string `json:"route"`
+	Route string `json:"route"`
+	// Backend names the backend-layer implementation the route resolves
+	// to (routes that differ only in user-visible phrasing — e.g. cloud
+	// pre-download vs. cloud fetch — share a backend).
+	Backend   string `json:"backend"`
 	Source    string `json:"source"`
 	Reason    string `json:"reason"`
 	Addresses []int  `json:"addresses"`
@@ -233,6 +238,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, DecideResponse{
 		Route:     dec.Route.String(),
+		Backend:   backend.NameForRoute(dec.Route),
 		Source:    dec.Source.String(),
 		Reason:    dec.Reason,
 		Addresses: dec.Addresses,

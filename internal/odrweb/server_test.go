@@ -71,6 +71,9 @@ func TestDecideHighlyPopularP2P(t *testing.T) {
 	if resp.Route != "smart-ap" {
 		t.Fatalf("route = %s, want smart-ap", resp.Route)
 	}
+	if resp.Backend != "smart-ap" {
+		t.Fatalf("backend = %s, want smart-ap", resp.Backend)
+	}
 	if resp.Band != "highly-popular" {
 		t.Fatalf("band = %s", resp.Band)
 	}
@@ -90,6 +93,9 @@ func TestDecideCachedUnpopular(t *testing.T) {
 	}
 	if resp.Route != "cloud" {
 		t.Fatalf("route = %s, want cloud", resp.Route)
+	}
+	if resp.Backend != "cloud" {
+		t.Fatalf("backend = %s, want cloud", resp.Backend)
 	}
 }
 

@@ -1,16 +1,15 @@
 // Package replay implements the paper's two replay methodologies: the
 // §5.1 smart-AP benchmark (a 1000-request Unicom sample split across the
-// three APs and replayed sequentially under each request's recorded access
-// bandwidth) and the §6.2 ODR evaluation (the same sample replayed through
-// the ODR decision procedure against a warmed cloud).
+// three APs and replayed under each request's recorded access bandwidth)
+// and the §6.2 ODR evaluation (the same sample replayed through the ODR
+// decision procedure against a warmed cloud). Both run on a sharded,
+// deterministic parallel engine (see engine.go) over the pluggable
+// backend layer in odr/internal/backend.
 package replay
 
 import (
-	"time"
-
-	"odr/internal/dist"
+	"odr/internal/backend"
 	"odr/internal/smartap"
-	"odr/internal/sources"
 	"odr/internal/stats"
 	"odr/internal/workload"
 )
@@ -33,31 +32,37 @@ type APTask struct {
 // APBench is the outcome of the §5 benchmark.
 type APBench struct {
 	Tasks []APTask
+	// Engine records how the sharded engine executed the run.
+	Engine EngineStats
 }
 
-// RunAPBenchmark replays the sample across the given APs (round-robin,
-// sequentially per AP, as in §5.1) with each request throttled to its
-// user's recorded access bandwidth and the environment's ADSL ceiling.
+// RunAPBenchmark replays the sample across the given APs (round-robin, as
+// in §5.1) with each request throttled to its user's recorded access
+// bandwidth and the environment's ADSL ceiling.
 func RunAPBenchmark(sample []workload.Request, aps []*smartap.AP, seed uint64) *APBench {
 	if len(aps) == 0 {
 		panic("replay: RunAPBenchmark needs at least one AP")
 	}
-	g := dist.NewRNG(seed).Split("ap-bench")
-	b := &APBench{Tasks: make([]APTask, 0, len(sample))}
-	for i, req := range sample {
-		ap := aps[i%len(aps)]
-		bw := req.User.AccessBW
-		if bw > EnvCap {
-			bw = EnvCap
-		}
-		res := ap.PreDownload(g, req.File, bw)
-		b.Tasks = append(b.Tasks, APTask{
-			Request:   req,
-			APName:    ap.Spec().Name,
-			Result:    res,
-			B4Exposed: ap.StorageThroughput() < bw,
+	be := backend.NewSmartAP()
+	b := &APBench{}
+	b.Tasks, b.Engine = runSharded(sample, aps, seed, 0,
+		func(i int, wreq workload.Request, req *backend.Request) (APTask, bool) {
+			pre := be.PreDownload(req)
+			return APTask{
+				Request: wreq,
+				APName:  req.AP.Spec().Name,
+				Result: smartap.Result{
+					Success:      pre.OK,
+					Rate:         pre.Rate,
+					Delay:        pre.Delay,
+					Traffic:      pre.Traffic,
+					IOWait:       pre.IOWait,
+					StorageBound: pre.StorageBound,
+					Cause:        pre.Cause,
+				},
+				B4Exposed: backend.StorageExposed(req),
+			}, pre.OK
 		})
-	}
 	return b
 }
 
@@ -185,22 +190,4 @@ func (b *APBench) MeanIOWait() float64 {
 		return 0
 	}
 	return sum / float64(n)
-}
-
-// sourceDownload is a direct download on the user's own device (a full
-// P2P client): bounded by the source, the user's access link, and the
-// environment ceiling.
-func sourceDownload(g *dist.RNG, src *sources.Mix, file *workload.FileMeta, accessBW float64) (ok bool, rate float64, delay time.Duration, cause string) {
-	att := src.AttemptFull(g, file)
-	if !att.OK {
-		return false, 0, smartap.StagnationTimeout, att.Cause.String()
-	}
-	r := att.Rate
-	if accessBW < r {
-		r = accessBW
-	}
-	if r > EnvCap {
-		r = EnvCap
-	}
-	return true, r, time.Duration(float64(file.Size) / r * float64(time.Second)), ""
 }

@@ -1,0 +1,65 @@
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"odr/internal/smartap"
+	"odr/internal/workload"
+)
+
+// The benchmark trace is bigger than the test fixture: §6.2's 1000-request
+// sample finishes too quickly to expose scaling, so we replay a
+// 50 000-request Unicom sample over a 35 000-file population.
+const (
+	benchFiles = 35000
+	benchReqs  = 50000
+	benchSeed  = 626262
+)
+
+var (
+	benchOnce   sync.Once
+	benchTrace  *workload.Trace
+	benchSample []workload.Request
+)
+
+func benchFixture(b *testing.B) ([]workload.Request, []*workload.FileMeta) {
+	b.Helper()
+	benchOnce.Do(func() {
+		tr, err := workload.Generate(workload.DefaultConfig(benchFiles, benchSeed))
+		if err != nil {
+			b.Fatalf("generate trace: %v", err)
+		}
+		benchTrace = tr
+		benchSample = workload.UnicomSample(tr, benchReqs, benchSeed)
+	})
+	if len(benchSample) < benchReqs {
+		b.Fatalf("benchmark sample has %d requests, want %d", len(benchSample), benchReqs)
+	}
+	return benchSample, benchTrace.Files
+}
+
+// BenchmarkReplayParallel sweeps the engine's shard count over the
+// 50k-request trace. The acceptance bar is >2× requests/sec at 4 shards
+// versus 1.
+func BenchmarkReplayParallel(b *testing.B) {
+	sample, files := benchFixture(b)
+	aps := smartap.Benchmarked()
+	shardCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 4 && n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := RunODR(sample, files, aps, Options{Seed: benchSeed, Shards: shards})
+				if len(res.Tasks) != len(sample) {
+					b.Fatalf("replayed %d of %d tasks", len(res.Tasks), len(sample))
+				}
+			}
+			b.ReportMetric(float64(len(sample)*b.N)/b.Elapsed().Seconds(), "requests/sec")
+		})
+	}
+}

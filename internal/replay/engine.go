@@ -1,0 +1,129 @@
+package replay
+
+import (
+	"runtime"
+	"sync"
+
+	"odr/internal/backend"
+	"odr/internal/dist"
+	"odr/internal/smartap"
+	"odr/internal/workload"
+)
+
+// The sharded replay engine partitions a request sample by user across N
+// shards and replays each shard on its own goroutine. Its output is
+// byte-identical for every shard count and GOMAXPROCS because no request
+// outcome depends on execution order:
+//
+//   - each request draws from its own RNG substream keyed by the
+//     request's GLOBAL sample index (root.Split64(i)), never from a
+//     shared sequential stream;
+//   - backend state is immutable after construction or memoized as a
+//     pure function of (seed, file), with cross-request cache visibility
+//     gated by sample index (see backend.Cloud.Prime), so "who ran
+//     first" is unobservable;
+//   - every shard writes tasks at disjoint global indices of one
+//     pre-allocated slice, counts into its own ShardTotals, and backend
+//     ledgers use atomic integers — all merges are associative integer
+//     sums taken in shard order.
+//
+// All floating-point aggregation (ratios, means, stats.Sample) happens
+// afterwards, sequentially over the merged task slice in index order.
+
+// ShardTotals is one shard's local accumulator: plain integer counters a
+// shard increments without synchronization and the engine merges in
+// shard order, so the merged totals are identical for any interleaving.
+type ShardTotals struct {
+	// Tasks is how many requests the shard replayed.
+	Tasks int64
+	// Failures is how many of them never obtained their file.
+	Failures int64
+}
+
+// EngineStats describes how a replay was executed and what each shard
+// contributed. It is diagnostic: the task slice is the ground truth.
+type EngineStats struct {
+	// Shards is the shard count the run actually used.
+	Shards int
+	// PerShard holds each shard's local totals, indexed by shard.
+	PerShard []ShardTotals
+}
+
+// Totals merges the per-shard accumulators.
+func (s EngineStats) Totals() ShardTotals {
+	var t ShardTotals
+	for _, p := range s.PerShard {
+		t.Tasks += p.Tasks
+		t.Failures += p.Failures
+	}
+	return t
+}
+
+// normalizeShards resolves a shard-count option: non-positive means "use
+// the machine", and a sample never needs more shards than requests.
+func normalizeShards(shards, sampleLen int) int {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > sampleLen {
+		shards = sampleLen
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// userShard places a user on a shard. Fibonacci hashing decorrelates the
+// shard from the round-robin structure of user IDs and AP assignment.
+func userShard(u *workload.User, shards int) int {
+	h := uint64(uint(u.ID)) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(shards))
+}
+
+// runSharded replays sample through fn across user-partitioned shards.
+// fn receives the request's global index, the raw workload request, and
+// the backend-layer request (environment-bound, with its own RNG
+// substream) and returns the task record plus whether the task succeeded.
+// aps may be empty for AP-less replays (the request's AP is then nil).
+func runSharded[T any](sample []workload.Request, aps []*smartap.AP,
+	seed uint64, shards int,
+	fn func(i int, wreq workload.Request, req *backend.Request) (T, bool),
+) ([]T, EngineStats) {
+	shards = normalizeShards(shards, len(sample))
+	root := dist.NewRNG(seed).Split("replay-engine")
+	tasks := make([]T, len(sample))
+	stats := EngineStats{Shards: shards, PerShard: make([]ShardTotals, shards)}
+
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			totals := &stats.PerShard[s]
+			for i := range sample {
+				if userShard(sample[i].User, shards) != s {
+					continue
+				}
+				req := &backend.Request{
+					Index:  i,
+					User:   sample[i].User,
+					File:   sample[i].File,
+					RNG:    root.Split64(uint64(i)),
+					EnvCap: EnvCap,
+				}
+				if len(aps) > 0 {
+					req.AP = aps[i%len(aps)]
+				}
+				task, ok := fn(i, sample[i], req)
+				tasks[i] = task
+				totals.Tasks++
+				if !ok {
+					totals.Failures++
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	return tasks, stats
+}

@@ -1,0 +1,160 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"odr/internal/backend"
+	"odr/internal/dist"
+	"odr/internal/workload"
+)
+
+// digest serializes every value-bearing field of a replay's tasks and
+// ledgers into one string, floats rendered as exact bit patterns, so two
+// runs compare byte-for-byte.
+func digest(r *ODRResult) string {
+	var b strings.Builder
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		fmt.Fprintf(&b, "%d|%v|%v|%q|%x|%d|%x|%v|%v\n",
+			i, t.Decision.Route, t.Success, t.Cause,
+			math.Float64bits(t.PerceivedRate), t.PreDelay,
+			math.Float64bits(t.CloudBytes), t.StorageBound, t.B4Exposed)
+	}
+	for _, be := range r.Backends.All() {
+		l := be.Ledger()
+		fmt.Fprintf(&b, "%s|%d|%d|%d|%d|%d\n", be.Name(),
+			l.PreDownloads(), l.Fetches(), l.Failures(), l.BytesOut(), l.BytesOutHP())
+	}
+	tot := r.Engine.Totals()
+	fmt.Fprintf(&b, "totals|%d|%d\n", tot.Tasks, tot.Failures)
+	return b.String()
+}
+
+func apDigest(r *APBench) string {
+	var b strings.Builder
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		fmt.Fprintf(&b, "%d|%s|%v|%q|%x|%d|%x|%x|%v|%v\n",
+			i, t.APName, t.Result.Success, t.Result.Cause,
+			math.Float64bits(t.Result.Rate), t.Result.Delay,
+			math.Float64bits(t.Result.Traffic), math.Float64bits(t.Result.IOWait),
+			t.Result.StorageBound, t.B4Exposed)
+	}
+	tot := r.Engine.Totals()
+	fmt.Fprintf(&b, "totals|%d|%d\n", tot.Tasks, tot.Failures)
+	return b.String()
+}
+
+// TestReplayDeterminism is the engine's core guarantee: byte-identical
+// replay metrics for every shard count, at any GOMAXPROCS (run it with
+// -cpu 1,2,8 — the single-shard reference is scheduling-free, so equality
+// at each GOMAXPROCS proves invariance across all of them).
+func TestReplayDeterminism(t *testing.T) {
+	f := setup(t)
+	ref := RunODR(f.sample, f.trace.Files, f.aps, Options{Seed: 14, Shards: 1})
+	want := digest(ref)
+	for _, shards := range []int{2, 8, 0} {
+		got := RunODR(f.sample, f.trace.Files, f.aps, Options{Seed: 14, Shards: shards})
+		if got.Engine.Shards < 1 {
+			t.Fatalf("shards=%d: engine reported %d shards", shards, got.Engine.Shards)
+		}
+		if d := digest(got); d != want {
+			t.Fatalf("shards=%d: replay diverged from the single-shard reference\nfirst differing line:\n%s",
+				shards, firstDiff(want, d))
+		}
+	}
+
+	// The baselines and the AP benchmark shard at GOMAXPROCS; two runs
+	// must still match exactly.
+	if digest(HybridBaseline(f.sample, f.trace.Files, f.aps, 14)) !=
+		digest(HybridBaseline(f.sample, f.trace.Files, f.aps, 14)) {
+		t.Fatal("hybrid baseline not deterministic")
+	}
+	if digest(CloudOnlyBaseline(f.sample, f.trace.Files, 14)) !=
+		digest(CloudOnlyBaseline(f.sample, f.trace.Files, 14)) {
+		t.Fatal("cloud-only baseline not deterministic")
+	}
+	if apDigest(RunAPBenchmark(f.sample, f.aps, 14)) !=
+		apDigest(RunAPBenchmark(f.sample, f.aps, 14)) {
+		t.Fatal("AP benchmark not deterministic")
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("want %s\n got %s", al[i], bl[i])
+		}
+	}
+	return "length mismatch"
+}
+
+// TestEngineShardTotals checks the shard partition is exhaustive and
+// disjoint: per-shard totals sum to the sample size for any shard count.
+func TestEngineShardTotals(t *testing.T) {
+	f := setup(t)
+	for _, shards := range []int{1, 3, 7, 64, 5000} {
+		res := RunODR(f.sample, f.trace.Files, f.aps, Options{Seed: 9, Shards: shards})
+		if res.Engine.Shards > len(f.sample) {
+			t.Errorf("shards=%d: engine used %d shards for %d requests",
+				shards, res.Engine.Shards, len(f.sample))
+		}
+		tot := res.Engine.Totals()
+		if tot.Tasks != int64(len(f.sample)) {
+			t.Errorf("shards=%d: per-shard totals cover %d of %d requests",
+				shards, tot.Tasks, len(f.sample))
+		}
+		var fails int64
+		for i := range res.Tasks {
+			if !res.Tasks[i].Success {
+				fails++
+			}
+		}
+		if tot.Failures != fails {
+			t.Errorf("shards=%d: shard failure totals %d, tasks say %d",
+				shards, tot.Failures, fails)
+		}
+	}
+}
+
+// TestEngineRequestStreams pins the per-request RNG keying: the engine
+// must hand request i the substream Split64(i) of the engine root, so a
+// backend replaying index i outside the engine sees the same draws
+// regardless of sharding.
+func TestEngineRequestStreams(t *testing.T) {
+	f := setup(t)
+	const n, seed = 16, 7
+	sample := f.sample[:n]
+	got := make([]*backend.Request, n)
+	runSharded(sample, f.aps, seed, 4,
+		func(i int, _ workload.Request, req *backend.Request) (struct{}, bool) {
+			got[i] = req
+			return struct{}{}, true
+		})
+	root := dist.NewRNG(seed).Split("replay-engine")
+	for i := 0; i < n; i++ {
+		req := got[i]
+		if req == nil {
+			t.Fatalf("request %d never ran", i)
+		}
+		if req.Index != i || req.User != sample[i].User || req.File != sample[i].File {
+			t.Fatalf("request %d carries the wrong sample entry", i)
+		}
+		if req.AP != f.aps[i%len(f.aps)] {
+			t.Fatalf("request %d lost its round-robin AP", i)
+		}
+		if req.EnvCap != EnvCap {
+			t.Fatalf("request %d has EnvCap %g", i, req.EnvCap)
+		}
+		want := root.Split64(uint64(i))
+		for d := 0; d < 4; d++ {
+			if req.RNG.Float64() != want.Float64() {
+				t.Fatalf("request %d: RNG is not the index-keyed substream", i)
+			}
+		}
+	}
+}

@@ -1,14 +1,12 @@
 package replay
 
 import (
-	"math"
 	"time"
 
+	"odr/internal/backend"
 	"odr/internal/cloud"
 	"odr/internal/core"
-	"odr/internal/dist"
 	"odr/internal/smartap"
-	"odr/internal/sources"
 	"odr/internal/stats"
 	"odr/internal/storage"
 	"odr/internal/workload"
@@ -17,82 +15,6 @@ import (
 // bestStorage is the ideal AP storage configuration, used by the
 // storage-signal ablation.
 var bestStorage = storage.Device{Type: storage.SATAHDD, FS: storage.EXT4}
-
-// MiniCloud is a closed-form stand-in for the Xuanfeng cloud used by the
-// replay experiments: a warmed deduplicating pool, the shared fetch-path
-// model, and source attempts for cache misses. A 1000-request replay does
-// not stress cloud admission, so upload-pool bookkeeping reduces to byte
-// accounting.
-type MiniCloud struct {
-	pool *cloud.StoragePool
-	fm   cloud.FetchModel
-	src  *sources.Mix
-	g    *dist.RNG
-
-	// BytesServed accumulates cloud-upload bytes, split by whether the
-	// file was highly popular (the Bottleneck 2 ledger).
-	BytesServed   float64
-	BytesServedHP float64
-}
-
-// ReplayWarmProbs is the probability that a file of each popularity band
-// is cached at the moment a replayed request arrives. Unlike the week
-// simulation's cold-start per-file warm probabilities, these are
-// steady-state per-request hit rates: the production cloud keeps serving
-// its full workload during the replay weeks, so a random request sees the
-// long-run cache state (≈89 % hits overall, ≈70 % for unpopular files).
-var ReplayWarmProbs = [3]float64{0.70, 0.97, 0.998}
-
-// NewMiniCloud builds a warmed mini cloud over the file population.
-func NewMiniCloud(files []*workload.FileMeta, cfg cloud.Config, seed uint64) *MiniCloud {
-	g := dist.NewRNG(seed).Split("mini-cloud")
-	mc := &MiniCloud{
-		pool: cloud.NewStoragePool(cfg.PoolCapacity),
-		fm:   cloud.NewFetchModel(cfg),
-		src:  sources.NewMix(),
-		g:    g,
-	}
-	warm := g.Split("warm")
-	for _, f := range files {
-		if warm.Bool(ReplayWarmProbs[f.Band()]) {
-			mc.pool.Add(f.ID, f.Size)
-		}
-	}
-	return mc
-}
-
-// Contains implements core.CacheProbe.
-func (mc *MiniCloud) Contains(id workload.FileID) bool { return mc.pool.Contains(id) }
-
-// PreDownload runs the cloud pre-download path for a cache miss. On
-// success the file joins the pool.
-func (mc *MiniCloud) PreDownload(file *workload.FileMeta) (ok bool, delay time.Duration, cause string) {
-	att := mc.src.Attempt(mc.g, file)
-	if !att.OK {
-		return false, time.Hour, att.Cause.String()
-	}
-	rate := math.Min(att.Rate, cloud.PreDownloaderBW)
-	mc.pool.Add(file.ID, file.Size)
-	return true, time.Duration(float64(file.Size) / rate * float64(time.Second)), ""
-}
-
-// Fetch serves one user fetch from the cloud, charging the upload ledger.
-// The returned rate is capped by the replay environment.
-func (mc *MiniCloud) Fetch(user *workload.User, file *workload.FileMeta) float64 {
-	privRate, crossRate, _ := mc.fm.Sample(mc.g, user)
-	rate := privRate
-	if !user.ISP.Supported() {
-		rate = crossRate
-	}
-	if rate > EnvCap {
-		rate = EnvCap
-	}
-	mc.BytesServed += float64(file.Size)
-	if file.Band() == workload.BandHighlyPopular {
-		mc.BytesServedHP += float64(file.Size)
-	}
-	return rate
-}
 
 // ODRTask is one request replayed through ODR.
 type ODRTask struct {
@@ -127,16 +49,23 @@ func (t *ODRTask) Impeded() bool {
 // ODRResult is the outcome of a §6.2 replay.
 type ODRResult struct {
 	Tasks []ODRTask
-	Cloud *MiniCloud
+	// Backends is the fleet the replay ran against; its ledgers carry the
+	// byte and outcome totals.
+	Backends *backend.Set
+	// Engine records how the sharded engine executed the run.
+	Engine EngineStats
 }
 
 // Options tunes an ODR replay.
 type Options struct {
 	// Seed drives all randomness.
 	Seed uint64
-	// CloudScale sizes the mini cloud (pool capacity, warm probabilities
-	// use cloud defaults at this scale).
+	// CloudScale sizes the cloud backend (pool capacity, warm
+	// probabilities use cloud defaults at this scale).
 	CloudScale float64
+	// Shards is the engine's shard count; non-positive selects
+	// GOMAXPROCS. Results are identical for every value.
+	Shards int
 	// DisablePopularitySignal makes ODR treat every file as not highly
 	// popular (ablation: Bottleneck 2/3 logic off).
 	DisablePopularitySignal bool
@@ -146,6 +75,16 @@ type Options struct {
 	// DisableStorageSignal makes ODR ignore AP storage restrictions
 	// (ablation: Bottleneck 4 logic off).
 	DisableStorageSignal bool
+}
+
+// newBackends builds the replay's backend fleet and primes the cloud's
+// index-gated cache visibility over the sample.
+func newBackends(sample []workload.Request, files []*workload.FileMeta,
+	scale float64, seed uint64) *backend.Set {
+	cfg := cloud.DefaultConfig(scale, seed)
+	set := backend.NewSet(files, cfg, seed)
+	set.Cloud.Prime(sample)
+	return set
 }
 
 // RunODR replays the sample through the ODR decision procedure. Each
@@ -159,76 +98,73 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 	if opts.CloudScale <= 0 {
 		opts.CloudScale = float64(len(files)) / cloud.FullScaleFiles
 	}
-	cfg := cloud.DefaultConfig(opts.CloudScale, opts.Seed)
-	mc := NewMiniCloud(files, cfg, opts.Seed)
+	set := newBackends(sample, files, opts.CloudScale, opts.Seed)
 	db := core.NewStaticDB(files)
-	advisor := &core.Advisor{DB: db, Cache: mc}
-	g := dist.NewRNG(opts.Seed).Split("odr-replay")
-	src := sources.NewMix()
 
-	res := &ODRResult{Tasks: make([]ODRTask, 0, len(sample)), Cloud: mc}
-	for i, req := range sample {
-		ap := aps[i%len(aps)]
-		task := runOne(req, ap, advisor, mc, src, g, opts)
-		res.Tasks = append(res.Tasks, task)
-	}
+	res := &ODRResult{Backends: set}
+	res.Tasks, res.Engine = runSharded(sample, aps, opts.Seed, opts.Shards,
+		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
+			t := odrTask(wreq, req, db, set, opts)
+			return t, t.Success
+		})
 	return res
 }
 
-func runOne(req workload.Request, ap *smartap.AP, advisor *core.Advisor,
-	mc *MiniCloud, src *sources.Mix, g *dist.RNG, opts Options) ODRTask {
+// odrTask routes one request per Figure 15 and executes it on the backend
+// the decision resolves to.
+func odrTask(wreq workload.Request, req *backend.Request, db core.StaticDB,
+	set *backend.Set, opts Options) ODRTask {
 	user, file := req.User, req.File
-	apInfo := &core.APInfo{Storage: ap.Device(), CPUGHz: ap.Spec().CPUGHz}
 
 	in := core.Input{
 		Protocol:  file.Protocol,
-		Band:      advisor.DB.Band(file.ID),
-		Cached:    mc.Contains(file.ID),
+		Band:      db.Band(file.ID),
+		Cached:    set.Cloud.Probe(req),
 		ISP:       user.ISP,
 		AccessBW:  user.AccessBW,
 		HasAP:     true,
-		APStorage: apInfo.Storage,
-		APCPUGHz:  apInfo.CPUGHz,
+		APStorage: req.AP.Device(),
+		APCPUGHz:  req.AP.Spec().CPUGHz,
 	}
 	applyAblations(&in, opts)
 	dec := core.Decide(in)
-	task := ODRTask{Request: req, Decision: dec}
+	task := ODRTask{Request: wreq, Decision: dec}
 
 	switch dec.Route {
 	case core.RouteUserDevice:
-		ok, rate, delay, cause := sourceDownload(g, src, file, user.AccessBW)
-		task.Success = ok
-		task.PerceivedRate = rate
-		task.Cause = cause
-		if !ok {
-			task.PreDelay = delay
+		f := set.UserDevice.Fetch(req)
+		task.Success = f.OK
+		task.PerceivedRate = f.Rate
+		task.Cause = f.Cause
+		if !f.OK {
+			task.PreDelay = f.Delay
 		}
 
 	case core.RouteSmartAP:
-		r := ap.PreDownload(g, file, math.Min(user.AccessBW, EnvCap))
-		task.Success = r.Success
-		task.Cause = r.Cause
-		task.PreDelay = r.Delay
-		task.StorageBound = r.StorageBound
-		task.B4Exposed = ap.StorageThroughput() < math.Min(user.AccessBW, EnvCap)
-		if r.Success {
-			_, lan := ap.LANFetch(g, file.Size)
-			task.PerceivedRate = math.Min(lan, EnvCap)
+		pre := set.SmartAP.PreDownload(req)
+		task.Success = pre.OK
+		task.Cause = pre.Cause
+		task.PreDelay = pre.Delay
+		task.StorageBound = pre.StorageBound
+		task.B4Exposed = backend.StorageExposed(req)
+		if pre.OK {
+			task.PerceivedRate = set.SmartAP.Fetch(req).Rate
 		}
 
 	case core.RouteCloud:
+		f := set.Cloud.Fetch(req)
 		task.Success = true
-		task.PerceivedRate = mc.Fetch(user, file)
+		task.PerceivedRate = f.Rate
+		task.CloudBytes = float64(f.CloudBytes)
 
 	case core.RouteCloudThenAP:
-		cloudThenAP(&task, ap, mc, g, user, file)
+		cloudThenAP(&task, set, req)
 
 	case core.RouteCloudPreDownload:
-		ok, delay, cause := mc.PreDownload(file)
-		task.PreDelay = delay
-		if !ok {
-			task.Success = false
-			task.Cause = cause
+		pre := set.Cloud.PreDownload(req)
+		task.PreDelay = pre.Delay
+		if !pre.OK {
+			task.Cause = pre.Cause
 			break
 		}
 		// Notified; ask ODR again — the file is now cached.
@@ -237,33 +173,29 @@ func runOne(req workload.Request, ap *smartap.AP, advisor *core.Advisor,
 		task.Decision = dec2
 		task.Success = true
 		if dec2.Route == core.RouteCloudThenAP {
-			pre := task.PreDelay
-			cloudThenAP(&task, ap, mc, g, user, file)
-			task.PreDelay += pre
+			waited := task.PreDelay
+			cloudThenAP(&task, set, req)
+			task.PreDelay += waited
 		} else {
-			task.PerceivedRate = mc.Fetch(user, file)
-			task.CloudBytes += float64(file.Size)
+			f := set.Cloud.Fetch(req)
+			task.PerceivedRate = f.Rate
+			task.CloudBytes += float64(f.CloudBytes)
 		}
 	}
 	return task
 }
 
-// cloudThenAP executes the Bottleneck 1 mitigation: the AP pulls the file
-// from the cloud over a stable, resumable HTTP path — bounded by the
-// access link and the AP's storage write path, but immune to swarm health
-// — and the user later fetches over the LAN.
-func cloudThenAP(task *ODRTask, ap *smartap.AP, mc *MiniCloud, g *dist.RNG,
-	user *workload.User, file *workload.FileMeta) {
+// cloudThenAP executes the Bottleneck 1 mitigation on the composite
+// backend: the AP pulls the file from the cloud over a stable HTTP path
+// and the user fetches over the LAN.
+func cloudThenAP(task *ODRTask, set *backend.Set, req *backend.Request) {
+	pre := set.CloudThenAP.PreDownload(req)
 	task.Success = true
-	ceiling := math.Min(user.AccessBW, EnvCap)
-	rate := math.Min(ceiling, ap.StorageThroughput())
-	task.StorageBound = ap.StorageThroughput() < ceiling
-	task.B4Exposed = task.StorageBound
-	task.PreDelay = time.Duration(float64(file.Size) / rate * float64(time.Second))
-	task.CloudBytes = float64(file.Size)
-	mc.BytesServed += float64(file.Size)
-	_, lan := ap.LANFetch(g, file.Size)
-	task.PerceivedRate = math.Min(lan, EnvCap)
+	task.StorageBound = pre.StorageBound
+	task.B4Exposed = pre.StorageBound
+	task.PreDelay = pre.Delay
+	task.CloudBytes = float64(pre.CloudBytes)
+	task.PerceivedRate = set.CloudThenAP.Fetch(req).Rate
 }
 
 func applyAblations(in *core.Input, opts Options) {
@@ -421,8 +353,12 @@ func (r *ODRResult) B4ExposedRatio() float64 {
 	return float64(n) / float64(len(r.Tasks))
 }
 
-// CloudBytes returns total bytes the cloud uploaded during the replay.
-func (r *ODRResult) CloudBytes() float64 { return r.Cloud.BytesServed }
+// CloudBytes returns total bytes the cloud uploaded during the replay
+// (direct user fetches plus cloud→AP pulls), read from the cloud
+// backend's ledger.
+func (r *ODRResult) CloudBytes() float64 {
+	return float64(r.Backends.Cloud.Ledger().BytesOut())
+}
 
 // FetchSpeeds returns the Figure 17 sample: user-perceived fetch speeds in
 // bytes/second, failures included at 0.
@@ -446,28 +382,25 @@ func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
 	if len(aps) == 0 {
 		panic("replay: HybridBaseline needs at least one AP")
 	}
-	cfg := cloud.DefaultConfig(float64(len(files))/cloud.FullScaleFiles, seed)
-	mc := NewMiniCloud(files, cfg, seed)
-	g := dist.NewRNG(seed).Split("hybrid")
-	res := &ODRResult{Tasks: make([]ODRTask, 0, len(sample)), Cloud: mc}
-	for i, req := range sample {
-		ap := aps[i%len(aps)]
-		task := ODRTask{Request: req}
-		if !mc.Contains(req.File.ID) {
-			ok, delay, cause := mc.PreDownload(req.File)
-			task.PreDelay = delay
-			if !ok {
-				task.Cause = cause
-				res.Tasks = append(res.Tasks, task)
-				continue
+	set := newBackends(sample, files, float64(len(files))/cloud.FullScaleFiles, seed)
+	res := &ODRResult{Backends: set}
+	res.Tasks, res.Engine = runSharded(sample, aps, seed, 0,
+		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
+			task := ODRTask{Request: wreq}
+			if !set.Cloud.Probe(req) {
+				pre := set.Cloud.PreDownload(req)
+				task.PreDelay = pre.Delay
+				if !pre.OK {
+					task.Cause = pre.Cause
+					return task, false
+				}
 			}
-		}
-		// The AP then pulls from the cloud, always.
-		pre := task.PreDelay
-		cloudThenAP(&task, ap, mc, g, req.User, req.File)
-		task.PreDelay += pre
-		res.Tasks = append(res.Tasks, task)
-	}
+			// The AP then pulls from the cloud, always.
+			waited := task.PreDelay
+			cloudThenAP(&task, set, req)
+			task.PreDelay += waited
+			return task, true
+		})
 	return res
 }
 
@@ -475,24 +408,24 @@ func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
 // cloud (the pure cloud-based approach), returning the byte ledger and the
 // impeded ratio for Figure 16's baseline bars.
 func CloudOnlyBaseline(sample []workload.Request, files []*workload.FileMeta, seed uint64) *ODRResult {
-	cfg := cloud.DefaultConfig(float64(len(files))/cloud.FullScaleFiles, seed)
-	mc := NewMiniCloud(files, cfg, seed)
-	res := &ODRResult{Tasks: make([]ODRTask, 0, len(sample)), Cloud: mc}
-	for _, req := range sample {
-		task := ODRTask{Request: req}
-		if !mc.Contains(req.File.ID) {
-			ok, delay, cause := mc.PreDownload(req.File)
-			task.PreDelay = delay
-			if !ok {
-				task.Cause = cause
-				res.Tasks = append(res.Tasks, task)
-				continue
+	set := newBackends(sample, files, float64(len(files))/cloud.FullScaleFiles, seed)
+	res := &ODRResult{Backends: set}
+	res.Tasks, res.Engine = runSharded(sample, nil, seed, 0,
+		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
+			task := ODRTask{Request: wreq}
+			if !set.Cloud.Probe(req) {
+				pre := set.Cloud.PreDownload(req)
+				task.PreDelay = pre.Delay
+				if !pre.OK {
+					task.Cause = pre.Cause
+					return task, false
+				}
 			}
-		}
-		task.Success = true
-		task.PerceivedRate = mc.Fetch(req.User, req.File)
-		task.CloudBytes = float64(req.File.Size)
-		res.Tasks = append(res.Tasks, task)
-	}
+			f := set.Cloud.Fetch(req)
+			task.Success = true
+			task.PerceivedRate = f.Rate
+			task.CloudBytes = float64(f.CloudBytes)
+			return task, true
+		})
 	return res
 }

@@ -21,6 +21,7 @@ import (
 	"log"
 	"time"
 
+	"odr/internal/backend"
 	"odr/internal/cloud"
 	"odr/internal/core"
 	"odr/internal/experiments"
@@ -140,13 +141,34 @@ var (
 // BenchmarkedAPs returns the paper's three devices.
 func BenchmarkedAPs() []*AP { return smartap.Benchmarked() }
 
+// Backend surface (internal/backend): the pluggable layer the replay
+// engine executes decisions on.
+type (
+	// Backend is one place a download can run (cloud, smart AP, user
+	// device, cloud+AP).
+	Backend = backend.Backend
+	// BackendSet bundles the four implementations over one shared cloud.
+	BackendSet = backend.Set
+	// BackendRequest is one environment-bound replay request.
+	BackendRequest = backend.Request
+)
+
+// NewBackendSet builds the standard backend fleet over a file population.
+func NewBackendSet(files []*FileMeta, cfg CloudConfig, seed uint64) *BackendSet {
+	return backend.NewSet(files, cfg, seed)
+}
+
+// BackendNameForRoute names the backend a decision route resolves to.
+func BackendNameForRoute(r Route) string { return backend.NameForRoute(r) }
+
 // Replay surface (internal/replay).
 type (
 	// APBench is the §5 smart-AP benchmark result.
 	APBench = replay.APBench
 	// ODRResult is the §6.2 ODR replay result.
 	ODRResult = replay.ODRResult
-	// ReplayOptions tunes an ODR replay (including ablations).
+	// ReplayOptions tunes an ODR replay (including ablations and the
+	// engine shard count).
 	ReplayOptions = replay.Options
 )
 
