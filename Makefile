@@ -1,16 +1,23 @@
 GO ?= go
 
-.PHONY: check build test vet race determinism bench
+.PHONY: check build test vet fmt race determinism bench
 
 # check is the CI gate: static checks, a full build, the race-enabled
 # test suite, and the engine determinism test at several GOMAXPROCS.
-check: vet build race determinism
+check: fmt vet build race determinism
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The tree must be gofmt-clean; list the offenders and fail otherwise.
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -23,6 +30,10 @@ race:
 determinism:
 	$(GO) test -run TestReplayDeterminism -cpu 1,4 ./internal/replay
 
-# Shard-count throughput sweep over the 50k-request benchmark trace.
+# Replay benchmarks: the shard-count throughput sweep plus the streaming
+# pipeline's allocation profile. -count 5 repeated runs with -benchmem
+# give benchstat enough samples; capture and compare with
+#   make bench > new.txt && benchstat old.txt new.txt
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkReplayParallel -benchtime 3x ./internal/replay
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamReplay|BenchmarkReplayParallel' \
+		-benchmem -benchtime 3x -count 5 ./internal/replay

@@ -271,6 +271,13 @@ func BenchmarkExpLEDBAT(b *testing.B) {
 		"greedy_bg_gb", "ledbat_bg_gb")
 }
 
+// BenchmarkExpStreamEquivalence regenerates the streaming-pipeline
+// cross-check (EXP-S1): the bounded-memory pipeline must reproduce the
+// slice pipeline with zero diff.
+func BenchmarkExpStreamEquivalence(b *testing.B) {
+	runExp(b, "S1", "max_abs_diff", "tasks_diff")
+}
+
 // BenchmarkTopologyPath measures path construction over the China
 // topology.
 func BenchmarkTopologyPath(b *testing.B) {

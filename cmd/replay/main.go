@@ -5,15 +5,25 @@
 // Usage:
 //
 //	replay [-files N] [-sample N] [-seed S] [-shards N] [-tasks PATH]
+//	       [-trace FILE] [-stream]
+//
+// With -trace it replays a recorded workload CSV (wgen format) instead of
+// generating one. With -stream the trace is consumed through the
+// bounded-memory streaming pipeline: requests flow past once to discover
+// the populations and draw the Unicom sample, and the replay itself runs
+// through the streaming engine — the full request log is never resident.
+// Results are byte-identical to the slice path for the same seed.
 //
 // With -tasks it also dumps the week simulation's task records as JSON
-// Lines (the pre-downloading + fetching traces of §3).
+// Lines (the pre-downloading + fetching traces of §3); the week simulator
+// needs the materialized trace, so -tasks is incompatible with -stream.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"odr/internal/cloud"
@@ -31,15 +41,22 @@ func main() {
 	shards := flag.Int("shards", 0, "replay engine shards (0 = GOMAXPROCS; results are identical for any value)")
 	tasks := flag.String("tasks", "", "also dump week task records as JSONL to this path")
 	tracePath := flag.String("trace", "", "replay a workload CSV (wgen format) instead of generating one")
+	stream := flag.Bool("stream", false, "force the bounded-memory streaming pipeline")
 	flag.Parse()
 
-	if err := run(*files, *sampleN, *seed, *shards, *tasks, *tracePath); err != nil {
+	if err := run(*files, *sampleN, *seed, *shards, *tasks, *tracePath, *stream); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath string) error {
+func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath string, stream bool) error {
+	if stream {
+		if tasksPath != "" {
+			return fmt.Errorf("-tasks needs the materialized week trace; drop -stream")
+		}
+		return runStream(files, sampleN, seed, shards, tracePath)
+	}
 	tr, err := loadOrGenerate(files, seed, tracePath)
 	if err != nil {
 		return err
@@ -50,37 +67,10 @@ func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath strin
 	fmt.Printf("synthetic week: %d files, %d users, %d requests; replay sample: %d\n\n",
 		len(tr.Files), len(tr.Users), len(tr.Requests), len(sample))
 
-	// §5 smart-AP benchmark.
 	bench := replay.RunAPBenchmark(sample, aps, seed)
-	fmt.Println("== smart-AP benchmark (§5) ==")
-	fmt.Printf("overall failure ratio:    %5.1f%%  (paper: 16.8%%)\n", bench.FailureRatio()*100)
-	fmt.Printf("unpopular failure ratio:  %5.1f%%  (paper: 42%%)\n", bench.UnpopularFailureRatio()*100)
-	fmt.Printf("speed median / mean:      %5.1f / %5.1f KBps (paper: 27 / 64)\n",
-		bench.Speeds().Median()/1024, bench.Speeds().Mean()/1024)
-	fmt.Printf("delay median / mean:      %5.0f / %5.0f min (paper: 77 / 402)\n",
-		bench.Delays().Median(), bench.Delays().Mean())
-	fmt.Println("failure causes:")
-	for cause, share := range bench.CauseBreakdown() {
-		fmt.Printf("  %-12s %5.1f%%\n", cause, share*100)
-	}
-
-	// §6.2 ODR evaluation.
 	baseline := replay.CloudOnlyBaseline(sample, tr.Files, seed)
 	odr := replay.RunODR(sample, tr.Files, aps, replay.Options{Seed: seed, Shards: shards})
-	fmt.Println("\n== ODR evaluation (§6.2) ==")
-	fmt.Printf("engine:             %d shard(s), %d tasks\n",
-		odr.Engine.Shards, odr.Engine.Totals().Tasks)
-	fmt.Printf("impeded fetches:    cloud %5.1f%%  ODR %5.1f%%  (paper: 28%% -> 9%%)\n",
-		baseline.ImpededRatio()*100, odr.ImpededRatio()*100)
-	fmt.Printf("cloud bytes:        %.3g -> %.3g  (-%.0f%%, paper: -35%%)\n",
-		baseline.CloudBytes(), odr.CloudBytes(),
-		(1-odr.CloudBytes()/baseline.CloudBytes())*100)
-	fmt.Printf("unpopular failures: APs %5.1f%%  ODR %5.1f%%  (paper: 42%% -> 13%%)\n",
-		bench.UnpopularFailureRatio()*100, odr.UnpopularFailureRatio()*100)
-	fmt.Printf("B4-exposed tasks:   APs %5.1f%%  ODR %5.2f%%  (paper: avoided)\n",
-		bench.B4ExposedRatio()*100, odr.B4ExposedRatio()*100)
-	fmt.Printf("fetch speed median: cloud %.0f KBps  ODR %.0f KBps  (paper: 287 -> 368)\n",
-		baseline.FetchSpeeds().Median()/1024, odr.FetchSpeeds().Median()/1024)
+	summarize(bench, baseline, odr)
 
 	if tasksPath == "" {
 		return nil
@@ -100,6 +90,117 @@ func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath strin
 	}
 	fmt.Printf("\nwrote %d task records to %s\n", len(c.Records()), tasksPath)
 	return nil
+}
+
+// runStream is the bounded-memory path: one streaming pass discovers the
+// populations and draws the §5.1 sample, then the sample replays through
+// the streaming engine. Only the populations, the Unicom pool, and the
+// task records are ever resident.
+func runStream(files, sampleN int, seed uint64, shards int, tracePath string) error {
+	var (
+		sample  []workload.Request
+		filePop []*workload.FileMeta
+		userPop []*workload.User
+		total   int
+		err     error
+	)
+	if tracePath == "" {
+		st, gerr := workload.GenerateStream(workload.DefaultConfig(files, seed), workload.DefaultStreamChunk)
+		if gerr != nil {
+			return gerr
+		}
+		filePop, userPop, total = st.Files, st.Users, st.TotalRequests()
+		sample, err = workload.UnicomSampleSource(st.Requests(), sampleN, seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		f, oerr := os.Open(tracePath)
+		if oerr != nil {
+			return oerr
+		}
+		defer f.Close()
+		src, serr := trace.StreamWorkloadCSV(f)
+		if serr != nil {
+			return serr
+		}
+		census := workload.NewCensus()
+		counted := &countingSource{src: census.Wrap(src)}
+		sample, err = workload.UnicomSampleSource(counted, sampleN, seed)
+		if err != nil {
+			return err
+		}
+		filePop, userPop, total = census.Files(), census.Users(), counted.n
+	}
+	aps := smartap.Benchmarked()
+
+	fmt.Printf("streamed week: %d files, %d users, %d requests; replay sample: %d\n\n",
+		len(filePop), len(userPop), total, len(sample))
+
+	bench, err := replay.RunAPBenchmarkStream(workload.NewSliceSource(sample), aps, seed, shards)
+	if err != nil {
+		return err
+	}
+	baseline := replay.CloudOnlyBaseline(sample, filePop, seed)
+	odr, err := replay.RunODRStream(workload.NewSliceSource(sample), filePop, aps,
+		replay.Options{Seed: seed, Shards: shards})
+	if err != nil {
+		return err
+	}
+	summarize(bench, baseline, odr)
+	return nil
+}
+
+// countingSource counts the requests that flow through it.
+type countingSource struct {
+	src workload.RequestSource
+	n   int
+}
+
+func (s *countingSource) Next() (int, workload.Request, bool) {
+	i, req, ok := s.src.Next()
+	if ok {
+		s.n++
+	}
+	return i, req, ok
+}
+
+func (s *countingSource) Err() error { return s.src.Err() }
+
+// summarize prints the comparative §5/§6.2 summary.
+func summarize(bench *replay.APBench, baseline, odr *replay.ODRResult) {
+	fmt.Println("== smart-AP benchmark (§5) ==")
+	fmt.Printf("overall failure ratio:    %5.1f%%  (paper: 16.8%%)\n", bench.FailureRatio()*100)
+	fmt.Printf("unpopular failure ratio:  %5.1f%%  (paper: 42%%)\n", bench.UnpopularFailureRatio()*100)
+	fmt.Printf("speed median / mean:      %5.1f / %5.1f KBps (paper: 27 / 64)\n",
+		bench.Speeds().Median()/1024, bench.Speeds().Mean()/1024)
+	fmt.Printf("delay median / mean:      %5.0f / %5.0f min (paper: 77 / 402)\n",
+		bench.Delays().Median(), bench.Delays().Mean())
+	fmt.Println("failure causes:")
+	breakdown := bench.CauseBreakdown()
+	causes := make([]string, 0, len(breakdown))
+	for cause := range breakdown {
+		causes = append(causes, cause)
+	}
+	sort.Strings(causes)
+	for _, cause := range causes {
+		fmt.Printf("  %-12s %5.1f%%\n", cause, breakdown[cause]*100)
+	}
+
+	fmt.Println("\n== ODR evaluation (§6.2) ==")
+	fmt.Printf("engine:             %d shard(s), %d tasks\n",
+		odr.Engine.Shards, odr.Engine.Totals().Tasks)
+	fmt.Printf("impeded fetches:    cloud %5.1f%%  ODR %5.1f%%  (paper: 28%% -> 9%%)\n",
+		baseline.ImpededRatio()*100, odr.ImpededRatio()*100)
+	fmt.Printf("cloud bytes:        %.3g -> %.3g  (-%.0f%%, paper: -35%%)\n",
+		baseline.CloudBytes(), odr.CloudBytes(),
+		(1-odr.CloudBytes()/baseline.CloudBytes())*100)
+	fmt.Printf("unpopular failures: APs %5.1f%%  ODR %5.1f%%  (paper: 42%% -> 13%%)\n",
+		bench.UnpopularFailureRatio()*100, odr.UnpopularFailureRatio()*100)
+	fmt.Printf("B4-exposed tasks:   APs %5.1f%%  ODR %5.2f%%  (paper: avoided)\n",
+		bench.B4ExposedRatio()*100, odr.B4ExposedRatio()*100)
+	fmt.Printf("fetch speed median: cloud %.0f KBps  ODR %.0f KBps  (paper: 287 -> 368)\n",
+		baseline.FetchSpeeds().Median()/1024, odr.FetchSpeeds().Median()/1024)
 }
 
 // loadOrGenerate reads a wgen-format CSV trace when a path is given, or

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	wgen [-files N] [-seed S] [-format csv|jsonl] [-out PATH] [-unicom N]
+//	     [-chunk N]
+//
+// The trace streams from the generator to the writer in chunks of -chunk
+// requests, so memory stays bounded by the chunk size (plus the resident
+// file/user populations) no matter how large -files is.
 //
 // With -unicom N it emits the §5.1 replay sample (N Unicom requests with
 // reported bandwidth) instead of the full trace.
@@ -25,22 +30,27 @@ func main() {
 	format := flag.String("format", "csv", "output format: csv or jsonl")
 	out := flag.String("out", "-", "output path (- for stdout)")
 	unicom := flag.Int("unicom", 0, "emit only an N-request Unicom replay sample")
+	chunk := flag.Int("chunk", workload.DefaultStreamChunk, "streaming chunk size in requests")
 	flag.Parse()
 
-	if err := run(*files, *seed, *format, *out, *unicom); err != nil {
+	if err := run(*files, *seed, *format, *out, *unicom, *chunk); err != nil {
 		fmt.Fprintln(os.Stderr, "wgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(files int, seed uint64, format, out string, unicom int) error {
-	tr, err := workload.Generate(workload.DefaultConfig(files, seed))
+func run(files int, seed uint64, format, out string, unicom, chunk int) error {
+	st, err := workload.GenerateStream(workload.DefaultConfig(files, seed), chunk)
 	if err != nil {
 		return err
 	}
-	reqs := tr.Requests
+	src := st.Requests()
 	if unicom > 0 {
-		reqs = workload.UnicomSample(tr, unicom, seed)
+		sample, err := workload.UnicomSampleSource(src, unicom, seed)
+		if err != nil {
+			return err
+		}
+		src = workload.NewSliceSource(sample)
 	}
 
 	var w io.Writer = os.Stdout
@@ -52,12 +62,5 @@ func run(files int, seed uint64, format, out string, unicom int) error {
 		defer f.Close()
 		w = f
 	}
-	switch format {
-	case "csv":
-		return trace.WriteWorkloadCSV(w, reqs)
-	case "jsonl":
-		return trace.WriteWorkloadJSONL(w, reqs)
-	default:
-		return fmt.Errorf("unknown format %q (want csv or jsonl)", format)
-	}
+	return trace.WriteWorkloadStream(w, format, src)
 }

@@ -93,16 +93,40 @@ func (c *Cloud) Contains(id workload.FileID) bool { return c.pool.Contains(id) }
 // the parallel replay phase only reads. Calling Prime again extends the
 // index map without disturbing already-recorded entries.
 func (c *Cloud) Prime(sample []workload.Request) {
+	for i := range sample {
+		c.Observe(i, sample[i].File)
+	}
+}
+
+// Observe is the streaming form of Prime: it records one request as it
+// flows past, without the caller ever holding the full sample. Requests
+// must be observed in ascending index order before any request with a
+// larger index is dispatched; the streaming replay engine's reader
+// goroutine does exactly that. Because the per-file outcome is a memoized
+// pure function of (seed, file) and firstIdx keeps only the smallest index
+// per file, observing a stream leaves the cloud in the identical state a
+// full Prime over the same requests would.
+func (c *Cloud) Observe(i int, f *workload.FileMeta) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i := range sample {
-		f := sample[i].File
-		if _, ok := c.firstIdx[f.ID]; !ok {
-			c.firstIdx[f.ID] = i
+	if _, ok := c.firstIdx[f.ID]; !ok {
+		c.firstIdx[f.ID] = i
+	}
+	if !c.pool.Contains(f.ID) {
+		c.outcomeLocked(f)
+	}
+}
+
+// PrimeSource primes from a request stream, draining it. Most callers
+// should instead interleave Observe with dispatch (one pass); this helper
+// serves re-streamable sources such as the generator's.
+func (c *Cloud) PrimeSource(src workload.RequestSource) error {
+	for {
+		i, req, ok := src.Next()
+		if !ok {
+			return src.Err()
 		}
-		if !c.pool.Contains(f.ID) {
-			c.outcomeLocked(f)
-		}
+		c.Observe(i, req.File)
 	}
 }
 

@@ -144,8 +144,22 @@ type Decision struct {
 	// Reason is a human-readable justification (shown on the web page).
 	Reason string
 	// Addresses lists the bottleneck numbers (1-4) this decision avoids.
+	// The slice is shared and read-only: Decide interns the handful of
+	// possible values so the replay hot path does not allocate per call.
 	Addresses []int
 }
+
+// The interned Addresses values. Decide is called once (sometimes twice)
+// per replayed request, so these must not be rebuilt per decision — and
+// therefore must never be mutated by callers.
+var (
+	addrNone = []int{}
+	addr2    = []int{2}
+	addr3    = []int{3}
+	addr4    = []int{4}
+	addr13   = []int{1, 3}
+	addr24   = []int{2, 4}
+)
 
 // apStorageCeiling returns the AP's sustainable storage write rate.
 func apStorageCeiling(in Input) float64 {
@@ -188,7 +202,7 @@ func Decide(in Input) Decision {
 			Route:     RouteCloudPreDownload,
 			Source:    SourceOriginal,
 			Reason:    "not highly popular and not cached: let the cloud pre-download, then ask again",
-			Addresses: []int{3},
+			Addresses: addr3,
 		}
 	}
 	// Case 1: cached. Check for a fetch-path bottleneck (Bottleneck 1).
@@ -197,15 +211,32 @@ func Decide(in Input) Decision {
 			Route:     RouteCloudThenAP,
 			Source:    SourceCloud,
 			Reason:    "cached but the cloud→user path is bottlenecked: let the smart AP absorb the slow fetch",
-			Addresses: []int{1, 3},
+			Addresses: addr13,
 		}
 	}
 	return Decision{
 		Route:     RouteCloud,
 		Source:    SourceCloud,
 		Reason:    "cached with a healthy privileged path: fetch from the cloud",
-		Addresses: []int{3},
+		Addresses: addr3,
 	}
+}
+
+// The highly-popular branch's Reason strings, concatenated at compile
+// time: a runtime srcReason+suffix concatenation here would cost one heap
+// allocation per highly-popular replayed request.
+const (
+	reasonHPCloud = "highly popular HTTP/FTP file: the origin server would be the bottleneck, use the cloud"
+	reasonHPP2P   = "highly popular P2P file: the swarm is healthy, spare the cloud's upload bandwidth"
+	suffixNoAP    = "; no smart AP available, download on the user device"
+	suffixB4      = "; the AP's storage would cap the speed (Bottleneck 4), download on the user device"
+	suffixAP      = "; the AP's storage keeps up, let it pre-download"
+)
+
+// hpReasons is indexed by [P2P?][device case].
+var hpReasons = [2][3]string{
+	{reasonHPCloud + suffixNoAP, reasonHPCloud + suffixB4, reasonHPCloud + suffixAP},
+	{reasonHPP2P + suffixNoAP, reasonHPP2P + suffixB4, reasonHPP2P + suffixAP},
 }
 
 // decideHighlyPopular handles the left branch of Figure 15: avoid burning
@@ -214,10 +245,10 @@ func Decide(in Input) Decision {
 func decideHighlyPopular(in Input) Decision {
 	// Where should the bytes come from?
 	src := SourceCloud
-	srcReason := "highly popular HTTP/FTP file: the origin server would be the bottleneck, use the cloud"
+	reasons := &hpReasons[0]
 	if in.Protocol.IsP2P() {
 		src = SourceOriginal
-		srcReason = "highly popular P2P file: the swarm is healthy, spare the cloud's upload bandwidth"
+		reasons = &hpReasons[1]
 	}
 
 	// Which device should download? Prefer the AP (the user may go
@@ -227,8 +258,8 @@ func decideHighlyPopular(in Input) Decision {
 	case !in.HasAP:
 		return Decision{
 			Route: RouteUserDevice, Source: src,
-			Reason:    srcReason + "; no smart AP available, download on the user device",
-			Addresses: addressesFor(src, nil),
+			Reason:    reasons[0],
+			Addresses: addressesFor(src, false),
 		}
 	case bottleneck4(in):
 		// The AP's storage (e.g. a USB flash drive or NTFS) would cap
@@ -236,22 +267,29 @@ func decideHighlyPopular(in Input) Decision {
 		// impractical, so use the user's device.
 		return Decision{
 			Route: RouteUserDevice, Source: src,
-			Reason:    srcReason + "; the AP's storage would cap the speed (Bottleneck 4), download on the user device",
-			Addresses: addressesFor(src, []int{4}),
+			Reason:    reasons[1],
+			Addresses: addressesFor(src, true),
 		}
 	default:
 		return Decision{
 			Route: RouteSmartAP, Source: src,
-			Reason:    srcReason + "; the AP's storage keeps up, let it pre-download",
-			Addresses: addressesFor(src, []int{4}),
+			Reason:    reasons[2],
+			Addresses: addressesFor(src, true),
 		}
 	}
 }
 
-func addressesFor(src Source, extra []int) []int {
-	out := []int{}
-	if src == SourceOriginal {
-		out = append(out, 2)
+// addressesFor picks the interned Addresses value for a highly-popular
+// decision: Bottleneck 2 when the cloud is spared, Bottleneck 4 when the
+// storage check ran.
+func addressesFor(src Source, b4Checked bool) []int {
+	switch {
+	case src == SourceOriginal && b4Checked:
+		return addr24
+	case src == SourceOriginal:
+		return addr2
+	case b4Checked:
+		return addr4
 	}
-	return append(out, extra...)
+	return addrNone
 }

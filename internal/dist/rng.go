@@ -55,6 +55,22 @@ func (g *RNG) Split64(n uint64) *RNG {
 	return NewRNG(mix(g.seed ^ mix(n+0x51ed2701)))
 }
 
+// Reseed reinitializes g in place so it produces exactly the stream
+// NewRNG(seed) would, without allocating. It exists for streaming hot
+// loops that derive one substream per item and cannot afford three heap
+// allocations each: keep one scratch RNG per worker and Reseed it.
+func (g *RNG) Reseed(seed uint64) {
+	g.seed = seed
+	g.r.Seed(int64(mix(seed)))
+}
+
+// Split64Into is the allocation-free form of Split64: it reseeds dst in
+// place to the substream Split64(n) would return. dst must not be shared
+// with another goroutine.
+func (g *RNG) Split64Into(dst *RNG, n uint64) {
+	dst.Reseed(mix(g.seed ^ mix(n+0x51ed2701)))
+}
+
 // mix is a SplitMix64 finalizer; it decorrelates adjacent seeds.
 func mix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

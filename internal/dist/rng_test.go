@@ -342,3 +342,54 @@ func TestSplit64(t *testing.T) {
 		t.Fatal("Split64 aliases Split")
 	}
 }
+
+func TestReseedMatchesNewRNG(t *testing.T) {
+	g := NewRNG(7)
+	g.Float64() // consume some state first
+	g.NormFloat64()
+	g.Reseed(1234)
+	fresh := NewRNG(1234)
+	if g.Seed() != fresh.Seed() {
+		t.Fatalf("Reseed recorded seed %d, want %d", g.Seed(), fresh.Seed())
+	}
+	for i := 0; i < 16; i++ {
+		if g.Float64() != fresh.Float64() {
+			t.Fatalf("draw %d diverged from NewRNG(1234)", i)
+		}
+	}
+	// Reseeding must also reset the normal/exponential paths.
+	g.Reseed(1234)
+	fresh = NewRNG(1234)
+	if g.NormFloat64() != fresh.NormFloat64() || g.ExpFloat64() != fresh.ExpFloat64() {
+		t.Fatal("Reseed did not reset non-uniform draw state")
+	}
+}
+
+func TestSplit64IntoMatchesSplit64(t *testing.T) {
+	root := NewRNG(99)
+	scratch := NewRNG(0)
+	for _, n := range []uint64{0, 1, 7, 1 << 40} {
+		want := root.Split64(n)
+		root.Split64Into(scratch, n)
+		if scratch.Seed() != want.Seed() {
+			t.Fatalf("n=%d: Split64Into seed %d, want %d", n, scratch.Seed(), want.Seed())
+		}
+		for i := 0; i < 8; i++ {
+			if scratch.Float64() != want.Float64() {
+				t.Fatalf("n=%d: draw %d diverged from Split64", n, i)
+			}
+		}
+	}
+}
+
+func TestSplit64IntoAllocFree(t *testing.T) {
+	root := NewRNG(3)
+	scratch := NewRNG(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		root.Split64Into(scratch, 42)
+		scratch.Float64()
+	})
+	if allocs != 0 {
+		t.Fatalf("Split64Into allocates %.1f objects per call, want 0", allocs)
+	}
+}

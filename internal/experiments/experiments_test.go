@@ -201,7 +201,7 @@ func TestAblationsShowSignalValue(t *testing.T) {
 
 func TestAllAndByID(t *testing.T) {
 	reports := lab.All()
-	if len(reports) != 19 {
+	if len(reports) != 20 {
 		t.Fatalf("All returned %d reports", len(reports))
 	}
 	seen := map[string]bool{}
@@ -296,6 +296,18 @@ func TestLEDBATSmoothing(t *testing.T) {
 	if r.Metrics["ledbat_bg_gb"] < 0.5*r.Metrics["greedy_bg_gb"] {
 		t.Errorf("LEDBAT delivered only %.1f GB vs greedy %.1f GB",
 			r.Metrics["ledbat_bg_gb"], r.Metrics["greedy_bg_gb"])
+	}
+}
+
+// The streaming pipeline must reproduce the slice pipeline exactly — the
+// diffs are zero, not merely within tolerance.
+func TestStreamEquivalenceExact(t *testing.T) {
+	r := lab.StreamEquivalence()
+	if d := r.Metrics["max_abs_diff"]; d != 0 {
+		t.Errorf("streaming pipeline diverged from the slice path: max |diff| = %g\n%s", d, r)
+	}
+	if r.Metrics["tasks_diff"] != 0 {
+		t.Errorf("task counts differ:\n%s", r)
 	}
 }
 

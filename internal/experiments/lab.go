@@ -45,6 +45,7 @@ type Lab struct {
 	aps       []*smartap.AP
 	apBench   *replay.APBench
 	odr       *replay.ODRResult
+	streamODR *replay.ODRResult
 	cloudBase *replay.ODRResult
 }
 

@@ -159,6 +159,7 @@ func (l *Lab) All() []*Report {
 		l.HybridComparison(),
 		l.PoolSweep(),
 		l.LEDBATSmoothing(),
+		l.StreamEquivalence(),
 	}
 }
 
@@ -203,6 +204,8 @@ func (l *Lab) ByID(id string) *Report {
 		return l.PoolSweep()
 	case "LED", "led":
 		return l.LEDBATSmoothing()
+	case "S1", "s1":
+		return l.StreamEquivalence()
 	}
 	return nil
 }

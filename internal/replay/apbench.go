@@ -66,6 +66,41 @@ func RunAPBenchmark(sample []workload.Request, aps []*smartap.AP, seed uint64) *
 	return b
 }
 
+// RunAPBenchmarkStream replays a request stream across the APs without
+// holding the sample; output is byte-identical to RunAPBenchmark over the
+// collected slice for the same seed and shard count.
+func RunAPBenchmarkStream(src workload.RequestSource, aps []*smartap.AP,
+	seed uint64, shards int) (*APBench, error) {
+	if len(aps) == 0 {
+		panic("replay: RunAPBenchmarkStream needs at least one AP")
+	}
+	be := backend.NewSmartAP()
+	b := &APBench{}
+	var err error
+	b.Tasks, b.Engine, err = runShardedStream(src, aps, seed, shards, nil,
+		func(i int, wreq workload.Request, req *backend.Request) (APTask, bool) {
+			pre := be.PreDownload(req)
+			return APTask{
+				Request: wreq,
+				APName:  req.AP.Spec().Name,
+				Result: smartap.Result{
+					Success:      pre.OK,
+					Rate:         pre.Rate,
+					Delay:        pre.Delay,
+					Traffic:      pre.Traffic,
+					IOWait:       pre.IOWait,
+					StorageBound: pre.StorageBound,
+					Cause:        pre.Cause,
+				},
+				B4Exposed: backend.StorageExposed(req),
+			}, pre.OK
+		})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // B4ExposedRatio returns the fraction of tasks exposed to Bottleneck 4:
 // routed to an AP whose storage write ceiling is below the usable access
 // bandwidth.

@@ -41,6 +41,46 @@ func benchFixture(b *testing.B) ([]workload.Request, []*workload.FileMeta) {
 	return benchSample, benchTrace.Files
 }
 
+// BenchmarkStreamReplay measures the streaming request path's allocation
+// behavior: requests flow from the trace's request log through the reader
+// into per-shard channels, with per-worker scratch RNGs and request
+// structs. The acceptance bar is that per-request allocations are bounded
+// by chunk size, not stream length — allocs/op for the 200k-request
+// stream within ~2x of the 20k one after dividing by stream length. Both
+// sizes replay prefixes of the same trace over the same file population,
+// so the fixed setup cost (warm pool, file metadata) cancels out of the
+// comparison. Peak transient request memory is the engine's in-flight
+// window — shards × streamChanBuf + streamCellChunk cells — reported as
+// the inflight-reqs metric; a slice replay instead keeps all requests
+// resident (the stream-len metric).
+func BenchmarkStreamReplay(b *testing.B) {
+	_, files := benchFixture(b)
+	aps := smartap.Benchmarked()
+	for _, n := range []int{20000, 200000} {
+		if len(benchTrace.Requests) < n {
+			b.Fatalf("benchmark trace has %d requests, want %d", len(benchTrace.Requests), n)
+		}
+		sample := benchTrace.Requests[:n]
+		b.Run(fmt.Sprintf("requests=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := RunODRStream(workload.NewSliceSource(sample), files, aps,
+					Options{Seed: benchSeed, Shards: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tasks) != n {
+					b.Fatalf("replayed %d of %d tasks", len(res.Tasks), n)
+				}
+			}
+			shards := 4
+			b.ReportMetric(float64(shards*streamChanBuf+streamCellChunk), "inflight-reqs")
+			b.ReportMetric(float64(n), "stream-len")
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "requests/sec")
+		})
+	}
+}
+
 // BenchmarkReplayParallel sweeps the engine's shard count over the
 // 50k-request trace. The acceptance bar is >2× requests/sec at 4 shards
 // versus 1.

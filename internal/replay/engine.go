@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -79,6 +80,135 @@ func normalizeShards(shards, sampleLen int) int {
 func userShard(u *workload.User, shards int) int {
 	h := uint64(uint(u.ID)) * 0x9E3779B97F4A7C15
 	return int((h >> 32) % uint64(shards))
+}
+
+// streamCellChunk is how many task cells the stream engine's reader
+// allocates at a time. Cells are handed to workers by pointer, so a chunk
+// must never be reallocated once any of its cells is in flight.
+const streamCellChunk = 4096
+
+// streamChanBuf bounds each shard's in-flight queue. Together with the
+// shard count it caps how far the reader can run ahead of the workers, so
+// reader-side memory stays constant in stream length.
+const streamChanBuf = 256
+
+// streamCell carries one request from the reader to a shard worker and
+// the task result back to the collector. The reader writes i/wreq before
+// the channel send, the owning worker writes task/ok before wg.Done, and
+// the collector reads after wg.Wait — every access is ordered.
+type streamCell[T any] struct {
+	i    int
+	wreq workload.Request
+	task T
+	ok   bool
+}
+
+// runShardedStream is runSharded over a RequestSource: a single reader
+// goroutine (the caller) pulls requests in global-index order, invokes the
+// observe hook (cloud priming) on each, and fans them out to per-shard
+// bounded channels keyed by user partition. Workers reuse one
+// backend.Request and one scratch RNG each — reseeded per request from
+// the same index-keyed substream the slice path draws — so the output is
+// byte-identical to runSharded over the collected slice for any shard
+// count and GOMAXPROCS, while per-request allocations stay constant.
+//
+// Unlike the slice path, the stream length is unknown up front, so the
+// shard count is not capped by it; pass the same explicit positive count
+// to both paths when comparing digests of tiny samples.
+func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
+	seed uint64, shards int,
+	observe func(i int, wreq workload.Request),
+	fn func(i int, wreq workload.Request, req *backend.Request) (T, bool),
+) ([]T, EngineStats, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	root := dist.NewRNG(seed).Split("replay-engine")
+	stats := EngineStats{Shards: shards, PerShard: make([]ShardTotals, shards)}
+
+	chans := make([]chan *streamCell[T], shards)
+	for s := range chans {
+		chans[s] = make(chan *streamCell[T], streamChanBuf)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			totals := &stats.PerShard[s]
+			req := &backend.Request{EnvCap: EnvCap}
+			rng := dist.NewRNG(0)
+			for cell := range chans[s] {
+				// Reseeding in place yields the exact stream
+				// root.Split64(i) would, without the three allocations.
+				root.Split64Into(rng, uint64(cell.i))
+				req.Index = cell.i
+				req.User = cell.wreq.User
+				req.File = cell.wreq.File
+				req.RNG = rng
+				req.AP = nil
+				if len(aps) > 0 {
+					req.AP = aps[cell.i%len(aps)]
+				}
+				cell.task, cell.ok = fn(cell.i, cell.wreq, req)
+				totals.Tasks++
+				if !cell.ok {
+					totals.Failures++
+				}
+			}
+		}(s)
+	}
+
+	fail := func(err error) ([]T, EngineStats, error) {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+		return nil, stats, err
+	}
+
+	var chunks [][]streamCell[T]
+	cur := make([]streamCell[T], streamCellChunk)
+	k, n := 0, 0
+	for {
+		i, wreq, ok := src.Next()
+		if !ok {
+			break
+		}
+		if i != n {
+			return fail(fmt.Errorf("replay: source yielded index %d, want %d", i, n))
+		}
+		if observe != nil {
+			observe(i, wreq)
+		}
+		if k == len(cur) {
+			chunks = append(chunks, cur)
+			cur = make([]streamCell[T], streamCellChunk)
+			k = 0
+		}
+		cell := &cur[k]
+		cell.i = i
+		cell.wreq = wreq
+		k++
+		n++
+		chans[userShard(wreq.User, shards)] <- cell
+	}
+	chunks = append(chunks, cur[:k])
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if err := src.Err(); err != nil {
+		return nil, stats, err
+	}
+
+	tasks := make([]T, 0, n)
+	for _, chunk := range chunks {
+		for i := range chunk {
+			tasks = append(tasks, chunk[i].task)
+		}
+	}
+	return tasks, stats, nil
 }
 
 // runSharded replays sample through fn across user-partitioned shards.

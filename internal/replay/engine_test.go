@@ -67,6 +67,33 @@ func TestReplayDeterminism(t *testing.T) {
 		}
 	}
 
+	// Slice-vs-stream equivalence: replaying the sample through a
+	// RequestSource — reader goroutine, per-shard channels, per-worker
+	// scratch RNGs, streaming cloud priming — must reproduce the slice
+	// path byte-for-byte at every shard count.
+	for _, shards := range []int{1, 4, 8} {
+		got, err := RunODRStream(workload.NewSliceSource(f.sample), f.trace.Files,
+			f.aps, Options{Seed: 14, Shards: shards})
+		if err != nil {
+			t.Fatalf("stream shards=%d: %v", shards, err)
+		}
+		if d := digest(got); d != want {
+			t.Fatalf("stream shards=%d: streamed replay diverged from the slice path\nfirst differing line:\n%s",
+				shards, firstDiff(want, d))
+		}
+	}
+	apWant := apDigest(RunAPBenchmark(f.sample, f.aps, 14))
+	for _, shards := range []int{1, 4, 8} {
+		got, err := RunAPBenchmarkStream(workload.NewSliceSource(f.sample), f.aps, 14, shards)
+		if err != nil {
+			t.Fatalf("AP stream shards=%d: %v", shards, err)
+		}
+		if d := apDigest(got); d != apWant {
+			t.Fatalf("AP stream shards=%d: diverged from the slice path\nfirst differing line:\n%s",
+				shards, firstDiff(apWant, d))
+		}
+	}
+
 	// The baselines and the AP benchmark shard at GOMAXPROCS; two runs
 	// must still match exactly.
 	if digest(HybridBaseline(f.sample, f.trace.Files, f.aps, 14)) !=
@@ -118,6 +145,86 @@ func TestEngineShardTotals(t *testing.T) {
 			t.Errorf("shards=%d: shard failure totals %d, tasks say %d",
 				shards, tot.Failures, fails)
 		}
+	}
+}
+
+// faultySource yields the first n requests of a slice, then fails.
+type faultySource struct {
+	reqs []workload.Request
+	n    int
+	pos  int
+	err  error
+}
+
+func (s *faultySource) Next() (int, workload.Request, bool) {
+	if s.pos >= s.n {
+		return 0, workload.Request{}, false
+	}
+	i := s.pos
+	s.pos++
+	return i, s.reqs[i], true
+}
+
+func (s *faultySource) Err() error {
+	if s.pos >= s.n {
+		return s.err
+	}
+	return nil
+}
+
+// TestStreamErrorPropagation: a source that fails mid-stream must surface
+// its error from the streaming entry points, with the engine's workers
+// shut down cleanly (run under -race to prove it).
+func TestStreamErrorPropagation(t *testing.T) {
+	f := setup(t)
+	wantErr := fmt.Errorf("disk on fire")
+	src := &faultySource{reqs: f.sample, n: 100, err: wantErr}
+	res, err := RunODRStream(src, f.trace.Files, f.aps, Options{Seed: 14, Shards: 4})
+	if err == nil || !strings.Contains(err.Error(), wantErr.Error()) {
+		t.Fatalf("RunODRStream error = %v, want %v", err, wantErr)
+	}
+	if res != nil {
+		t.Fatal("failed stream replay returned a result")
+	}
+	apRes, err := RunAPBenchmarkStream(&faultySource{reqs: f.sample, n: 100, err: wantErr},
+		f.aps, 14, 4)
+	if err == nil || !strings.Contains(err.Error(), wantErr.Error()) {
+		t.Fatalf("RunAPBenchmarkStream error = %v, want %v", err, wantErr)
+	}
+	if apRes != nil {
+		t.Fatal("failed AP stream replay returned a result")
+	}
+}
+
+// outOfOrderSource violates the RequestSource index contract.
+type outOfOrderSource struct {
+	reqs []workload.Request
+	pos  int
+}
+
+func (s *outOfOrderSource) Next() (int, workload.Request, bool) {
+	if s.pos >= len(s.reqs) {
+		return 0, workload.Request{}, false
+	}
+	i := s.pos
+	s.pos++
+	if i == 5 {
+		return 17, s.reqs[i], true // lies about its index
+	}
+	return i, s.reqs[i], true
+}
+
+func (s *outOfOrderSource) Err() error { return nil }
+
+// TestStreamIndexContract: the engine rejects sources that break the
+// global-index-order contract instead of silently misattributing RNG
+// substreams.
+func TestStreamIndexContract(t *testing.T) {
+	f := setup(t)
+	_, err := RunODRStream(&outOfOrderSource{reqs: f.sample[:20]}, f.trace.Files,
+		f.aps, Options{Seed: 14, Shards: 2})
+	if err == nil || !strings.Contains(err.Error(), "index") {
+		t.Fatalf("out-of-order source not rejected: %v", err)
 	}
 }
 

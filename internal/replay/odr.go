@@ -110,6 +110,40 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 	return res
 }
 
+// RunODRStream replays a request stream through the ODR decision
+// procedure without ever holding the request slice: the engine's reader
+// primes the cloud request by request (backend.Cloud.Observe) as it fans
+// out to the shards. Because observation happens in global-index order
+// before each request is dispatched, every Probe sees exactly the cache
+// visibility a full up-front Prime would have produced, and the result is
+// byte-identical to RunODR over the collected slice for the same options.
+// Only the task records — an order of magnitude smaller than requests
+// with their backing populations — are materialized.
+func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
+	aps []*smartap.AP, opts Options) (*ODRResult, error) {
+	if len(aps) == 0 {
+		panic("replay: RunODRStream needs at least one AP")
+	}
+	if opts.CloudScale <= 0 {
+		opts.CloudScale = float64(len(files)) / cloud.FullScaleFiles
+	}
+	set := backend.NewSet(files, cloud.DefaultConfig(opts.CloudScale, opts.Seed), opts.Seed)
+	db := core.NewStaticDB(files)
+
+	res := &ODRResult{Backends: set}
+	var err error
+	res.Tasks, res.Engine, err = runShardedStream(src, aps, opts.Seed, opts.Shards,
+		func(i int, wreq workload.Request) { set.Cloud.Observe(i, wreq.File) },
+		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
+			t := odrTask(wreq, req, db, set, opts)
+			return t, t.Success
+		})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // odrTask routes one request per Figure 15 and executes it on the backend
 // the decision resolves to.
 func odrTask(wreq workload.Request, req *backend.Request, db core.StaticDB,

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"odr/internal/workload"
+)
+
+// jsonlMaxLine is the largest JSONL record the streaming reader accepts.
+// bufio.Scanner's default 64 KB token limit silently truncates records with
+// long source_url fields; 16 MiB is far beyond any real trace line while
+// still bounding memory against corrupt input.
+const jsonlMaxLine = 16 << 20
+
+// jsonlInitBuf is the scanner's initial buffer; it grows on demand up to
+// jsonlMaxLine, so ordinary traces never pay for the ceiling.
+const jsonlInitBuf = 64 << 10
+
+// csvSource streams a workload CSV record at a time.
+type csvSource struct {
+	cr    *csv.Reader
+	pool  *identityPool
+	pos   int
+	row   int // 1-based physical row of the record about to be read
+	err   error
+	done  bool
+	fresh workload.Request
+}
+
+// StreamWorkloadCSV opens a workload CSV for record-at-a-time reading. The
+// header row is validated immediately; the returned source interns users
+// and files by ID exactly as ReadWorkloadCSV does, so identity-based
+// consumers work unchanged. Parse failures carry the 1-based row number.
+func StreamWorkloadCSV(r io.Reader) (workload.RequestSource, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("trace: empty workload CSV")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: row 1: %w", err)
+	}
+	if err := checkHeader(header); err != nil {
+		return nil, err
+	}
+	return &csvSource{cr: cr, pool: newIdentityPool(), row: 2}, nil
+}
+
+func (s *csvSource) Next() (int, workload.Request, bool) {
+	if s.done {
+		return 0, workload.Request{}, false
+	}
+	row, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return 0, workload.Request{}, false
+	}
+	if err != nil {
+		s.fail(fmt.Errorf("trace: row %d: %w", s.row, err))
+		return 0, workload.Request{}, false
+	}
+	if len(row) != len(workloadHeader) {
+		s.fail(fmt.Errorf("trace: row %d has %d fields, want %d", s.row, len(row), len(workloadHeader)))
+		return 0, workload.Request{}, false
+	}
+	rec, err := rowToRecord(row)
+	if err != nil {
+		s.fail(fmt.Errorf("trace: row %d: %w", s.row, err))
+		return 0, workload.Request{}, false
+	}
+	req, err := rec.ToRequest()
+	if err != nil {
+		s.fail(fmt.Errorf("trace: row %d: %w", s.row, err))
+		return 0, workload.Request{}, false
+	}
+	i := s.pos
+	s.pos++
+	s.row++
+	return i, s.pool.intern(req), true
+}
+
+func (s *csvSource) fail(err error) {
+	s.err = err
+	s.done = true
+}
+
+func (s *csvSource) Err() error { return s.err }
+
+// jsonlSource streams workload JSON Lines a record at a time.
+type jsonlSource struct {
+	sc   *bufio.Scanner
+	pool *identityPool
+	pos  int
+	line int // 1-based line of the record about to be read
+	err  error
+	done bool
+}
+
+// StreamWorkloadJSONL opens workload JSON Lines for record-at-a-time
+// reading. The scanner is given an explicit 16 MiB line limit (the default
+// 64 KB token cap truncates long source_url fields), blank lines are
+// skipped, and parse failures carry the 1-based line number. Identities
+// are interned as in the CSV reader.
+func StreamWorkloadJSONL(r io.Reader) workload.RequestSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, jsonlInitBuf), jsonlMaxLine)
+	return &jsonlSource{sc: sc, pool: newIdentityPool(), line: 1}
+}
+
+func (s *jsonlSource) Next() (int, workload.Request, bool) {
+	for !s.done {
+		if !s.sc.Scan() {
+			s.done = true
+			if err := s.sc.Err(); err != nil {
+				s.err = fmt.Errorf("trace: line %d: %w", s.line, err)
+			}
+			return 0, workload.Request{}, false
+		}
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			s.line++
+			continue
+		}
+		var rec WorkloadRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			s.fail(fmt.Errorf("trace: line %d: %w", s.line, err))
+			return 0, workload.Request{}, false
+		}
+		req, err := rec.ToRequest()
+		if err != nil {
+			s.fail(fmt.Errorf("trace: line %d: %w", s.line, err))
+			return 0, workload.Request{}, false
+		}
+		i := s.pos
+		s.pos++
+		s.line++
+		return i, s.pool.intern(req), true
+	}
+	return 0, workload.Request{}, false
+}
+
+func (s *jsonlSource) fail(err error) {
+	s.err = err
+	s.done = true
+}
+
+func (s *jsonlSource) Err() error { return s.err }
+
+// WriteWorkloadCSVStream writes a request stream as CSV with a header row,
+// one record at a time; memory stays constant in stream length. The row
+// scratch slice is reused across records.
+func WriteWorkloadCSVStream(w io.Writer, src workload.RequestSource) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(workloadHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(workloadHeader))
+	for {
+		_, r, ok := src.Next()
+		if !ok {
+			break
+		}
+		rec := FromRequest(r)
+		row[0] = strconv.Itoa(rec.UserID)
+		row[1] = rec.ISP
+		row[2] = strconv.FormatFloat(rec.AccessBW, 'f', -1, 64)
+		row[3] = strconv.FormatInt(rec.TimeMS, 10)
+		row[4] = rec.FileID
+		row[5] = strconv.FormatInt(rec.Size, 10)
+		row[6] = rec.Class
+		row[7] = rec.Protocol
+		row[8] = rec.SourceURL
+		row[9] = strconv.Itoa(rec.Weekly)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteWorkloadJSONLStream writes a request stream as JSON Lines, one
+// record at a time.
+func WriteWorkloadJSONLStream(w io.Writer, src workload.RequestSource) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for {
+		_, r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(FromRequest(r)); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteWorkloadStream writes a request stream in the named format ("csv"
+// or "jsonl").
+func WriteWorkloadStream(w io.Writer, format string, src workload.RequestSource) error {
+	switch format {
+	case "csv":
+		return WriteWorkloadCSVStream(w, src)
+	case "jsonl":
+		return WriteWorkloadJSONLStream(w, src)
+	default:
+		return fmt.Errorf("trace: unknown workload format %q", format)
+	}
+}
+
+// StreamWorkload opens a workload trace in the named format for streaming
+// reads — the reader-side counterpart of WriteWorkloadStream.
+func StreamWorkload(r io.Reader, format string) (workload.RequestSource, error) {
+	switch format {
+	case "csv":
+		return StreamWorkloadCSV(r)
+	case "jsonl":
+		return StreamWorkloadJSONL(r), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown workload format %q", format)
+	}
+}

@@ -7,7 +7,6 @@ package trace
 
 import (
 	"bufio"
-	"encoding/csv"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -110,65 +109,22 @@ var workloadHeader = []string{
 	"size", "class", "protocol", "source_url", "weekly_requests",
 }
 
-// WriteWorkloadCSV writes requests as CSV with a header row.
+// WriteWorkloadCSV writes requests as CSV with a header row. It is a thin
+// wrapper over WriteWorkloadCSVStream.
 func WriteWorkloadCSV(w io.Writer, reqs []workload.Request) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(workloadHeader); err != nil {
-		return err
-	}
-	for _, r := range reqs {
-		rec := FromRequest(r)
-		row := []string{
-			strconv.Itoa(rec.UserID),
-			rec.ISP,
-			strconv.FormatFloat(rec.AccessBW, 'f', -1, 64),
-			strconv.FormatInt(rec.TimeMS, 10),
-			rec.FileID,
-			strconv.FormatInt(rec.Size, 10),
-			rec.Class,
-			rec.Protocol,
-			rec.SourceURL,
-			strconv.Itoa(rec.Weekly),
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return WriteWorkloadCSVStream(w, workload.NewSliceSource(reqs))
 }
 
 // ReadWorkloadCSV parses a workload CSV, deduplicating users and files by
-// ID so identity-based analyses keep working.
+// ID so identity-based analyses keep working. It is a thin wrapper over
+// StreamWorkloadCSV; use the stream form directly when the trace need not
+// be resident.
 func ReadWorkloadCSV(r io.Reader) ([]workload.Request, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
+	src, err := StreamWorkloadCSV(r)
 	if err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("trace: empty workload CSV")
-	}
-	if err := checkHeader(rows[0]); err != nil {
-		return nil, err
-	}
-	out := make([]workload.Request, 0, len(rows)-1)
-	dedup := newIdentityPool()
-	for i, row := range rows[1:] {
-		if len(row) != len(workloadHeader) {
-			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", i+2, len(row), len(workloadHeader))
-		}
-		rec, err := rowToRecord(row)
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
-		}
-		req, err := rec.ToRequest()
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
-		}
-		out = append(out, dedup.intern(req))
-	}
-	return out, nil
+	return workload.Collect(src)
 }
 
 func checkHeader(h []string) error {
@@ -236,38 +192,19 @@ func (p *identityPool) intern(r workload.Request) workload.Request {
 	return r
 }
 
-// WriteWorkloadJSONL writes requests as JSON Lines.
+// WriteWorkloadJSONL writes requests as JSON Lines. It is a thin wrapper
+// over WriteWorkloadJSONLStream.
 func WriteWorkloadJSONL(w io.Writer, reqs []workload.Request) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, r := range reqs {
-		if err := enc.Encode(FromRequest(r)); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return WriteWorkloadJSONLStream(w, workload.NewSliceSource(reqs))
 }
 
 // ReadWorkloadJSONL parses JSON Lines, deduplicating identities as the CSV
-// reader does.
+// reader does. It is a thin wrapper over StreamWorkloadJSONL, which reads
+// a record at a time with an explicit line-length limit well above
+// bufio.Scanner's 64 KB default, so records with very long source_url
+// fields survive the trip.
 func ReadWorkloadJSONL(r io.Reader) ([]workload.Request, error) {
-	dec := json.NewDecoder(r)
-	var out []workload.Request
-	dedup := newIdentityPool()
-	for i := 0; ; i++ {
-		var rec WorkloadRecord
-		if err := dec.Decode(&rec); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", i+1, err)
-		}
-		req, err := rec.ToRequest()
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", i+1, err)
-		}
-		out = append(out, dedup.intern(req))
-	}
-	return out, nil
+	return workload.Collect(StreamWorkloadJSONL(r))
 }
 
 // TaskLine is the serialized form of a completed task (the union of the

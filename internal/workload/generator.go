@@ -101,8 +101,79 @@ var accessBWKBps = dist.MustEmpirical([]dist.Point{
 	{V: 6250, P: 1.0},
 })
 
-// Generate synthesizes a complete trace from the configuration.
+// DefaultStreamChunk is the default target chunk size (in requests) of the
+// streaming generator. Peak transient memory of a stream is roughly twice
+// this many Requests (the diurnal peak-to-mean load ratio), independent of
+// trace length.
+const DefaultStreamChunk = 8192
+
+// maxStreamBuckets bounds the time-bucket count of the streaming
+// generator; bucket indices must fit in the uint16 scaffolding.
+const maxStreamBuckets = 65535
+
+// Generate synthesizes a complete trace from the configuration. It is the
+// materialized form of GenerateStream: the emitted requests are collected
+// into one slice, so memory grows with trace length. For large traces
+// prefer GenerateStream and consume the request stream chunk by chunk.
 func Generate(cfg Config) (*Trace, error) {
+	st, err := GenerateStream(cfg, DefaultStreamChunk)
+	if err != nil {
+		return nil, err
+	}
+	requests, err := Collect(st.Requests())
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Files: st.Files, Users: st.Users, Requests: requests, Span: st.Span}, nil
+}
+
+// StreamTrace is a synthesized workload whose requests have not been
+// materialized: the file and user populations are resident (they are what
+// every consumer needs random access to), while the request log exists
+// only as a re-streamable RequestSource. The per-request scaffolding kept
+// here is a 4-byte counting-sorted permutation index — an order of
+// magnitude smaller than materialized Requests — and each call to
+// Requests regenerates request contents chunk by chunk from per-request
+// RNG substreams.
+type StreamTrace struct {
+	Files []*FileMeta
+	Users []*User
+	// Span is the duration the trace covers.
+	Span time.Duration
+
+	cfg   Config // normalized: Span and NumUsers resolved
+	chunk int
+	// cumReqs[i] is the total weekly requests of Files[0..i]; it maps a
+	// generation index to its file by binary search.
+	cumReqs []uint32
+	// perm holds request generation indices grouped by time bucket
+	// (ascending within each bucket); offsets[b] and offsets[b+1] bound
+	// bucket b. Together they fix the emission order as (Time, generation
+	// index) without holding any Request.
+	perm    []uint32
+	offsets []uint32
+}
+
+// TotalRequests returns the number of requests the stream yields.
+func (t *StreamTrace) TotalRequests() int { return len(t.perm) }
+
+// ChunkSize returns the target chunk size the stream was built with.
+func (t *StreamTrace) ChunkSize() int { return t.chunk }
+
+// GenerateStream synthesizes the trace's resident metadata and prepares a
+// bounded-memory request stream. chunkSize is the target number of
+// requests resident at once during emission (non-positive selects
+// DefaultStreamChunk); the emitted request sequence is byte-identical for
+// every chunk size and identical to Generate's request slice, because the
+// emission order is defined as (request time, generation index) — a total
+// order independent of how time is bucketed.
+//
+// The generator draws each request's content from its own RNG substream
+// keyed by generation index (root("requests").Split64(j)), so a request
+// can be regenerated in any pass without replaying a shared sequential
+// stream. Construction makes one counting pass over those substreams to
+// bucket requests by time; emission makes one more to fill each bucket.
+func GenerateStream(cfg Config, chunkSize int) (*StreamTrace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,13 +183,171 @@ func Generate(cfg Config) (*Trace, error) {
 	if cfg.NumUsers == 0 {
 		cfg.NumUsers = int(math.Max(1, float64(cfg.NumFiles)*7.25/5.2))
 	}
+	if chunkSize <= 0 {
+		chunkSize = DefaultStreamChunk
+	}
 	root := dist.NewRNG(cfg.Seed)
 
-	files := generateFiles(cfg, root.Split("files"))
-	users := generateUsers(cfg, root.Split("users"))
-	requests := generateRequests(cfg, root.Split("requests"), files, users)
+	st := &StreamTrace{
+		Files: generateFiles(cfg, root.Split("files")),
+		Users: generateUsers(cfg, root.Split("users")),
+		Span:  cfg.Span,
+		cfg:   cfg,
+		chunk: chunkSize,
+	}
 
-	return &Trace{Files: files, Users: users, Requests: requests, Span: cfg.Span}, nil
+	st.cumReqs = make([]uint32, len(st.Files))
+	total := uint64(0)
+	for i, f := range st.Files {
+		total += uint64(f.WeeklyRequests)
+		if total > math.MaxUint32 {
+			return nil, fmt.Errorf("workload: trace has %d+ requests, beyond the 2^32-1 streaming limit", total)
+		}
+		st.cumReqs[i] = uint32(total)
+	}
+
+	numBuckets := int(total) / chunkSize
+	if int(total)%chunkSize != 0 {
+		numBuckets++
+	}
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+	if numBuckets > maxStreamBuckets {
+		numBuckets = maxStreamBuckets
+	}
+
+	// Counting pass: assign every request to its time bucket. The bucket
+	// bytes are transient; only the permutation index survives.
+	buckets := make([]uint16, total)
+	counts := make([]uint32, numBuckets)
+	reqRoot := root.Split("requests")
+	scratch := dist.NewRNG(0)
+	j := uint32(0)
+	for _, f := range st.Files {
+		for k := 0; k < f.WeeklyRequests; k++ {
+			reqRoot.Split64Into(scratch, uint64(j))
+			_, at := drawRequest(cfg, scratch, len(st.Users))
+			b := bucketOf(at, cfg.Span, numBuckets)
+			buckets[j] = uint16(b)
+			counts[b]++
+			j++
+		}
+	}
+
+	// Counting sort (stable): perm groups generation indices by bucket,
+	// ascending within each bucket.
+	st.offsets = make([]uint32, numBuckets+1)
+	for b := 0; b < numBuckets; b++ {
+		st.offsets[b+1] = st.offsets[b] + counts[b]
+	}
+	next := make([]uint32, numBuckets)
+	copy(next, st.offsets[:numBuckets])
+	st.perm = make([]uint32, total)
+	for j := range buckets {
+		b := buckets[j]
+		st.perm[next[b]] = uint32(j)
+		next[b]++
+	}
+	return st, nil
+}
+
+// drawRequest draws request j's content from its dedicated substream. The
+// draw order (user, then arrival) is part of the stream's definition:
+// every pass over a request must consume its substream identically.
+func drawRequest(cfg Config, g *dist.RNG, numUsers int) (userIdx int, at time.Duration) {
+	userIdx = g.Intn(numUsers)
+	at = sampleArrival(cfg, g)
+	return userIdx, at
+}
+
+// bucketOf maps an arrival time to its bucket. The mapping is monotone in
+// time, so concatenating buckets in order preserves time order for any
+// bucket count.
+func bucketOf(at, span time.Duration, numBuckets int) int {
+	b := int(float64(at) / float64(span) * float64(numBuckets))
+	if b < 0 {
+		b = 0
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// fileOfIndex returns the file owning generation index j.
+func (t *StreamTrace) fileOfIndex(j uint32) *FileMeta {
+	i := sort.Search(len(t.cumReqs), func(i int) bool { return t.cumReqs[i] > j })
+	return t.Files[i]
+}
+
+// Requests returns a fresh stream over the trace's requests in time order
+// (ties broken by generation index). The stream may be taken any number
+// of times; each holds at most one time bucket (≈ the configured chunk
+// size, ×2 at the diurnal peak) of materialized Requests.
+func (t *StreamTrace) Requests() RequestSource {
+	return &genSource{
+		t:       t,
+		reqRoot: dist.NewRNG(t.cfg.Seed).Split("requests"),
+		scratch: dist.NewRNG(0),
+	}
+}
+
+// genSource emits a StreamTrace bucket by bucket.
+type genSource struct {
+	t       *StreamTrace
+	reqRoot *dist.RNG
+	scratch *dist.RNG
+
+	bucket int // next bucket to materialize
+	buf    []genItem
+	pos    int
+	base   int // global index of buf[0]
+}
+
+type genItem struct {
+	req Request
+	j   uint32
+}
+
+func (s *genSource) Next() (int, Request, bool) {
+	for s.pos >= len(s.buf) {
+		if s.bucket >= len(s.t.offsets)-1 {
+			return 0, Request{}, false
+		}
+		s.loadBucket()
+	}
+	i := s.base + s.pos
+	req := s.buf[s.pos].req
+	s.pos++
+	return i, req, true
+}
+
+func (s *genSource) Err() error { return nil }
+
+// loadBucket regenerates and time-sorts the next bucket's requests.
+func (s *genSource) loadBucket() {
+	t := s.t
+	b := s.bucket
+	s.bucket++
+	s.base += len(s.buf)
+	lo, hi := t.offsets[b], t.offsets[b+1]
+	s.buf = s.buf[:0]
+	s.pos = 0
+	for _, j := range t.perm[lo:hi] {
+		s.reqRoot.Split64Into(s.scratch, uint64(j))
+		userIdx, at := drawRequest(t.cfg, s.scratch, len(t.Users))
+		s.buf = append(s.buf, genItem{
+			req: Request{User: t.Users[userIdx], File: t.fileOfIndex(j), Time: at},
+			j:   j,
+		})
+	}
+	sort.Slice(s.buf, func(a, b int) bool {
+		if s.buf[a].req.Time != s.buf[b].req.Time {
+			return s.buf[a].req.Time < s.buf[b].req.Time
+		}
+		return s.buf[a].j < s.buf[b].j
+	})
 }
 
 // maxWeeklyCount bounds the most popular file's count; it grows gently
@@ -207,25 +436,6 @@ func generateUsers(cfg Config, g *dist.RNG) []*User {
 	return users
 }
 
-func generateRequests(cfg Config, g *dist.RNG, files []*FileMeta, users []*User) []Request {
-	total := 0
-	for _, f := range files {
-		total += f.WeeklyRequests
-	}
-	reqs := make([]Request, 0, total)
-	for _, f := range files {
-		for k := 0; k < f.WeeklyRequests; k++ {
-			reqs = append(reqs, Request{
-				User: users[g.Intn(len(users))],
-				File: f,
-				Time: sampleArrival(cfg, g),
-			})
-		}
-	}
-	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Time < reqs[j].Time })
-	return reqs
-}
-
 // sampleArrival draws a request time over the week: a day weighted by
 // DayLoad, then a diurnal hour-of-day profile with an evening peak.
 func sampleArrival(cfg Config, g *dist.RNG) time.Duration {
@@ -263,22 +473,13 @@ var hourProfile = [24]float64{
 // residential Unicom ADSL lines). It returns fewer than n only when the
 // trace does not contain enough qualifying requests.
 func UnicomSample(t *Trace, n int, seed uint64) []Request {
-	g := dist.NewRNG(seed).Split("unicom-sample")
 	var pool []Request
 	for _, r := range t.Requests {
 		if r.User.ISP == ISPUnicom && r.User.ReportsBW {
 			pool = append(pool, r)
 		}
 	}
-	if len(pool) <= n {
-		return pool
-	}
-	// Partial Fisher-Yates over the pool.
-	for i := 0; i < n; i++ {
-		j := i + g.Intn(len(pool)-i)
-		pool[i], pool[j] = pool[j], pool[i]
-	}
-	return pool[:n]
+	return unicomPick(pool, n, seed)
 }
 
 // PopularityVector returns weekly request counts ordered by decreasing

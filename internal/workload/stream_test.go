@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func streamCfg() Config {
+	return DefaultConfig(1500, 424242)
+}
+
+// collectAll drains a source checking the global-index contract as it goes.
+func collectAll(t *testing.T, src RequestSource) []Request {
+	t.Helper()
+	var out []Request
+	for {
+		i, req, ok := src.Next()
+		if !ok {
+			break
+		}
+		if i != len(out) {
+			t.Fatalf("source yielded index %d, want %d", i, len(out))
+		}
+		out = append(out, req)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("source error: %v", err)
+	}
+	return out
+}
+
+func requestsEqual(a, b []Request) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// requestsEquivalent compares request sequences by value — two independent
+// generations intern separate population pointers, so identity comparison
+// only works within one trace.
+func requestsEquivalent(a, b []Request) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || a[i].User.ID != b[i].User.ID || a[i].File.ID != b[i].File.ID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	cfg := streamCfg()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := GenerateStream(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectAll(t, st.Requests())
+	if !requestsEquivalent(got, tr.Requests) {
+		t.Fatal("streamed requests differ from Generate")
+	}
+	if st.TotalRequests() != len(tr.Requests) {
+		t.Fatalf("TotalRequests = %d, want %d", st.TotalRequests(), len(tr.Requests))
+	}
+	// Populations must be the very same interned pointers.
+	if len(st.Files) != len(tr.Files) || len(st.Users) != len(tr.Users) {
+		t.Fatalf("population sizes differ: %d/%d files, %d/%d users",
+			len(st.Files), len(tr.Files), len(st.Users), len(tr.Users))
+	}
+}
+
+// TestGenerateStreamChunkInvariance is the real byte-identity property: the
+// emitted sequence must not depend on how time is bucketed.
+func TestGenerateStreamChunkInvariance(t *testing.T) {
+	cfg := streamCfg()
+	var ref []Request
+	for _, chunk := range []int{97, 1024, 1 << 30} {
+		st, err := GenerateStream(cfg, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectAll(t, st.Requests())
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !requestsEquivalent(got, ref) {
+			t.Fatalf("chunk size %d changed the emitted sequence", chunk)
+		}
+	}
+}
+
+func TestGenerateStreamRestartable(t *testing.T) {
+	st, err := GenerateStream(streamCfg(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := collectAll(t, st.Requests())
+	b := collectAll(t, st.Requests())
+	if !requestsEqual(a, b) {
+		t.Fatal("two streams over the same StreamTrace disagree")
+	}
+}
+
+func TestGenerateStreamOrderAndCounts(t *testing.T) {
+	st, err := GenerateStream(streamCfg(), 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[*FileMeta]int{}
+	var prev time.Duration = -1
+	src := st.Requests()
+	for {
+		_, req, ok := src.Next()
+		if !ok {
+			break
+		}
+		if req.Time < prev {
+			t.Fatalf("stream not time-sorted: %v after %v", req.Time, prev)
+		}
+		if req.Time < 0 || req.Time >= st.Span {
+			t.Fatalf("request time %v outside span %v", req.Time, st.Span)
+		}
+		prev = req.Time
+		counts[req.File]++
+	}
+	for _, f := range st.Files {
+		if counts[f] != f.WeeklyRequests {
+			t.Fatalf("file %s emitted %d times, want WeeklyRequests=%d",
+				f.ID, counts[f], f.WeeklyRequests)
+		}
+	}
+}
+
+func TestSliceSourceAndCollect(t *testing.T) {
+	tr, err := Generate(Config{NumFiles: 50, Seed: 7, Span: time.Hour,
+		ClassShares:    [4]float64{1, 0, 0, 0},
+		ProtocolShares: [4]float64{1, 0, 0, 0},
+		ISPShares:      [5]float64{0, 1, 0, 0, 0},
+		BWReportProb:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewSliceSource(tr.Requests))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !requestsEqual(got, tr.Requests) {
+		t.Fatal("SliceSource round-trip lost requests")
+	}
+	// Exhausted source stays exhausted.
+	src := NewSliceSource(tr.Requests[:1])
+	src.Next()
+	if _, _, ok := src.Next(); ok {
+		t.Fatal("exhausted SliceSource yielded a request")
+	}
+}
+
+func TestUnicomSampleSourceMatchesSlice(t *testing.T) {
+	tr, err := Generate(streamCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := UnicomSample(tr, 200, 99)
+	got, err := UnicomSampleSource(NewSliceSource(tr.Requests), 200, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !requestsEqual(got, want) {
+		t.Fatal("UnicomSampleSource differs from UnicomSample")
+	}
+	if len(got) != 200 {
+		t.Fatalf("sample size %d, want 200", len(got))
+	}
+	for _, r := range got {
+		if r.User.ISP != ISPUnicom || !r.User.ReportsBW {
+			t.Fatal("sample contains non-qualifying request")
+		}
+	}
+}
+
+func TestCensus(t *testing.T) {
+	st, err := GenerateStream(streamCfg(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := NewCensus()
+	reqs := collectAll(t, census.Wrap(st.Requests()))
+
+	seenF := map[*FileMeta]bool{}
+	seenU := map[*User]bool{}
+	for _, r := range reqs {
+		seenF[r.File] = true
+		seenU[r.User] = true
+	}
+	if len(census.Files()) != len(seenF) {
+		t.Fatalf("census saw %d files, want %d distinct", len(census.Files()), len(seenF))
+	}
+	if len(census.Users()) != len(seenU) {
+		t.Fatalf("census saw %d users, want %d distinct", len(census.Users()), len(seenU))
+	}
+	// First-appearance order: the first census entry is the first request's.
+	if len(reqs) > 0 && (census.Files()[0] != reqs[0].File || census.Users()[0] != reqs[0].User) {
+		t.Fatal("census populations not in first-appearance order")
+	}
+}

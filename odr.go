@@ -96,6 +96,39 @@ func UnicomSample(t *Trace, n int, seed uint64) []Request {
 	return workload.UnicomSample(t, n, seed)
 }
 
+// Streaming surface (internal/workload): the bounded-memory request
+// pipeline. A RequestSource yields requests one at a time in global-index
+// order; every streaming consumer is byte-identical to its slice
+// counterpart for the same seed.
+type (
+	// RequestSource is a pull iterator over a request stream.
+	RequestSource = workload.RequestSource
+	// StreamTrace is a trace whose request log is regenerated chunk by
+	// chunk instead of held resident.
+	StreamTrace = workload.StreamTrace
+)
+
+// DefaultStreamChunk is the standard streaming chunk size in requests.
+const DefaultStreamChunk = workload.DefaultStreamChunk
+
+// GenerateTraceStream synthesizes a workload week whose requests stream
+// in chunks of chunkSize; only the file/user populations stay resident.
+func GenerateTraceStream(cfg TraceConfig, chunkSize int) (*StreamTrace, error) {
+	return workload.GenerateStream(cfg, chunkSize)
+}
+
+// NewSliceSource adapts an in-memory request slice to a RequestSource.
+func NewSliceSource(reqs []Request) RequestSource { return workload.NewSliceSource(reqs) }
+
+// CollectRequests drains a RequestSource into a slice.
+func CollectRequests(src RequestSource) ([]Request, error) { return workload.Collect(src) }
+
+// UnicomSampleStream draws the §5.1 replay sample from a request stream
+// without materializing the full trace.
+func UnicomSampleStream(src RequestSource, n int, seed uint64) ([]Request, error) {
+	return workload.UnicomSampleSource(src, n, seed)
+}
+
 // Cloud surface (internal/cloud).
 type (
 	// Cloud is the Xuanfeng-style cloud simulator.
@@ -180,6 +213,20 @@ func RunAPBenchmark(sample []Request, aps []*AP, seed uint64) *APBench {
 // RunODR replays a sample through the ODR decision procedure per §6.2.
 func RunODR(sample []Request, files []*FileMeta, aps []*AP, opts ReplayOptions) *ODRResult {
 	return replay.RunODR(sample, files, aps, opts)
+}
+
+// RunAPBenchmarkStream is RunAPBenchmark over a request stream,
+// byte-identical to the slice path for the same seed.
+func RunAPBenchmarkStream(src RequestSource, aps []*AP, seed uint64, shards int) (*APBench, error) {
+	return replay.RunAPBenchmarkStream(src, aps, seed, shards)
+}
+
+// RunODRStream is RunODR over a request stream: one reader goroutine
+// feeds per-shard bounded channels, so memory is bounded by the engine's
+// in-flight window rather than the stream length. Results are
+// byte-identical to RunODR for the same seed.
+func RunODRStream(src RequestSource, files []*FileMeta, aps []*AP, opts ReplayOptions) (*ODRResult, error) {
+	return replay.RunODRStream(src, files, aps, opts)
 }
 
 // Experiment surface (internal/experiments).

@@ -33,6 +33,68 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeStreaming drives the bounded-memory pipeline through the
+// public API and checks it reproduces the slice pipeline exactly.
+func TestFacadeStreaming(t *testing.T) {
+	cfg := DefaultTraceConfig(3000, 1)
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := GenerateTraceStream(cfg, DefaultStreamChunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalRequests() != len(tr.Requests) {
+		t.Fatalf("stream reports %d requests, slice has %d",
+			st.TotalRequests(), len(tr.Requests))
+	}
+
+	sample, err := UnicomSampleStream(st.Requests(), 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := UnicomSample(tr, 200, 1)
+	if len(sample) != len(want) {
+		t.Fatalf("stream sample has %d requests, slice sample %d", len(sample), len(want))
+	}
+	for i := range sample {
+		if sample[i].Time != want[i].Time ||
+			sample[i].User.ID != want[i].User.ID ||
+			sample[i].File.ID != want[i].File.ID {
+			t.Fatalf("sample[%d] differs between stream and slice", i)
+		}
+	}
+
+	aps := BenchmarkedAPs()
+	res, err := RunODRStream(NewSliceSource(sample), st.Files, aps, ReplayOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := RunODR(want, tr.Files, aps, ReplayOptions{Seed: 1})
+	if len(res.Tasks) != len(ref.Tasks) ||
+		res.CloudBytes() != ref.CloudBytes() ||
+		res.ImpededRatio() != ref.ImpededRatio() {
+		t.Fatal("streamed ODR replay diverged from the slice path")
+	}
+
+	bench, err := RunAPBenchmarkStream(NewSliceSource(sample), aps, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.FailureRatio() != RunAPBenchmark(want, aps, 1).FailureRatio() {
+		t.Fatal("streamed AP benchmark diverged from the slice path")
+	}
+
+	back, err := CollectRequests(st.Requests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr.Requests) {
+		t.Fatalf("CollectRequests returned %d of %d requests", len(back), len(tr.Requests))
+	}
+}
+
 func TestFacadeDecide(t *testing.T) {
 	d := Decide(Input{
 		Protocol: 0, // bittorrent
@@ -86,7 +148,7 @@ func TestLabSmoke(t *testing.T) {
 	}
 	lab := NewLab(LabConfig{NumFiles: 3000, SampleSize: 300, Seed: 3})
 	reports := lab.All()
-	if len(reports) != 19 {
+	if len(reports) != 20 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 }
