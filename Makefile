@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet fmt race determinism bench
+.PHONY: check build test vet fmt race determinism bench cover
 
 # check is the CI gate: static checks, a full build, the race-enabled
-# test suite, and the engine determinism test at several GOMAXPROCS.
-check: fmt vet build race determinism
+# test suite, the engine determinism test at several GOMAXPROCS, and the
+# observability coverage floor.
+check: fmt vet build race determinism cover
 
 build:
 	$(GO) build ./...
@@ -30,10 +31,24 @@ race:
 determinism:
 	$(GO) test -run TestReplayDeterminism -cpu 1,4 ./internal/replay
 
+# The metrics subsystem is the measurement instrument; hold it to a
+# coverage floor so observation code never rots unexercised.
+OBS_COVER_FLOOR := 85
+cover:
+	@$(GO) test -coverprofile=/tmp/obs.cover ./internal/obs >/dev/null
+	@total="$$($(GO) tool cover -func=/tmp/obs.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v floor="$(OBS_COVER_FLOOR)" \
+		'BEGIN { exit (t+0 < floor+0) ? 1 : 0 }' || \
+		{ echo "internal/obs coverage below $(OBS_COVER_FLOOR)%"; exit 1; }
+
 # Replay benchmarks: the shard-count throughput sweep plus the streaming
-# pipeline's allocation profile. -count 5 repeated runs with -benchmem
-# give benchstat enough samples; capture and compare with
+# pipeline's allocation profile and the metrics hot path. -count 5
+# repeated runs with -benchmem give benchstat enough samples; capture and
+# compare with
 #   make bench > new.txt && benchstat old.txt new.txt
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamReplay|BenchmarkReplayParallel' \
 		-benchmem -benchtime 3x -count 5 ./internal/replay
+	$(GO) test -run '^$$' -bench BenchmarkRegistryHotPath \
+		-benchmem -count 5 ./internal/obs

@@ -4,27 +4,41 @@
 //
 // Usage:
 //
-//	odrserver [-addr :8080] [-files N] [-seed S]
+//	odrserver [-addr :8080] [-files N] [-seed S] [-metrics FORMAT]
+//	          [-pprof ADDR] [-shutdown-timeout D]
 //
 // The server builds a synthetic content universe of N files (the stand-in
 // for Xuanfeng's content database) with a pre-warmed cache, then serves:
 //
 //	POST /api/v1/decide   — redirection decisions
 //	GET  /healthz         — liveness
+//	GET  /metrics         — Prometheus exposition (?format=json for JSON)
 //	GET  /                — front page
+//
+// SIGINT/SIGTERM drain in-flight requests through http.Server.Shutdown
+// (bounded by -shutdown-timeout) before the process exits. With
+// -metrics prom|json the final metrics snapshot is written to stdout
+// after the listener drains; with -pprof a net/http/pprof server runs on
+// a second address.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"odr/internal/cloud"
 	"odr/internal/core"
 	"odr/internal/dist"
+	"odr/internal/obs"
 	"odr/internal/odrweb"
 	"odr/internal/workload"
 )
@@ -33,23 +47,104 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	files := flag.Int("files", 20000, "files in the synthetic content database")
 	seed := flag.Uint64("seed", 1, "random seed")
+	metrics := flag.String("metrics", "", "dump the final metrics snapshot to stdout on exit: prom or json")
+	pprofAddr := flag.String("pprof", "", "also serve net/http/pprof on this address")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "odrserver ", log.LstdFlags)
-	srv, n, err := buildServer(*files, *seed, logger)
-	if err != nil {
+	if err := run(*addr, *files, *seed, *metrics, *pprofAddr, *shutdownTimeout, logger); err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("content database ready: %d files (%d cached)", *files, n)
-	logger.Printf("listening on %s", *addr)
+}
+
+func run(addr string, files int, seed uint64, metrics, pprofAddr string,
+	shutdownTimeout time.Duration, logger *log.Logger) error {
+	if err := validMetricsFormat(metrics); err != nil {
+		return err
+	}
+	srv, n, err := buildServer(files, seed, logger)
+	if err != nil {
+		return err
+	}
+	logger.Printf("content database ready: %d files (%d cached)", files, n)
+
+	if pprofAddr != "" {
+		go servePprof(pprofAddr, logger)
+	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := httpSrv.ListenAndServe(); err != nil {
-		logger.Fatal(err)
+
+	// Drain gracefully on SIGINT/SIGTERM: stop accepting, let in-flight
+	// requests finish (bounded), then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		logger.Printf("signal received; draining (timeout %s)", shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+
+	if metrics != "" {
+		if err := dumpSnapshot(os.Stdout, srv.Metrics().Snapshot(), metrics); err != nil {
+			return err
+		}
+	}
+	logger.Printf("bye")
+	return nil
+}
+
+// validMetricsFormat rejects unknown -metrics values up front, before the
+// server binds its port.
+func validMetricsFormat(format string) error {
+	switch format {
+	case "", "prom", "json":
+		return nil
+	}
+	return fmt.Errorf("unknown -metrics format %q (want prom or json)", format)
+}
+
+// dumpSnapshot writes a snapshot in the chosen format.
+func dumpSnapshot(w *os.File, snap *obs.Snapshot, format string) error {
+	if format == "json" {
+		return obs.WriteJSON(w, snap)
+	}
+	return obs.WritePrometheus(w, snap)
+}
+
+// servePprof runs the net/http/pprof handlers on their own mux so the
+// profiling surface never shares a listener with the public service.
+func servePprof(addr string, logger *log.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Printf("pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Printf("pprof: %v", err)
 	}
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	replay [-files N] [-sample N] [-seed S] [-shards N] [-tasks PATH]
-//	       [-trace FILE] [-stream]
+//	       [-trace FILE] [-stream] [-metrics FORMAT] [-pprof ADDR]
 //
 // With -trace it replays a recorded workload CSV (wgen format) instead of
 // generating one. With -stream the trace is consumed through the
@@ -17,16 +17,26 @@
 // With -tasks it also dumps the week simulation's task records as JSON
 // Lines (the pre-downloading + fetching traces of §3); the week simulator
 // needs the materialized trace, so -tasks is incompatible with -stream.
+//
+// With -metrics prom|json the ODR replay runs instrumented and the merged
+// metrics snapshot (decision counts, fetch histograms, backend outcomes)
+// is written to stderr after the summary; recording never changes replay
+// results. With -pprof a net/http/pprof server runs for the lifetime of
+// the process.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"time"
 
 	"odr/internal/cloud"
+	"odr/internal/obs"
 	"odr/internal/replay"
 	"odr/internal/sim"
 	"odr/internal/smartap"
@@ -42,20 +52,37 @@ func main() {
 	tasks := flag.String("tasks", "", "also dump week task records as JSONL to this path")
 	tracePath := flag.String("trace", "", "replay a workload CSV (wgen format) instead of generating one")
 	stream := flag.Bool("stream", false, "force the bounded-memory streaming pipeline")
+	metrics := flag.String("metrics", "", "dump the ODR replay's metrics snapshot to stderr: prom or json")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while the replay runs")
 	flag.Parse()
 
-	if err := run(*files, *sampleN, *seed, *shards, *tasks, *tracePath, *stream); err != nil {
+	if err := run(*files, *sampleN, *seed, *shards, *tasks, *tracePath, *stream, *metrics, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath string, stream bool) error {
+func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath string,
+	stream bool, metrics, pprofAddr string) error {
+	var reg *obs.Registry
+	switch metrics {
+	case "":
+	case "prom", "json":
+		reg = obs.NewRegistry()
+	default:
+		return fmt.Errorf("unknown -metrics format %q (want prom or json)", metrics)
+	}
+	if pprofAddr != "" {
+		go servePprof(pprofAddr)
+	}
 	if stream {
 		if tasksPath != "" {
 			return fmt.Errorf("-tasks needs the materialized week trace; drop -stream")
 		}
-		return runStream(files, sampleN, seed, shards, tracePath)
+		if err := runStream(files, sampleN, seed, shards, tracePath, reg); err != nil {
+			return err
+		}
+		return dumpMetrics(reg, metrics)
 	}
 	tr, err := loadOrGenerate(files, seed, tracePath)
 	if err != nil {
@@ -69,8 +96,12 @@ func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath strin
 
 	bench := replay.RunAPBenchmark(sample, aps, seed)
 	baseline := replay.CloudOnlyBaseline(sample, tr.Files, seed)
-	odr := replay.RunODR(sample, tr.Files, aps, replay.Options{Seed: seed, Shards: shards})
+	odr := replay.RunODR(sample, tr.Files, aps,
+		replay.Options{Seed: seed, Shards: shards, Metrics: reg})
 	summarize(bench, baseline, odr)
+	if err := dumpMetrics(reg, metrics); err != nil {
+		return err
+	}
 
 	if tasksPath == "" {
 		return nil
@@ -96,7 +127,8 @@ func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath strin
 // populations and draws the §5.1 sample, then the sample replays through
 // the streaming engine. Only the populations, the Unicom pool, and the
 // task records are ever resident.
-func runStream(files, sampleN int, seed uint64, shards int, tracePath string) error {
+func runStream(files, sampleN int, seed uint64, shards int, tracePath string,
+	reg *obs.Registry) error {
 	var (
 		sample  []workload.Request
 		filePop []*workload.FileMeta
@@ -143,12 +175,40 @@ func runStream(files, sampleN int, seed uint64, shards int, tracePath string) er
 	}
 	baseline := replay.CloudOnlyBaseline(sample, filePop, seed)
 	odr, err := replay.RunODRStream(workload.NewSliceSource(sample), filePop, aps,
-		replay.Options{Seed: seed, Shards: shards})
+		replay.Options{Seed: seed, Shards: shards, Metrics: reg})
 	if err != nil {
 		return err
 	}
 	summarize(bench, baseline, odr)
 	return nil
+}
+
+// dumpMetrics writes the instrumented replay's snapshot to stderr so the
+// human-facing summary on stdout stays clean.
+func dumpMetrics(reg *obs.Registry, format string) error {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if format == "json" {
+		return obs.WriteJSON(os.Stderr, snap)
+	}
+	return obs.WritePrometheus(os.Stderr, snap)
+}
+
+// servePprof runs the net/http/pprof handlers on their own mux for the
+// lifetime of the replay.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("pprof: %v", err)
+	}
 }
 
 // countingSource counts the requests that flow through it.

@@ -52,6 +52,7 @@ type Cloud struct {
 	firstIdx map[workload.FileID]int
 
 	ledger Ledger
+	met    backendMetrics
 }
 
 // NewCloud builds a warmed cloud backend over the file population.
@@ -134,6 +135,12 @@ func (c *Cloud) PrimeSource(src workload.RequestSource) error {
 // is warm, or when a strictly earlier request's cloud pre-download
 // succeeded.
 func (c *Cloud) Probe(req *Request) bool {
+	hit := c.probe(req)
+	c.met.probe(hit)
+	return hit
+}
+
+func (c *Cloud) probe(req *Request) bool {
 	if c.pool.Contains(req.File.ID) {
 		return true
 	}
@@ -160,6 +167,7 @@ func (c *Cloud) PreDownload(req *Request) PreResult {
 	if !out.OK {
 		c.ledger.failures.Add(1)
 	}
+	c.met.pre(&out)
 	return out
 }
 
@@ -198,9 +206,11 @@ func (c *Cloud) Fetch(req *Request) FetchResult {
 		rate = crossRate
 	}
 	c.ledger.serve(req.File)
-	return FetchResult{
+	res := FetchResult{
 		OK:         true,
 		Rate:       req.capped(rate),
 		CloudBytes: req.File.Size,
 	}
+	c.met.fetch(&res, req.File)
+	return res
 }

@@ -14,6 +14,7 @@ import (
 type CloudThenAP struct {
 	cloud  *Cloud
 	ledger Ledger
+	met    backendMetrics
 }
 
 // NewCloudThenAP returns the composite backend over the shared cloud.
@@ -43,7 +44,7 @@ func (h *CloudThenAP) PreDownload(req *Request) PreResult {
 	rate := math.Min(ceiling, req.AP.StorageThroughput())
 	h.cloud.ledger.serve(req.File)
 	h.ledger.serve(req.File)
-	return PreResult{
+	out := PreResult{
 		OK:           true,
 		Rate:         rate,
 		Delay:        time.Duration(float64(req.File.Size) / rate * float64(time.Second)),
@@ -51,13 +52,17 @@ func (h *CloudThenAP) PreDownload(req *Request) PreResult {
 		StorageBound: req.AP.StorageThroughput() < ceiling,
 		CloudBytes:   req.File.Size,
 	}
+	h.met.pre(&out)
+	return out
 }
 
 // Fetch implements Backend: the LAN fetch from the AP.
 func (h *CloudThenAP) Fetch(req *Request) FetchResult {
 	h.ledger.fetches.Add(1)
 	_, lan := req.AP.LANFetch(req.RNG, req.File.Size)
-	return FetchResult{OK: true, Rate: req.capped(lan)}
+	res := FetchResult{OK: true, Rate: req.capped(lan)}
+	h.met.fetch(&res, req.File)
+	return res
 }
 
 var _ Backend = (*CloudThenAP)(nil)

@@ -6,6 +6,7 @@ package backend
 // SmartAP backend serves a whole heterogeneous AP fleet.
 type SmartAP struct {
 	ledger Ledger
+	met    backendMetrics
 }
 
 // NewSmartAP returns the smart-AP backend.
@@ -18,7 +19,10 @@ func (s *SmartAP) Name() string { return "smart-ap" }
 func (s *SmartAP) Ledger() *Ledger { return &s.ledger }
 
 // Probe implements Backend: an AP holds nothing before its pre-download.
-func (s *SmartAP) Probe(*Request) bool { return false }
+func (s *SmartAP) Probe(*Request) bool {
+	s.met.probe(false)
+	return false
+}
 
 // PreDownload implements Backend: the AP pulls from the original source,
 // bounded by the source, the access link, and the storage write path
@@ -28,10 +32,12 @@ func (s *SmartAP) PreDownload(req *Request) PreResult {
 	r := req.AP.PreDownload(req.RNG, req.File, req.UsableBW())
 	if !r.Success {
 		s.ledger.failures.Add(1)
-		return PreResult{Delay: r.Delay, Cause: r.Cause}
+		out := PreResult{Delay: r.Delay, Cause: r.Cause}
+		s.met.pre(&out)
+		return out
 	}
 	s.ledger.serve(req.File)
-	return PreResult{
+	out := PreResult{
 		OK:           true,
 		Rate:         r.Rate,
 		Delay:        r.Delay,
@@ -39,6 +45,8 @@ func (s *SmartAP) PreDownload(req *Request) PreResult {
 		IOWait:       r.IOWait,
 		StorageBound: r.StorageBound,
 	}
+	s.met.pre(&out)
+	return out
 }
 
 // Fetch implements Backend: the LAN fetch from the AP, which §5.2 shows
@@ -46,7 +54,9 @@ func (s *SmartAP) PreDownload(req *Request) PreResult {
 func (s *SmartAP) Fetch(req *Request) FetchResult {
 	s.ledger.fetches.Add(1)
 	_, lan := req.AP.LANFetch(req.RNG, req.File.Size)
-	return FetchResult{OK: true, Rate: req.capped(lan)}
+	res := FetchResult{OK: true, Rate: req.capped(lan)}
+	s.met.fetch(&res, req.File)
+	return res
 }
 
 // StorageExposed reports whether req's AP would cap a transfer below the

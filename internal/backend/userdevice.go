@@ -12,6 +12,7 @@ import (
 type UserDevice struct {
 	src    *sources.Mix
 	ledger Ledger
+	met    backendMetrics
 }
 
 // NewUserDevice returns the user-device backend.
@@ -43,17 +44,21 @@ func (u *UserDevice) Fetch(req *Request) FetchResult {
 	att := u.src.AttemptFull(req.RNG, req.File)
 	if !att.OK {
 		u.ledger.failures.Add(1)
-		return FetchResult{
+		res := FetchResult{
 			Delay: smartap.StagnationTimeout,
 			Cause: att.Cause.String(),
 		}
+		u.met.fetch(&res, req.File)
+		return res
 	}
 	rate := att.Rate
 	if bw := req.UsableBW(); bw < rate {
 		rate = bw
 	}
 	u.ledger.serve(req.File)
-	return FetchResult{OK: true, Rate: rate}
+	res := FetchResult{OK: true, Rate: rate}
+	u.met.fetch(&res, req.File)
+	return res
 }
 
 var _ Backend = (*UserDevice)(nil)

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"odr/internal/cloud"
+	"odr/internal/obs"
 	"odr/internal/replay"
 	"odr/internal/sim"
 	"odr/internal/smartap"
@@ -45,6 +46,7 @@ type Lab struct {
 	aps       []*smartap.AP
 	apBench   *replay.APBench
 	odr       *replay.ODRResult
+	odrObs    *obs.Registry
 	streamODR *replay.ODRResult
 	cloudBase *replay.ODRResult
 }
@@ -132,15 +134,27 @@ func (l *Lab) APBench() *replay.APBench {
 	return l.apBench
 }
 
-// ODR returns the §6.2 ODR replay.
+// ODR returns the §6.2 ODR replay. The run is instrumented — recording
+// never changes replay results — and its merged registry is available
+// through ODRMetrics.
 func (l *Lab) ODR() *replay.ODRResult {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.odr == nil {
+		l.odrObs = obs.NewRegistry()
 		l.odr = replay.RunODR(l.sampleLocked(), l.traceLocked().Files,
-			l.apsLocked(), replay.Options{Seed: l.cfg.Seed})
+			l.apsLocked(), replay.Options{Seed: l.cfg.Seed, Metrics: l.odrObs})
 	}
 	return l.odr
+}
+
+// ODRMetrics returns the observability registry of the memoized ODR
+// replay, running the replay on first use.
+func (l *Lab) ODRMetrics() *obs.Registry {
+	l.ODR()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.odrObs
 }
 
 // newWeek runs a week simulation with a custom cloud configuration

@@ -59,6 +59,7 @@ func (l *Lab) ODRBottlenecks() *Report {
 	r.addf("Bottleneck 4 (B4-exposed routings):    baseline %.1f%%  ODR %.1f%%", b4Base*100, b4ODR*100)
 	r.metric("b4_baseline", b4Base, -1)
 	r.metric("b4_odr", b4ODR, 0)
+	r.Snapshot = l.ODRMetrics().Snapshot()
 	return r
 }
 

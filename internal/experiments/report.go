@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"odr/internal/dist"
+	"odr/internal/obs"
 	"odr/internal/stats"
 )
 
@@ -24,6 +25,9 @@ type Report struct {
 	// Paper holds the published values for the same keys where the paper
 	// states them (absent keys have no published anchor).
 	Paper map[string]float64
+	// Snapshot optionally embeds the observability snapshot of the run
+	// that produced the report (e.g. the instrumented ODR replay).
+	Snapshot *obs.Snapshot
 }
 
 func newReport(id, title string) *Report {
@@ -69,6 +73,10 @@ func (r *Report) String() string {
 				fmt.Fprintf(&b, "%-42s %12.4g\n", k, r.Metrics[k])
 			}
 		}
+	}
+	if r.Snapshot != nil {
+		b.WriteString("-- metrics snapshot --\n")
+		_ = obs.WritePrometheus(&b, r.Snapshot)
 	}
 	return b.String()
 }

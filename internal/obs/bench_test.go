@@ -1,0 +1,43 @@
+package obs
+
+import "testing"
+
+// BenchmarkRegistryHotPath measures the per-event cost instrumented code
+// pays: one counter increment plus one histogram observation, through
+// handles resolved once up front (the recommended pattern), through a
+// GetOrCreate lookup per event (the lazy pattern), and through nil
+// handles (metrics disabled). The nil path is the number that must stay
+// ≈0 — it is what every replay pays when no registry is injected.
+func BenchmarkRegistryHotPath(b *testing.B) {
+	b.Run("handles", func(b *testing.B) {
+		r := NewRegistry()
+		c := r.Counter("bench_events_total")
+		h := r.Histogram("bench_bytes")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.Observe(uint64(i))
+		}
+	})
+	b.Run("getorcreate", func(b *testing.B) {
+		r := NewRegistry()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Counter("bench_events_total").Inc()
+			r.Histogram("bench_bytes").Observe(uint64(i))
+		}
+	})
+	b.Run("nil", func(b *testing.B) {
+		var r *Registry
+		c := r.Counter("bench_events_total")
+		h := r.Histogram("bench_bytes")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.Observe(uint64(i))
+		}
+	})
+}

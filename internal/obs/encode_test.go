@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func exampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(Label("odr_decisions_total", "backend", "cloud", "reason", "cached")).Add(12)
+	r.Counter(Label("odr_decisions_total", "backend", "smart-ap", "reason", "popular")).Add(7)
+	r.Counter("odr_replay_tasks_total").Add(19)
+	r.Gauge("odr_replay_inflight_peak").Set(256)
+	h := r.Histogram(Label("odr_fetch_bytes", "backend", "cloud"))
+	for _, v := range []uint64{0, 1, 700 << 20, 4 << 30, 1000} {
+		h.Observe(v)
+	}
+	r.HistogramScaled("odr_http_request_seconds", 1e6).Observe(1500) // 1.5 ms
+	return r
+}
+
+func TestWritePrometheusLints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, exampleRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE odr_decisions_total counter",
+		`odr_decisions_total{backend="cloud",reason="cached"} 12`,
+		"# TYPE odr_fetch_bytes histogram",
+		`odr_fetch_bytes_bucket{backend="cloud",le="+Inf"} 5`,
+		`odr_fetch_bytes_count{backend="cloud"} 5`,
+		"# TYPE odr_replay_inflight_peak gauge",
+		"odr_replay_inflight_peak 256",
+		"# TYPE odr_http_request_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint: %v\n%s", err, out)
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, exampleRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Fatal("exposition output not deterministic")
+	}
+}
+
+func TestPrometheusScaledBounds(t *testing.T) {
+	r := NewRegistry()
+	// 1 500 000 µs = 1.5 s lands in pow 21 (2^20 <= v < 2^21); the exposed
+	// le bound is (2^21-1)/1e6 ≈ 2.1 seconds.
+	r.HistogramScaled("lat_seconds", 1e6).Observe(1500000)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `lat_seconds_bucket{le="2.097151"} 1`) {
+		t.Fatalf("scaled bucket bound missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "lat_seconds_sum 1.5") {
+		t.Fatalf("scaled sum missing:\n%s", buf.String())
+	}
+}
+
+func TestLintPrometheusRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no value line",
+		"metric{unclosed 3",
+		"1leading_digit 4",
+	}
+	for _, line := range bad {
+		if err := LintPrometheus(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("lint accepted malformed line %q", line)
+		}
+	}
+	nonCumulative := "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n"
+	if err := LintPrometheus(strings.NewReader(nonCumulative)); err == nil {
+		t.Error("lint accepted non-cumulative buckets")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	snap := exampleRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty maps round-trip to nil under omitempty; normalize before
+	// comparing.
+	if got.Gauges == nil {
+		got.Gauges = map[string]int64{}
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("JSON round trip diverged\nwant %+v\n got %+v", snap, got)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	h := r.Histogram("bytes")
+	g := r.Gauge("depth")
+	c.Add(10)
+	h.Observe(100)
+	g.Set(3)
+	before := r.Snapshot()
+
+	c.Add(5)
+	h.Observe(100)
+	h.Observe(1 << 20)
+	g.Set(9)
+	after := r.Snapshot()
+
+	d := after.Delta(before)
+	if d.Counters["reqs_total"] != 5 {
+		t.Fatalf("counter delta = %d, want 5", d.Counters["reqs_total"])
+	}
+	if d.Gauges["depth"] != 9 {
+		t.Fatalf("gauge delta carries current value, got %d", d.Gauges["depth"])
+	}
+	hd := d.Histograms["bytes"]
+	if hd.Count != 2 || hd.Sum != 100+1<<20 {
+		t.Fatalf("histogram delta = %+v", hd)
+	}
+	// Delta against nil is a copy.
+	if cp := after.Delta(nil); !reflect.DeepEqual(cp.Counters, after.Counters) {
+		t.Fatal("Delta(nil) must copy counters")
+	}
+}

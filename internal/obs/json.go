@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON renders a snapshot as indented JSON. Map keys marshal in
+// sorted order, so the output is deterministic — two equal snapshots
+// always encode to identical bytes.
+func WriteJSON(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseSnapshot decodes a snapshot previously written by WriteJSON.
+func ParseSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): a # TYPE line per metric family, counter and
+// gauge samples as-is, histograms as cumulative _bucket{le=...} series
+// plus _sum and _count, with bucket bounds and sums divided by the
+// histogram's display scale. Families and series are sorted by name, so
+// the output is deterministic.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := sortedKeys(s.Counters)
+	lastBase := ""
+	for _, name := range names {
+		base, _ := splitName(name)
+		if base != lastBase {
+			fmt.Fprintf(bw, "# TYPE %s counter\n", base)
+			lastBase = base
+		}
+		fmt.Fprintf(bw, "%s %d\n", name, s.Counters[name])
+	}
+
+	names = sortedKeys(s.Gauges)
+	lastBase = ""
+	for _, name := range names {
+		base, _ := splitName(name)
+		if base != lastBase {
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", base)
+			lastBase = base
+		}
+		fmt.Fprintf(bw, "%s %d\n", name, s.Gauges[name])
+	}
+
+	names = sortedKeys(s.Histograms)
+	lastBase = ""
+	for _, name := range names {
+		base, labels := splitName(name)
+		if base != lastBase {
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", base)
+			lastBase = base
+		}
+		writePromHistogram(bw, base, labels, s.Histograms[name])
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(w io.Writer, base, labels string, h HistogramSnapshot) {
+	scale := h.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.N
+		// Bucket Pow holds v < 2^Pow, i.e. v <= 2^Pow - 1 inclusive.
+		le := (math.Pow(2, float64(b.Pow)) - 1) / scale
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", base,
+			joinLabels(labels, `le="`+formatFloat(le)+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, joinLabels(labels, `le="+Inf"`), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", base, wrapLabels(labels), formatFloat(float64(h.Sum)/scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", base, wrapLabels(labels), h.Count)
+}
+
+// joinLabels appends extra to an existing label-block body.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// wrapLabels re-braces a label-block body ("" stays empty).
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promSampleRe matches one exposition sample line: a metric name, an
+// optional label block, and a value.
+var promSampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// LintPrometheus checks that r is well-formed Prometheus text exposition:
+// every line is a comment or a valid sample, and each histogram series'
+// cumulative buckets are monotonically non-decreasing with its _count
+// equal to the +Inf bucket. It is a structural self-check (used by the
+// subsystem's tests and callers validating a /metrics endpoint), not a
+// full parser.
+func LintPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	// (base+labels minus le) -> last cumulative count seen.
+	lastCum := map[string]uint64{}
+	infCount := map[string]uint64{}
+	counts := map[string]uint64{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("obs: exposition line %d malformed: %q", lineNo, line)
+		}
+		name := line[:strings.IndexByte(line, ' ')]
+		base, labels := splitName(name)
+		if strings.HasSuffix(base, "_bucket") {
+			series := strings.TrimSuffix(base, "_bucket") + "|" + stripLe(labels)
+			cum, err := strconv.ParseUint(line[strings.IndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("obs: exposition line %d: bucket value: %v", lineNo, err)
+			}
+			if cum < lastCum[series] {
+				return fmt.Errorf("obs: exposition line %d: bucket counts not cumulative", lineNo)
+			}
+			lastCum[series] = cum
+			if strings.Contains(labels, `le="+Inf"`) {
+				infCount[series] = cum
+			}
+		} else if strings.HasSuffix(base, "_count") {
+			series := strings.TrimSuffix(base, "_count") + "|" + labels
+			n, err := strconv.ParseUint(line[strings.IndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("obs: exposition line %d: count value: %v", lineNo, err)
+			}
+			counts[series] = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for series, n := range counts {
+		if inf, ok := infCount[series]; ok && inf != n {
+			return fmt.Errorf("obs: histogram %s: +Inf bucket %d != count %d", series, inf, n)
+		}
+	}
+	return nil
+}
+
+// stripLe removes the le label from a label-block body, leaving the
+// series identity.
+var leRe = regexp.MustCompile(`(^|,)le="[^"]*"`)
+
+func stripLe(labels string) string {
+	return strings.Trim(leRe.ReplaceAllString(labels, "$1"), ",")
+}

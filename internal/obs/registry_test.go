@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a_total")
+	c2 := r.Counter("a_total")
+	if c1 != c2 {
+		t.Fatal("GetOrCreate returned distinct counters for one name")
+	}
+	h1 := r.HistogramScaled("h_seconds", 1e6)
+	h2 := r.HistogramScaled("h_seconds", 1e6)
+	if h1 != h2 {
+		t.Fatal("GetOrCreate returned distinct histograms for one name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("GetOrCreate returned distinct gauges for one name")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistryHistogramScaleMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramScaled("h", 1e6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on scale mismatch")
+		}
+	}()
+	r.Histogram("h")
+}
+
+// The nil registry is the disabled state: nil handles, no-op recording,
+// empty snapshot.
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	g.Max(10)
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	r.Merge(NewRegistry())
+	NewRegistry().Merge(r)
+}
+
+// TestCounterConcurrentAdd hammers one counter from many goroutines; run
+// under -race. The final value must be the exact sum.
+func TestCounterConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total")
+	h := r.Histogram("hot_bytes")
+	g := r.Gauge("hot_depth")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(2)
+				h.Observe(uint64(i))
+				g.Max(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 2*workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker-1 {
+		t.Fatalf("gauge high-water mark = %d, want %d", got, workers*perWorker-1)
+	}
+}
+
+// randomRegistry builds a registry with a random subset of shared metric
+// names and random values.
+func randomRegistry(rng *rand.Rand) *Registry {
+	r := NewRegistry()
+	for i := 0; i < 6; i++ {
+		if rng.Intn(2) == 0 {
+			r.Counter(fmt.Sprintf("c%d_total", i)).Add(uint64(rng.Intn(1000)))
+		}
+		if rng.Intn(2) == 0 {
+			r.Gauge(fmt.Sprintf("g%d", i)).Add(int64(rng.Intn(100)))
+		}
+		if rng.Intn(2) == 0 {
+			h := r.Histogram(fmt.Sprintf("h%d_bytes", i))
+			for j := 0; j < rng.Intn(20); j++ {
+				h.Observe(uint64(rng.Int63()))
+			}
+		}
+	}
+	return r
+}
+
+// TestMergeCommutativityProperty: merging shard registries in any order
+// produces the same snapshot — the engine's shard-merge determinism rule.
+func TestMergeCommutativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(515151))
+	for trial := 0; trial < 50; trial++ {
+		regs := make([]*Registry, 4)
+		for i := range regs {
+			regs[i] = randomRegistry(rng)
+		}
+		forward := NewRegistry()
+		for _, r := range regs {
+			forward.Merge(r)
+		}
+		backward := NewRegistry()
+		for i := len(regs) - 1; i >= 0; i-- {
+			backward.Merge(regs[i])
+		}
+		shuffled := NewRegistry()
+		for _, i := range rng.Perm(len(regs)) {
+			shuffled.Merge(regs[i])
+		}
+		want := forward.Snapshot()
+		if got := backward.Snapshot(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: reverse-order merge diverged\nwant %+v\n got %+v", trial, want, got)
+		}
+		if got := shuffled.Snapshot(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: shuffled merge diverged", trial)
+		}
+	}
+}
+
+func TestMergeSelfAndPreservesScale(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Merge(r) // no-op, must not deadlock or double
+	if r.Counter("a").Value() != 3 {
+		t.Fatal("self-merge changed values")
+	}
+	o := NewRegistry()
+	o.HistogramScaled("lat_seconds", 1e6).Observe(500)
+	r.Merge(o)
+	if got := r.HistogramScaled("lat_seconds", 1e6).Sum(); got != 500 {
+		t.Fatalf("merged scaled histogram sum = %d", got)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	got := Label("odr_decisions_total", "backend", "cloud", "reason", `says "go"`)
+	want := `odr_decisions_total{backend="cloud",reason="says \"go\""}`
+	if got != want {
+		t.Fatalf("Label = %s, want %s", got, want)
+	}
+	if Label("plain") != "plain" {
+		t.Fatal("Label without pairs must return the bare name")
+	}
+	base, labels := splitName(got)
+	if base != "odr_decisions_total" || labels != `backend="cloud",reason="says \"go\""` {
+		t.Fatalf("splitName = %q, %q", base, labels)
+	}
+}
+
+func TestLabelOddPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd kv count")
+		}
+	}()
+	Label("m", "only-key")
+}
+
+func TestGaugeSetAndAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	g.Max(5) // below current: no change
+	if g.Value() != 7 {
+		t.Fatal("Max lowered the gauge")
+	}
+}

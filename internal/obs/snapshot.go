@@ -1,0 +1,121 @@
+package obs
+
+// Snapshot is a point-in-time copy of a registry's values, suitable for
+// JSON encoding, Prometheus exposition, and exact comparison between
+// runs (the replay determinism tests compare snapshots with
+// reflect.DeepEqual). A snapshot taken while writers are active is
+// consistent per metric but not across metrics — each atomic value is
+// read once, without stopping the world.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's frozen state. Sum is raw
+// (unscaled); Scale is the display divisor (1 when omitted). Buckets is
+// sparse — only non-empty buckets appear — and sorted by Pow ascending.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Scale   float64  `json:"scale,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket: N observations v with
+// bits.Len64(v) == Pow, i.e. 2^(Pow-1) <= v < 2^Pow (Pow 0 holds exactly
+// the value 0).
+type Bucket struct {
+	Pow int    `json:"pow"`
+	N   uint64 `json:"n"`
+}
+
+// Snapshot freezes the registry's current values. Returns an empty
+// snapshot on a nil registry. The maps are always non-nil so that
+// snapshots remain comparable after callers delete entries.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, m := range r.metrics {
+		switch v := m.(type) {
+		case *Counter:
+			s.Counters[name] = v.Value()
+		case *Gauge:
+			s.Gauges[name] = v.Value()
+		case *Histogram:
+			s.Histograms[name] = snapshotHistogram(v)
+		}
+	}
+	return s
+}
+
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{Sum: h.sum.Load()}
+	if sc := h.scaleOr1(); sc != 1 {
+		hs.Scale = sc
+	}
+	for p := range h.buckets {
+		if n := h.buckets[p].Load(); n > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{Pow: p, N: n})
+			hs.Count += n
+		}
+	}
+	return hs
+}
+
+// Delta returns the change from prev to s: counters and histogram buckets
+// subtract (a metric absent from prev counts from zero), gauges carry the
+// current value. prev may be nil, in which case Delta is a copy of s.
+// Subtraction assumes prev is an earlier snapshot of the same registry;
+// counters that shrank would underflow, exactly as Prometheus rate()
+// treats a counter reset.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	d := &Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		if prev != nil {
+			v -= prev.Counters[name]
+		}
+		d.Counters[name] = v
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		var ph HistogramSnapshot
+		if prev != nil {
+			ph = prev.Histograms[name]
+		}
+		d.Histograms[name] = deltaHistogram(h, ph)
+	}
+	return d
+}
+
+func deltaHistogram(cur, prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Sum:   cur.Sum - prev.Sum,
+		Scale: cur.Scale,
+	}
+	prevN := make(map[int]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevN[b.Pow] = b.N
+	}
+	for _, b := range cur.Buckets {
+		if n := b.N - prevN[b.Pow]; n > 0 {
+			d.Buckets = append(d.Buckets, Bucket{Pow: b.Pow, N: n})
+			d.Count += n
+		}
+	}
+	return d
+}

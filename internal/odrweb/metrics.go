@@ -1,0 +1,153 @@
+package odrweb
+
+import (
+	"net/http"
+	"time"
+
+	"odr/internal/backend"
+	"odr/internal/core"
+	"odr/internal/obs"
+)
+
+// webMetrics holds the service's pre-resolved metric handles. Every
+// series is registered at construction so the first scrape of a fresh
+// server already exposes the full schema at zero — dashboards never see
+// series pop into existence mid-flight.
+type webMetrics struct {
+	// requests/latency per (path, status class), resolved lazily per
+	// combination through the registry (GetOrCreate is cheap and the
+	// cardinality is bounded: few paths × five classes).
+	reg *obs.Registry
+	// decisions counts answered /api/v1/decide calls per backend.
+	decisions map[string]*obs.Counter
+	// resolvedBytes observes the size of every successfully resolved
+	// file — the service-side analogue of the replay's fetch-bytes
+	// histogram (ODR never moves the bytes itself).
+	resolvedBytes *obs.Histogram
+}
+
+// Metric names exposed by the web service.
+const (
+	metricHTTPRequests  = "odr_http_requests_total"
+	metricHTTPSeconds   = "odr_http_request_seconds"
+	metricDecisions     = "odr_decisions_total"
+	metricResolvedBytes = "odr_fetch_bytes"
+	httpSecondsScale    = 1e6 // observe microseconds, expose seconds
+)
+
+// webRoutes are the backend names decisions can resolve to, pre-registered
+// so all four series scrape at zero from the start.
+var webRoutes = []core.Route{
+	core.RouteUserDevice, core.RouteSmartAP, core.RouteCloud, core.RouteCloudThenAP,
+}
+
+// newWebMetrics registers the service's metric schema in reg.
+func newWebMetrics(reg *obs.Registry) webMetrics {
+	m := webMetrics{
+		reg:           reg,
+		decisions:     make(map[string]*obs.Counter, len(webRoutes)),
+		resolvedBytes: reg.Histogram(metricResolvedBytes),
+	}
+	for _, r := range webRoutes {
+		name := backend.NameForRoute(r)
+		m.decisions[name] = reg.Counter(obs.Label(metricDecisions, "backend", name))
+	}
+	// Pre-register the latency histogram and request counter for the
+	// well-known paths so an idle server still scrapes the full schema.
+	for _, p := range []string{"/", "/api/v1/decide", "/healthz", "/metrics"} {
+		reg.HistogramScaled(obs.Label(metricHTTPSeconds, "path", p), httpSecondsScale)
+		reg.Counter(obs.Label(metricHTTPRequests, "path", p, "status", "2xx"))
+	}
+	return m
+}
+
+// decision records one answered decision.
+func (m *webMetrics) decision(dec core.Decision) {
+	name := backend.NameForRoute(dec.Route)
+	c := m.decisions[name]
+	if c == nil {
+		c = m.reg.Counter(obs.Label(metricDecisions, "backend", name))
+	}
+	c.Inc()
+}
+
+// normalizePath collapses request paths to a bounded label set; unknown
+// paths share one bucket so hostile URLs cannot blow up the cardinality.
+func normalizePath(p string) string {
+	switch p {
+	case "/", "/api/v1/decide", "/healthz", "/metrics":
+		return p
+	}
+	return "other"
+}
+
+// statusClass maps an HTTP status to its class label ("2xx", "4xx", ...).
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	case code >= 200:
+		return "2xx"
+	}
+	return "1xx"
+}
+
+// statusWriter captures the status code a handler writes; an untouched
+// handler implies the default 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps next with the request-latency/status middleware.
+func (m *webMetrics) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		path := normalizePath(r.URL.Path)
+		m.reg.Counter(obs.Label(metricHTTPRequests,
+			"path", path, "status", statusClass(status))).Inc()
+		m.reg.HistogramScaled(obs.Label(metricHTTPSeconds, "path", path),
+			httpSecondsScale).ObserveDuration(time.Since(start))
+	})
+}
+
+// Metrics returns the server's registry, for embedding the service's
+// observability into a larger one (e.g. cmd/odrserver's -metrics dump).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// handleMetrics serves the Prometheus text exposition of the server's
+// registry; ?format=json selects the JSON snapshot instead.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteJSON(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w, snap)
+}

@@ -1,0 +1,134 @@
+package odrweb
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"odr/internal/obs"
+)
+
+// get fetches a path from the test server and returns status + body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthzStatusOK(t *testing.T) {
+	srv, _ := newTestServer(t)
+	status, body := get(t, srv.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("GET /healthz status = %d, want 200", status)
+	}
+	if !strings.Contains(body, `"status"`) {
+		t.Fatalf("healthz body = %q", body)
+	}
+}
+
+func TestMetricsEndpointLints(t *testing.T) {
+	srv, c := newTestServer(t)
+
+	// A fresh server already exposes the full schema at zero.
+	status, body := get(t, srv.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d, want 200", status)
+	}
+	for _, want := range []string{
+		`odr_decisions_total{backend="cloud"} 0`,
+		"# TYPE odr_http_request_seconds histogram",
+		"# TYPE odr_fetch_bytes histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fresh /metrics missing %q", want)
+		}
+	}
+	if err := obs.LintPrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("fresh /metrics is not valid exposition: %v", err)
+	}
+
+	// Traffic moves the counters: one decision lands on the cloud backend
+	// (the link is cached), the middleware sees the POST, and the resolved
+	// file's size reaches the fetch-bytes histogram.
+	if _, err := c.Decide(context.Background(), "http://origin/rare.mkv", goodAux()); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`odr_decisions_total{backend="cloud"} 1`,
+		`odr_http_requests_total{path="/api/v1/decide",status="2xx"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("post-decide /metrics missing %q\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, `odr_fetch_bytes_count 1`) {
+		t.Errorf("fetch-bytes histogram did not observe the resolved size\n%s", body)
+	}
+	if err := obs.LintPrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("post-traffic /metrics is not valid exposition: %v", err)
+	}
+}
+
+func TestMetricsJSONFormat(t *testing.T) {
+	srv, _ := newTestServer(t)
+	status, body := get(t, srv.URL+"/metrics?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	snap, err := obs.ParseSnapshot(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("JSON snapshot did not parse: %v", err)
+	}
+	if _, ok := snap.Histograms["odr_fetch_bytes"]; !ok {
+		t.Fatal("JSON snapshot missing odr_fetch_bytes")
+	}
+}
+
+func TestMiddlewareRecordsStatusClasses(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// 4xx: malformed decide body. Unknown path: collapsed to "other".
+	resp, err := http.Post(srv.URL+"/api/v1/decide", "application/json",
+		strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status, _ := get(t, srv.URL+"/no/such/page"); status != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", status)
+	}
+	_, body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`odr_http_requests_total{path="/api/v1/decide",status="4xx"} 1`,
+		`odr_http_requests_total{path="other",status="4xx"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestNormalizePathAndStatusClass(t *testing.T) {
+	if got := normalizePath("/api/v1/decide"); got != "/api/v1/decide" {
+		t.Fatalf("normalizePath = %q", got)
+	}
+	if got := normalizePath("/../../etc/passwd"); got != "other" {
+		t.Fatalf("hostile path normalized to %q", got)
+	}
+	classes := map[int]string{100: "1xx", 204: "2xx", 301: "3xx", 404: "4xx", 503: "5xx"}
+	for code, want := range classes {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

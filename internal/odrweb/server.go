@@ -20,6 +20,7 @@ import (
 
 	"odr/internal/backend"
 	"odr/internal/core"
+	"odr/internal/obs"
 	"odr/internal/storage"
 	"odr/internal/workload"
 )
@@ -139,32 +140,43 @@ type Server struct {
 	advisor  *core.Advisor
 	resolver Resolver
 	mux      *http.ServeMux
+	handler  http.Handler
 	logger   *log.Logger
 	started  time.Time
+	reg      *obs.Registry
+	met      webMetrics
 }
 
 // NewServer assembles the service. logger may be nil to disable logging.
+// The server owns its metrics registry (see Metrics); every request
+// passes through the latency/status middleware and /metrics serves the
+// Prometheus exposition.
 func NewServer(advisor *core.Advisor, resolver Resolver, logger *log.Logger) *Server {
 	if advisor == nil || resolver == nil {
 		panic("odrweb: nil advisor or resolver")
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		advisor:  advisor,
 		resolver: resolver,
 		logger:   logger,
 		started:  time.Now(),
+		reg:      reg,
+		met:      newWebMetrics(reg),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/decide", s.handleDecide)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux = mux
+	s.handler = s.met.instrument(mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -227,8 +239,12 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	in.Protocol = file.Protocol
 	in.Band = s.advisor.DB.Band(file.ID)
 	in.Cached = s.advisor.Cache.Contains(file.ID)
+	if file.Size > 0 {
+		s.met.resolvedBytes.Observe(uint64(file.Size))
+	}
 
 	dec := core.Decide(in)
+	s.met.decision(dec)
 	s.logf("decide link=%s band=%v cached=%v -> %v from %v",
 		req.Link, in.Band, in.Cached, dec.Route, dec.Source)
 

@@ -45,7 +45,7 @@ func RunAPBenchmark(sample []workload.Request, aps []*smartap.AP, seed uint64) *
 	}
 	be := backend.NewSmartAP()
 	b := &APBench{}
-	b.Tasks, b.Engine = runSharded(sample, aps, seed, 0,
+	b.Tasks, b.Engine = runSharded(sample, aps, seed, 0, nil,
 		func(i int, wreq workload.Request, req *backend.Request) (APTask, bool) {
 			pre := be.PreDownload(req)
 			return APTask{
@@ -77,7 +77,7 @@ func RunAPBenchmarkStream(src workload.RequestSource, aps []*smartap.AP,
 	be := backend.NewSmartAP()
 	b := &APBench{}
 	var err error
-	b.Tasks, b.Engine, err = runShardedStream(src, aps, seed, shards, nil,
+	b.Tasks, b.Engine, err = runShardedStream(src, aps, seed, shards, nil, nil,
 		func(i int, wreq workload.Request, req *backend.Request) (APTask, bool) {
 			pre := be.PreDownload(req)
 			return APTask{

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"odr/internal/obs"
 	"odr/internal/smartap"
 	"odr/internal/workload"
 )
@@ -53,6 +54,9 @@ func benchFixture(b *testing.B) ([]workload.Request, []*workload.FileMeta) {
 // window — shards × streamChanBuf + streamCellChunk cells — reported as
 // the inflight-reqs metric; a slice replay instead keeps all requests
 // resident (the stream-len metric).
+// The metrics=on sub-runs quantify the observability overhead: the
+// acceptance bar is ≤5% requests/sec delta against metrics=off, with
+// allocs/op unchanged on the nil path.
 func BenchmarkStreamReplay(b *testing.B) {
 	_, files := benchFixture(b)
 	aps := smartap.Benchmarked()
@@ -61,23 +65,33 @@ func BenchmarkStreamReplay(b *testing.B) {
 			b.Fatalf("benchmark trace has %d requests, want %d", len(benchTrace.Requests), n)
 		}
 		sample := benchTrace.Requests[:n]
-		b.Run(fmt.Sprintf("requests=%d", n), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				res, err := RunODRStream(workload.NewSliceSource(sample), files, aps,
-					Options{Seed: benchSeed, Shards: 4})
-				if err != nil {
-					b.Fatal(err)
+		for _, metrics := range []bool{false, true} {
+			name := fmt.Sprintf("requests=%d/metrics=%v", n, metrics)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var reg *obs.Registry
+					if metrics {
+						reg = obs.NewRegistry()
+					}
+					res, err := RunODRStream(workload.NewSliceSource(sample), files, aps,
+						Options{Seed: benchSeed, Shards: 4, Metrics: reg})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Tasks) != n {
+						b.Fatalf("replayed %d of %d tasks", len(res.Tasks), n)
+					}
+					if metrics && reg.Snapshot().Counters[MetricReplayTasks] != uint64(n) {
+						b.Fatal("metrics run recorded the wrong task total")
+					}
 				}
-				if len(res.Tasks) != n {
-					b.Fatalf("replayed %d of %d tasks", len(res.Tasks), n)
-				}
-			}
-			shards := 4
-			b.ReportMetric(float64(shards*streamChanBuf+streamCellChunk), "inflight-reqs")
-			b.ReportMetric(float64(n), "stream-len")
-			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "requests/sec")
-		})
+				shards := 4
+				b.ReportMetric(float64(shards*streamChanBuf+streamCellChunk), "inflight-reqs")
+				b.ReportMetric(float64(n), "stream-len")
+				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "requests/sec")
+			})
+		}
 	}
 }
 

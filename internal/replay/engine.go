@@ -7,6 +7,7 @@ import (
 
 	"odr/internal/backend"
 	"odr/internal/dist"
+	"odr/internal/obs"
 	"odr/internal/smartap"
 	"odr/internal/workload"
 )
@@ -58,6 +59,60 @@ func (s EngineStats) Totals() ShardTotals {
 		t.Failures += p.Failures
 	}
 	return t
+}
+
+// engineObs threads an optional observability destination through a
+// sharded run. Each shard records into its own private registry via a
+// recorder built by rec — per-shard recorders may therefore cache label
+// lookups in plain maps without locking — and the engine merges the shard
+// registries into dst after the last worker exits, then adds the engine
+// totals. Because every recorded quantity is an integer accumulated by
+// commutative sums and obs.Registry.Merge is order-independent, the
+// merged registry is identical for every shard count and interleaving,
+// and recording never perturbs task outcomes: replay digests are
+// byte-identical with eo nil or set (pinned by TestReplayDeterminism).
+type engineObs[T any] struct {
+	// dst receives the merged per-shard registries plus engine totals.
+	dst *obs.Registry
+	// rec builds one shard's recorder over that shard's registry; it is
+	// called once per shard, and the returned func sees every (task, ok)
+	// pair the shard produced, in the shard's execution order.
+	rec func(reg *obs.Registry) func(task *T, ok bool)
+}
+
+// shardRegistries allocates one registry per shard, or nil when the run
+// is unobserved.
+func (eo *engineObs[T]) shardRegistries(shards int) []*obs.Registry {
+	if eo == nil {
+		return nil
+	}
+	regs := make([]*obs.Registry, shards)
+	for s := range regs {
+		regs[s] = obs.NewRegistry()
+	}
+	return regs
+}
+
+// recorder builds shard s's recorder, or nil for an unobserved run.
+func (eo *engineObs[T]) recorder(regs []*obs.Registry, s int) func(*T, bool) {
+	if eo == nil || eo.rec == nil {
+		return nil
+	}
+	return eo.rec(regs[s])
+}
+
+// finish merges the shard registries into dst (in shard order, though any
+// order yields the same result) and adds the engine's own totals.
+func (eo *engineObs[T]) finish(regs []*obs.Registry, stats EngineStats) {
+	if eo == nil {
+		return
+	}
+	for _, r := range regs {
+		eo.dst.Merge(r)
+	}
+	t := stats.Totals()
+	eo.dst.Counter("odr_replay_tasks_total").Add(uint64(t.Tasks))
+	eo.dst.Counter("odr_replay_failures_total").Add(uint64(t.Failures))
 }
 
 // normalizeShards resolves a shard-count option: non-positive means "use
@@ -116,7 +171,7 @@ type streamCell[T any] struct {
 // shard count is not capped by it; pass the same explicit positive count
 // to both paths when comparing digests of tiny samples.
 func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
-	seed uint64, shards int,
+	seed uint64, shards int, eo *engineObs[T],
 	observe func(i int, wreq workload.Request),
 	fn func(i int, wreq workload.Request, req *backend.Request) (T, bool),
 ) ([]T, EngineStats, error) {
@@ -125,6 +180,14 @@ func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
 	}
 	root := dist.NewRNG(seed).Split("replay-engine")
 	stats := EngineStats{Shards: shards, PerShard: make([]ShardTotals, shards)}
+	regs := eo.shardRegistries(shards)
+	// The in-flight high-water mark depends on goroutine scheduling, so it
+	// is recorded straight into the destination registry and excluded from
+	// the shard-merge determinism contract (a nil eo yields a nil gauge).
+	var inflight *obs.Gauge
+	if eo != nil {
+		inflight = eo.dst.Gauge("odr_replay_inflight_peak")
+	}
 
 	chans := make([]chan *streamCell[T], shards)
 	for s := range chans {
@@ -136,6 +199,7 @@ func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
 		go func(s int) {
 			defer wg.Done()
 			totals := &stats.PerShard[s]
+			record := eo.recorder(regs, s)
 			req := &backend.Request{EnvCap: EnvCap}
 			rng := dist.NewRNG(0)
 			for cell := range chans[s] {
@@ -154,6 +218,9 @@ func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
 				totals.Tasks++
 				if !cell.ok {
 					totals.Failures++
+				}
+				if record != nil {
+					record(&cell.task, cell.ok)
 				}
 			}
 		}(s)
@@ -191,13 +258,16 @@ func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
 		cell.wreq = wreq
 		k++
 		n++
-		chans[userShard(wreq.User, shards)] <- cell
+		ch := chans[userShard(wreq.User, shards)]
+		inflight.Max(int64(len(ch) + 1))
+		ch <- cell
 	}
 	chunks = append(chunks, cur[:k])
 	for _, ch := range chans {
 		close(ch)
 	}
 	wg.Wait()
+	eo.finish(regs, stats)
 	if err := src.Err(); err != nil {
 		return nil, stats, err
 	}
@@ -217,13 +287,14 @@ func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
 // substream) and returns the task record plus whether the task succeeded.
 // aps may be empty for AP-less replays (the request's AP is then nil).
 func runSharded[T any](sample []workload.Request, aps []*smartap.AP,
-	seed uint64, shards int,
+	seed uint64, shards int, eo *engineObs[T],
 	fn func(i int, wreq workload.Request, req *backend.Request) (T, bool),
 ) ([]T, EngineStats) {
 	shards = normalizeShards(shards, len(sample))
 	root := dist.NewRNG(seed).Split("replay-engine")
 	tasks := make([]T, len(sample))
 	stats := EngineStats{Shards: shards, PerShard: make([]ShardTotals, shards)}
+	regs := eo.shardRegistries(shards)
 
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
@@ -231,6 +302,7 @@ func runSharded[T any](sample []workload.Request, aps []*smartap.AP,
 		go func(s int) {
 			defer wg.Done()
 			totals := &stats.PerShard[s]
+			record := eo.recorder(regs, s)
 			for i := range sample {
 				if userShard(sample[i].User, shards) != s {
 					continue
@@ -251,9 +323,13 @@ func runSharded[T any](sample []workload.Request, aps []*smartap.AP,
 				if !ok {
 					totals.Failures++
 				}
+				if record != nil {
+					record(&tasks[i], ok)
+				}
 			}
 		}(s)
 	}
 	wg.Wait()
+	eo.finish(regs, stats)
 	return tasks, stats
 }

@@ -3,11 +3,13 @@ package replay
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"odr/internal/backend"
 	"odr/internal/dist"
+	"odr/internal/obs"
 	"odr/internal/workload"
 )
 
@@ -94,6 +96,61 @@ func TestReplayDeterminism(t *testing.T) {
 		}
 	}
 
+	// Metrics must be pure observation. Instrumented replays produce
+	// byte-identical digests (metrics on/off), and the merged per-shard
+	// registries are identical for every shard count and for the stream
+	// path — minus the in-flight peak gauge, which is scheduling-
+	// dependent by nature and exempted from the contract (it lives in
+	// the destination registry, never in a shard's).
+	refReg := obs.NewRegistry()
+	instr := RunODR(f.sample, f.trace.Files, f.aps,
+		Options{Seed: 14, Shards: 1, Metrics: refReg})
+	if d := digest(instr); d != want {
+		t.Fatalf("metrics=on shards=1: instrumentation changed the replay\nfirst differing line:\n%s",
+			firstDiff(want, d))
+	}
+	wantSnap := refReg.Snapshot()
+	if len(wantSnap.Counters) == 0 || len(wantSnap.Histograms) == 0 {
+		t.Fatal("instrumented replay recorded no metrics")
+	}
+	if _, ok := wantSnap.Counters[MetricReplayTasks]; !ok {
+		t.Fatalf("missing %s in instrumented snapshot", MetricReplayTasks)
+	}
+	for _, shards := range []int{4, 8} {
+		reg := obs.NewRegistry()
+		got := RunODR(f.sample, f.trace.Files, f.aps,
+			Options{Seed: 14, Shards: shards, Metrics: reg})
+		if d := digest(got); d != want {
+			t.Fatalf("metrics=on shards=%d: instrumentation changed the replay\nfirst differing line:\n%s",
+				shards, firstDiff(want, d))
+		}
+		if snap := reg.Snapshot(); !reflect.DeepEqual(snap, wantSnap) {
+			t.Fatalf("metrics shards=%d: merged registry differs from the single-shard registry\nfirst differing line:\n%s",
+				shards, firstDiff(snapJSON(t, wantSnap), snapJSON(t, snap)))
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		reg := obs.NewRegistry()
+		got, err := RunODRStream(workload.NewSliceSource(f.sample), f.trace.Files,
+			f.aps, Options{Seed: 14, Shards: shards, Metrics: reg})
+		if err != nil {
+			t.Fatalf("metrics stream shards=%d: %v", shards, err)
+		}
+		if d := digest(got); d != want {
+			t.Fatalf("metrics stream shards=%d: instrumentation changed the replay\nfirst differing line:\n%s",
+				shards, firstDiff(want, d))
+		}
+		snap := reg.Snapshot()
+		if _, ok := snap.Gauges[MetricInflightPeak]; !ok {
+			t.Fatalf("stream shards=%d: in-flight peak gauge never recorded", shards)
+		}
+		delete(snap.Gauges, MetricInflightPeak)
+		if !reflect.DeepEqual(snap, wantSnap) {
+			t.Fatalf("metrics stream shards=%d: registry differs from the slice path\nfirst differing line:\n%s",
+				shards, firstDiff(snapJSON(t, wantSnap), snapJSON(t, snap)))
+		}
+	}
+
 	// The baselines and the AP benchmark shard at GOMAXPROCS; two runs
 	// must still match exactly.
 	if digest(HybridBaseline(f.sample, f.trace.Files, f.aps, 14)) !=
@@ -108,6 +165,16 @@ func TestReplayDeterminism(t *testing.T) {
 		apDigest(RunAPBenchmark(f.sample, f.aps, 14)) {
 		t.Fatal("AP benchmark not deterministic")
 	}
+}
+
+// snapJSON renders a snapshot deterministically for diffing.
+func snapJSON(t *testing.T, s *obs.Snapshot) string {
+	t.Helper()
+	var b strings.Builder
+	if err := obs.WriteJSON(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
 }
 
 func firstDiff(a, b string) string {
@@ -237,7 +304,7 @@ func TestEngineRequestStreams(t *testing.T) {
 	const n, seed = 16, 7
 	sample := f.sample[:n]
 	got := make([]*backend.Request, n)
-	runSharded(sample, f.aps, seed, 4,
+	runSharded(sample, f.aps, seed, 4, nil,
 		func(i int, _ workload.Request, req *backend.Request) (struct{}, bool) {
 			got[i] = req
 			return struct{}{}, true

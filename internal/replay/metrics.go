@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"time"
+
+	"odr/internal/backend"
+	"odr/internal/core"
+	"odr/internal/obs"
+)
+
+// Replay metric names. Everything below odr_replay_inflight_peak is a
+// pure function of the task records, so the merged values are identical
+// for every shard count; the in-flight peak is the one
+// scheduling-dependent signal and is exempt from that contract (see
+// engineObs).
+const (
+	// MetricDecisions counts routed decisions, labeled by the backend the
+	// route resolves to and ODR's reason string.
+	MetricDecisions = "odr_decisions_total"
+	// MetricFetchBytes is the per-task delivered-bytes histogram over
+	// successful tasks.
+	MetricFetchBytes = "odr_fetch_bytes"
+	// MetricFetchSeconds is the user-perceived fetch duration histogram
+	// (file size over perceived rate) over successful tasks.
+	MetricFetchSeconds = "odr_fetch_seconds"
+	// MetricPreDelaySeconds is the availability-delay histogram: how long
+	// a task waited before its fetch could start.
+	MetricPreDelaySeconds = "odr_predownload_delay_seconds"
+	// MetricStagnations counts failed tasks by stagnation cause.
+	MetricStagnations = "odr_stagnations_total"
+	// MetricReplayTasks and MetricReplayFailures are the engine's own
+	// totals, added once per run.
+	MetricReplayTasks    = "odr_replay_tasks_total"
+	MetricReplayFailures = "odr_replay_failures_total"
+	// MetricInflightPeak is the stream reader's channel-depth high-water
+	// mark — scheduling-dependent, recorded outside the shard registries.
+	MetricInflightPeak = "odr_replay_inflight_peak"
+)
+
+// odrRecorder builds one shard's ODRTask recorder over the shard's
+// private registry. Handles are resolved lazily and memoized in plain
+// maps — safe because each recorder is owned by exactly one shard
+// goroutine — so the steady-state cost per task is a few map hits and
+// atomic adds.
+func odrRecorder(reg *obs.Registry) func(*ODRTask, bool) {
+	decisions := make(map[core.Route]map[string]*obs.Counter)
+	stagnations := make(map[string]*obs.Counter)
+	fetchBytes := reg.Histogram(MetricFetchBytes)
+	fetchSeconds := reg.Histogram(MetricFetchSeconds)
+	preDelay := reg.Histogram(MetricPreDelaySeconds)
+
+	return func(t *ODRTask, ok bool) {
+		byReason := decisions[t.Decision.Route]
+		if byReason == nil {
+			byReason = make(map[string]*obs.Counter)
+			decisions[t.Decision.Route] = byReason
+		}
+		c := byReason[t.Decision.Reason]
+		if c == nil {
+			c = reg.Counter(obs.Label(MetricDecisions,
+				"backend", backend.NameForRoute(t.Decision.Route),
+				"reason", t.Decision.Reason))
+			byReason[t.Decision.Reason] = c
+		}
+		c.Inc()
+
+		if t.PreDelay > 0 {
+			preDelay.Observe(uint64(t.PreDelay / time.Second))
+		}
+		if !ok {
+			cause := t.Cause
+			if cause == "" {
+				cause = "unknown"
+			}
+			sc := stagnations[cause]
+			if sc == nil {
+				sc = reg.Counter(obs.Label(MetricStagnations, "cause", cause))
+				stagnations[cause] = sc
+			}
+			sc.Inc()
+			return
+		}
+		size := uint64(t.Request.File.Size)
+		fetchBytes.Observe(size)
+		if t.PerceivedRate > 0 {
+			fetchSeconds.Observe(uint64(float64(size) / t.PerceivedRate))
+		}
+	}
+}
+
+// newODRObs wires an ODR replay's observability: nil dst (metrics off)
+// yields a nil engineObs, which the engine treats as "record nothing".
+func newODRObs(dst *obs.Registry) *engineObs[ODRTask] {
+	if dst == nil {
+		return nil
+	}
+	return &engineObs[ODRTask]{dst: dst, rec: odrRecorder}
+}

@@ -6,6 +6,7 @@ import (
 	"odr/internal/backend"
 	"odr/internal/cloud"
 	"odr/internal/core"
+	"odr/internal/obs"
 	"odr/internal/smartap"
 	"odr/internal/stats"
 	"odr/internal/storage"
@@ -75,6 +76,13 @@ type Options struct {
 	// DisableStorageSignal makes ODR ignore AP storage restrictions
 	// (ablation: Bottleneck 4 logic off).
 	DisableStorageSignal bool
+	// Metrics, when non-nil, receives the replay's observability: decision
+	// counts per backend and reason, fetch latency/byte histograms,
+	// stagnation counters, backend probe/pre-download/fetch outcomes, and
+	// engine totals. Recording never changes replay results — digests are
+	// byte-identical with Metrics nil or set — and the merged values are
+	// identical for every shard count (TestReplayDeterminism pins both).
+	Metrics *obs.Registry
 }
 
 // newBackends builds the replay's backend fleet and primes the cloud's
@@ -99,10 +107,12 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 		opts.CloudScale = float64(len(files)) / cloud.FullScaleFiles
 	}
 	set := newBackends(sample, files, opts.CloudScale, opts.Seed)
+	set.Instrument(opts.Metrics)
 	db := core.NewStaticDB(files)
 
 	res := &ODRResult{Backends: set}
 	res.Tasks, res.Engine = runSharded(sample, aps, opts.Seed, opts.Shards,
+		newODRObs(opts.Metrics),
 		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
 			t := odrTask(wreq, req, db, set, opts)
 			return t, t.Success
@@ -128,11 +138,13 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 		opts.CloudScale = float64(len(files)) / cloud.FullScaleFiles
 	}
 	set := backend.NewSet(files, cloud.DefaultConfig(opts.CloudScale, opts.Seed), opts.Seed)
+	set.Instrument(opts.Metrics)
 	db := core.NewStaticDB(files)
 
 	res := &ODRResult{Backends: set}
 	var err error
 	res.Tasks, res.Engine, err = runShardedStream(src, aps, opts.Seed, opts.Shards,
+		newODRObs(opts.Metrics),
 		func(i int, wreq workload.Request) { set.Cloud.Observe(i, wreq.File) },
 		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
 			t := odrTask(wreq, req, db, set, opts)
@@ -418,7 +430,7 @@ func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
 	}
 	set := newBackends(sample, files, float64(len(files))/cloud.FullScaleFiles, seed)
 	res := &ODRResult{Backends: set}
-	res.Tasks, res.Engine = runSharded(sample, aps, seed, 0,
+	res.Tasks, res.Engine = runSharded(sample, aps, seed, 0, nil,
 		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
 			task := ODRTask{Request: wreq}
 			if !set.Cloud.Probe(req) {
@@ -444,7 +456,7 @@ func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
 func CloudOnlyBaseline(sample []workload.Request, files []*workload.FileMeta, seed uint64) *ODRResult {
 	set := newBackends(sample, files, float64(len(files))/cloud.FullScaleFiles, seed)
 	res := &ODRResult{Backends: set}
-	res.Tasks, res.Engine = runSharded(sample, nil, seed, 0,
+	res.Tasks, res.Engine = runSharded(sample, nil, seed, 0, nil,
 		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
 			task := ODRTask{Request: wreq}
 			if !set.Cloud.Probe(req) {

@@ -62,6 +62,32 @@ func (s *Summary) Variance() float64 {
 // Stddev returns the sample standard deviation.
 func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
 
+// MergeFrom folds another summary into s using the parallel form of
+// Welford's update (Chan et al.), so merging per-shard summaries yields
+// the same count/min/max/mean/variance a single pass over the combined
+// stream would — the property the sharded replay engine's per-shard
+// accumulators rely on. o is left untouched.
+func (s *Summary) MergeFrom(o *Summary) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.mean += d * float64(o.n) / float64(n)
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+}
+
 // Sum returns the total of all observations.
 func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
 
@@ -99,6 +125,17 @@ func (s *Sample) AddAll(xs []float64) {
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
+
+// MergeFrom appends every observation of another sample into s, leaving o
+// untouched. Quantiles over the merged sample equal quantiles over the
+// concatenated streams (order never matters once sorted).
+func (s *Sample) MergeFrom(o *Sample) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, o.xs...)
+	s.sorted = false
+}
 
 func (s *Sample) ensureSorted() {
 	if !s.sorted {

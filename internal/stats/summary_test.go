@@ -45,6 +45,109 @@ func TestSummarySingle(t *testing.T) {
 	}
 }
 
+func TestSummaryMergeFromEqualsSingleStream(t *testing.T) {
+	// Deterministic but irregular data split across three uneven parts:
+	// the merged summary must match the single-stream one on every moment.
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i)*1.7)*1e6 + float64(i%13)
+	}
+	var whole Summary
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var parts [3]Summary
+	for i, x := range xs {
+		switch {
+		case i < 10:
+			parts[0].Add(x)
+		case i < 200:
+			parts[1].Add(x)
+		default:
+			parts[2].Add(x)
+		}
+	}
+	var merged Summary
+	for i := range parts {
+		merged.MergeFrom(&parts[i])
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("N = %d, want %d", merged.N(), whole.N())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("min/max = %g/%g, want %g/%g",
+			merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	if d := math.Abs(merged.Mean() - whole.Mean()); d/math.Max(1, math.Abs(whole.Mean())) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", merged.Mean(), whole.Mean())
+	}
+	if d := math.Abs(merged.Variance() - whole.Variance()); d/whole.Variance() > 1e-12 {
+		t.Fatalf("variance = %g, want %g", merged.Variance(), whole.Variance())
+	}
+}
+
+func TestSummaryMergeFromEdgeCases(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	s.MergeFrom(nil)
+	s.MergeFrom(&Summary{}) // empty other: no-op
+	if s.N() != 1 || s.Mean() != 3 {
+		t.Fatalf("after no-op merges: %v", s.String())
+	}
+	var empty Summary
+	empty.MergeFrom(&s) // empty self: copy
+	if empty.N() != 1 || empty.Min() != 3 || empty.Max() != 3 {
+		t.Fatalf("empty-self merge: %v", empty.String())
+	}
+}
+
+func TestSampleMergeFrom(t *testing.T) {
+	a, b := &Sample{}, &Sample{}
+	a.AddAll([]float64{5, 1})
+	_ = a.Median() // force the sorted state; merge must invalidate it
+	b.AddAll([]float64{4, 2, 3})
+	a.MergeFrom(b)
+	a.MergeFrom(nil)
+	a.MergeFrom(&Sample{})
+	if a.N() != 5 || a.Median() != 3 || a.Min() != 1 || a.Max() != 5 {
+		t.Fatalf("merged sample: n=%d median=%g", a.N(), a.Median())
+	}
+	if b.N() != 3 {
+		t.Fatalf("other sample mutated: n=%d", b.N())
+	}
+}
+
+// Property: merging a randomly split stream equals summarizing it whole.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(raw []float64, cut uint8) bool {
+		var whole, left, right Summary
+		for i, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 1e12 {
+				return true
+			}
+			whole.Add(v)
+			if i < int(cut)%(len(raw)+1) {
+				left.Add(v)
+			} else {
+				right.Add(v)
+			}
+		}
+		left.MergeFrom(&right)
+		if left.N() != whole.N() || left.Min() != whole.Min() || left.Max() != whole.Max() {
+			return false
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		if math.Abs(left.Mean()-whole.Mean())/scale > 1e-9 {
+			return false
+		}
+		vscale := math.Max(1, whole.Variance())
+		return math.Abs(left.Variance()-whole.Variance())/vscale < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSampleQuantiles(t *testing.T) {
 	s := NewSample(5)
 	s.AddAll([]float64{10, 20, 30, 40, 50})
