@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build test vet fmt race determinism bench cover
+.PHONY: check build test vet fmt race determinism bench cover allocgate \
+	bench-save bench-compare
 
 # check is the CI gate: static checks, a full build, the race-enabled
-# test suite, the engine determinism test at several GOMAXPROCS, and the
-# observability coverage floor.
-check: fmt vet build race determinism cover
+# test suite, the engine determinism test at several GOMAXPROCS, the
+# observability coverage floor, and the hot-path allocation gate.
+check: fmt vet build race determinism cover allocgate
 
 build:
 	$(GO) build ./...
@@ -29,7 +30,7 @@ race:
 # The sharded replay engine must produce byte-identical results at any
 # parallelism; run its invariance test single- and multi-threaded.
 determinism:
-	$(GO) test -run TestReplayDeterminism -cpu 1,4 ./internal/replay
+	$(GO) test -race -run TestReplayDeterminism -cpu 1,4 ./internal/replay
 
 # The metrics subsystem is the measurement instrument; hold it to a
 # coverage floor so observation code never rots unexercised.
@@ -42,13 +43,30 @@ cover:
 		'BEGIN { exit (t+0 < floor+0) ? 1 : 0 }' || \
 		{ echo "internal/obs coverage below $(OBS_COVER_FLOOR)%"; exit 1; }
 
+# Steady-state per-request allocations on the stream path must stay at or
+# below one object; TestStreamSteadyStateAllocs measures the marginal
+# malloc slope between two stream lengths. The test carries a !race build
+# tag (race instrumentation allocates per tracked access), so it runs
+# here rather than inside the race target.
+allocgate:
+	$(GO) test -run TestStreamSteadyStateAllocs -count 1 ./internal/replay
+
 # Replay benchmarks: the shard-count throughput sweep plus the streaming
 # pipeline's allocation profile and the metrics hot path. -count 5
-# repeated runs with -benchmem give benchstat enough samples; capture and
-# compare with
-#   make bench > new.txt && benchstat old.txt new.txt
+# repeated runs with -benchmem give the aggregator enough samples.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamReplay|BenchmarkReplayParallel' \
 		-benchmem -benchtime 3x -count 5 ./internal/replay
 	$(GO) test -run '^$$' -bench BenchmarkRegistryHotPath \
 		-benchmem -count 5 ./internal/obs
+
+# The tracked benchmark baseline. bench-save reruns the suite and rewrites
+# it; bench-compare reruns the suite and diffs median metrics against it,
+# failing on an allocs/op regression (throughput deltas are informational
+# — wall-clock noise on shared hardware is not a CI signal, allocation
+# counts are exact). cmd/benchjson is the repo-local benchstat stand-in.
+BENCH_BASELINE := BENCH_replay.json
+bench-save:
+	$(MAKE) bench | $(GO) run ./cmd/benchjson -save $(BENCH_BASELINE)
+bench-compare:
+	$(MAKE) bench | $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE)

@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	replay [-files N] [-sample N] [-seed S] [-shards N] [-tasks PATH]
-//	       [-trace FILE] [-stream] [-metrics FORMAT] [-pprof ADDR]
+//	replay [-files N] [-sample N] [-seed S] [-shards N] [-chunk N]
+//	       [-tasks PATH] [-trace FILE] [-stream] [-metrics FORMAT]
+//	       [-pprof ADDR]
 //
 // With -trace it replays a recorded workload CSV (wgen format) instead of
 // generating one. With -stream the trace is consumed through the
 // bounded-memory streaming pipeline: requests flow past once to discover
 // the populations and draw the Unicom sample, and the replay itself runs
 // through the streaming engine — the full request log is never resident.
-// Results are byte-identical to the slice path for the same seed.
+// Results are byte-identical to the slice path for the same seed. -chunk
+// sets the streaming engine's batch size (a pure performance knob; the
+// effective value appears as the odr_replay_stream_chunk gauge in the
+// -metrics dump).
 //
 // With -tasks it also dumps the week simulation's task records as JSON
 // Lines (the pre-downloading + fetching traces of §3); the week simulator
@@ -52,17 +56,18 @@ func main() {
 	tasks := flag.String("tasks", "", "also dump week task records as JSONL to this path")
 	tracePath := flag.String("trace", "", "replay a workload CSV (wgen format) instead of generating one")
 	stream := flag.Bool("stream", false, "force the bounded-memory streaming pipeline")
+	chunk := flag.Int("chunk", 0, "streaming engine batch size in requests (0 = default; results are identical for any value)")
 	metrics := flag.String("metrics", "", "dump the ODR replay's metrics snapshot to stderr: prom or json")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while the replay runs")
 	flag.Parse()
 
-	if err := run(*files, *sampleN, *seed, *shards, *tasks, *tracePath, *stream, *metrics, *pprofAddr); err != nil {
+	if err := run(*files, *sampleN, *seed, *shards, *chunk, *tasks, *tracePath, *stream, *metrics, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath string,
+func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePath string,
 	stream bool, metrics, pprofAddr string) error {
 	var reg *obs.Registry
 	switch metrics {
@@ -79,7 +84,7 @@ func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath strin
 		if tasksPath != "" {
 			return fmt.Errorf("-tasks needs the materialized week trace; drop -stream")
 		}
-		if err := runStream(files, sampleN, seed, shards, tracePath, reg); err != nil {
+		if err := runStream(files, sampleN, seed, shards, chunk, tracePath, reg); err != nil {
 			return err
 		}
 		return dumpMetrics(reg, metrics)
@@ -127,8 +132,9 @@ func run(files, sampleN int, seed uint64, shards int, tasksPath, tracePath strin
 // populations and draws the §5.1 sample, then the sample replays through
 // the streaming engine. Only the populations, the Unicom pool, and the
 // task records are ever resident.
-func runStream(files, sampleN int, seed uint64, shards int, tracePath string,
+func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath string,
 	reg *obs.Registry) error {
+	tune := replay.StreamTuning{Chunk: chunk}
 	var (
 		sample  []workload.Request
 		filePop []*workload.FileMeta
@@ -169,13 +175,13 @@ func runStream(files, sampleN int, seed uint64, shards int, tracePath string,
 	fmt.Printf("streamed week: %d files, %d users, %d requests; replay sample: %d\n\n",
 		len(filePop), len(userPop), total, len(sample))
 
-	bench, err := replay.RunAPBenchmarkStream(workload.NewSliceSource(sample), aps, seed, shards)
+	bench, err := replay.RunAPBenchmarkStream(workload.NewSliceSource(sample), aps, seed, shards, tune)
 	if err != nil {
 		return err
 	}
 	baseline := replay.CloudOnlyBaseline(sample, filePop, seed)
 	odr, err := replay.RunODRStream(workload.NewSliceSource(sample), filePop, aps,
-		replay.Options{Seed: seed, Shards: shards, Metrics: reg})
+		replay.Options{Seed: seed, Shards: shards, Metrics: reg, Stream: tune})
 	if err != nil {
 		return err
 	}

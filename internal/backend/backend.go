@@ -46,6 +46,12 @@ type Request struct {
 	EnvCap float64
 }
 
+// Reset clears the request for reuse. The replay engine pools one Request
+// per shard worker and rebinds it to each replayed request; Reset is the
+// explicit boundary guaranteeing nothing leaks from one binding to the
+// next.
+func (r *Request) Reset() { *r = Request{} }
+
 // UsableBW returns the user's access bandwidth clamped to the environment
 // ceiling.
 func (r *Request) UsableBW() float64 {

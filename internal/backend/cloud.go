@@ -50,6 +50,10 @@ type Cloud struct {
 	// request sees a pre-downloaded (not warm) file as cached only when a
 	// strictly earlier request could have triggered the pre-download.
 	firstIdx map[workload.FileID]int
+	// preLabel and preRNG are scratch state for outcomeLocked's per-file
+	// substream derivation, guarded by mu like the maps above.
+	preLabel []byte
+	preRNG   *dist.RNG
 
 	ledger Ledger
 	met    backendMetrics
@@ -62,10 +66,11 @@ func NewCloud(files []*workload.FileMeta, cfg cloud.Config, seed uint64) *Cloud 
 		cfg:      cfg,
 		fm:       cloud.NewFetchModel(cfg),
 		src:      sources.NewMix(),
-		pool:     cloud.NewStoragePool(cfg.PoolCapacity),
+		pool:     cloud.NewStoragePoolSized(cfg.PoolCapacity, len(files)),
 		root:     g,
 		outcomes: make(map[workload.FileID]PreResult),
 		firstIdx: make(map[workload.FileID]int),
+		preRNG:   dist.NewRNG(0),
 	}
 	warm := g.Split("warm")
 	for _, f := range files {
@@ -177,8 +182,10 @@ func (c *Cloud) outcomeLocked(f *workload.FileMeta) PreResult {
 	if out, ok := c.outcomes[f.ID]; ok {
 		return out
 	}
-	g := c.root.Split("pre:" + f.ID.String())
-	att := c.src.Attempt(g, f)
+	c.preLabel = append(c.preLabel[:0], "pre:"...)
+	c.preLabel = f.ID.AppendHex(c.preLabel)
+	c.root.SplitBytesInto(c.preRNG, c.preLabel)
+	att := c.src.Attempt(c.preRNG, f)
 	var out PreResult
 	if !att.OK {
 		out = PreResult{Delay: c.cfg.StagnationTimeout, Cause: att.Cause.String()}

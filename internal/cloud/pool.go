@@ -6,8 +6,6 @@
 package cloud
 
 import (
-	"container/list"
-
 	"odr/internal/workload"
 )
 
@@ -15,31 +13,59 @@ import (
 // the MD5 of its content (workload.FileID), so identical content occupies
 // one slot regardless of how many users request it — the paper's
 // "collaborative caching". The zero value is not usable; use NewStoragePool.
+//
+// Entries live in one flat slice linked into LRU order by index, not in a
+// container/list of heap nodes: warming a replay cloud over a
+// hundred-thousand-file population is two allocations of bookkeeping
+// instead of two allocations per file, which is what kept the replay
+// benchmarks' allocs/op proportional to the file population.
 type StoragePool struct {
 	capacity int64
 	used     int64
-	order    *list.List // front = most recently used
-	entries  map[workload.FileID]*poolEntry
+	entries  []poolEntry
+	index    map[workload.FileID]int32
+	head     int32 // most recently used, -1 when empty
+	tail     int32 // least recently used, -1 when empty
+	free     int32 // head of the free-slot list threaded through next
 	// counters
 	hits, misses, evictions uint64
 }
 
+// poolEntry is one cached file plus its intrusive LRU links (indices into
+// the entries slice, -1 = none). A vacated slot is threaded onto the free
+// list through next and reused by the next Add.
 type poolEntry struct {
-	id   workload.FileID
-	size int64
-	elem *list.Element
+	id         workload.FileID
+	size       int64
+	prev, next int32
 }
+
+const noEntry = int32(-1)
 
 // NewStoragePool returns an empty pool holding at most capacity bytes.
 // Capacity must be positive.
 func NewStoragePool(capacity int64) *StoragePool {
+	return NewStoragePoolSized(capacity, 0)
+}
+
+// NewStoragePoolSized is NewStoragePool with a hint for how many files the
+// pool is expected to hold; the index and entry table are pre-sized so
+// bulk warming performs no incremental growth. The hint does not bound the
+// pool — it may hold more entries if capacity allows.
+func NewStoragePoolSized(capacity int64, hint int) *StoragePool {
 	if capacity <= 0 {
 		panic("cloud: pool capacity must be positive")
 	}
+	if hint < 0 {
+		hint = 0
+	}
 	return &StoragePool{
 		capacity: capacity,
-		order:    list.New(),
-		entries:  make(map[workload.FileID]*poolEntry),
+		entries:  make([]poolEntry, 0, hint),
+		index:    make(map[workload.FileID]int32, hint),
+		head:     noEntry,
+		tail:     noEntry,
+		free:     noEntry,
 	}
 }
 
@@ -50,7 +76,7 @@ func (p *StoragePool) Capacity() int64 { return p.capacity }
 func (p *StoragePool) Used() int64 { return p.used }
 
 // Len returns the number of cached files.
-func (p *StoragePool) Len() int { return len(p.entries) }
+func (p *StoragePool) Len() int { return len(p.index) }
 
 // Hits returns how many Lookup calls found their file.
 func (p *StoragePool) Hits() uint64 { return p.hits }
@@ -64,20 +90,20 @@ func (p *StoragePool) Evictions() uint64 { return p.evictions }
 // Contains reports whether the file is cached without touching LRU order
 // or counters (used by ODR's read-only cache probe).
 func (p *StoragePool) Contains(id workload.FileID) bool {
-	_, ok := p.entries[id]
+	_, ok := p.index[id]
 	return ok
 }
 
 // Lookup reports whether the file is cached, counting a hit or miss and
 // refreshing LRU recency on hit.
 func (p *StoragePool) Lookup(id workload.FileID) bool {
-	e, ok := p.entries[id]
+	e, ok := p.index[id]
 	if !ok {
 		p.misses++
 		return false
 	}
 	p.hits++
-	p.order.MoveToFront(e.elem)
+	p.moveToFront(e)
 	return true
 }
 
@@ -88,8 +114,8 @@ func (p *StoragePool) Add(id workload.FileID, size int64) bool {
 	if size < 0 {
 		panic("cloud: negative file size")
 	}
-	if e, ok := p.entries[id]; ok {
-		p.order.MoveToFront(e.elem)
+	if e, ok := p.index[id]; ok {
+		p.moveToFront(e)
 		return true
 	}
 	if size > p.capacity {
@@ -98,21 +124,75 @@ func (p *StoragePool) Add(id workload.FileID, size int64) bool {
 	for p.used+size > p.capacity {
 		p.evictOldest()
 	}
-	e := &poolEntry{id: id, size: size}
-	e.elem = p.order.PushFront(e)
-	p.entries[id] = e
+	e := p.alloc()
+	p.entries[e].id = id
+	p.entries[e].size = size
+	p.pushFront(e)
+	p.index[id] = e
 	p.used += size
 	return true
 }
 
-func (p *StoragePool) evictOldest() {
-	back := p.order.Back()
-	if back == nil {
+// alloc returns a slot for a new entry: a recycled one from the free list
+// when available, a fresh one appended to the table otherwise.
+func (p *StoragePool) alloc() int32 {
+	if p.free != noEntry {
+		e := p.free
+		p.free = p.entries[e].next
+		return e
+	}
+	p.entries = append(p.entries, poolEntry{})
+	return int32(len(p.entries) - 1)
+}
+
+// unlink detaches entry e from the recency list.
+func (p *StoragePool) unlink(e int32) {
+	ent := &p.entries[e]
+	if ent.prev != noEntry {
+		p.entries[ent.prev].next = ent.next
+	} else {
+		p.head = ent.next
+	}
+	if ent.next != noEntry {
+		p.entries[ent.next].prev = ent.prev
+	} else {
+		p.tail = ent.prev
+	}
+}
+
+// pushFront links entry e in as the most recently used.
+func (p *StoragePool) pushFront(e int32) {
+	ent := &p.entries[e]
+	ent.prev = noEntry
+	ent.next = p.head
+	if p.head != noEntry {
+		p.entries[p.head].prev = e
+	}
+	p.head = e
+	if p.tail == noEntry {
+		p.tail = e
+	}
+}
+
+func (p *StoragePool) moveToFront(e int32) {
+	if p.head == e {
 		return
 	}
-	e := back.Value.(*poolEntry)
-	p.order.Remove(back)
-	delete(p.entries, e.id)
-	p.used -= e.size
+	p.unlink(e)
+	p.pushFront(e)
+}
+
+func (p *StoragePool) evictOldest() {
+	e := p.tail
+	if e == noEntry {
+		return
+	}
+	p.unlink(e)
+	ent := &p.entries[e]
+	delete(p.index, ent.id)
+	p.used -= ent.size
 	p.evictions++
+	// Recycle the slot.
+	ent.next = p.free
+	p.free = e
 }

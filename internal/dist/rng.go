@@ -71,6 +71,20 @@ func (g *RNG) Split64Into(dst *RNG, n uint64) {
 	dst.Reseed(mix(g.seed ^ mix(n+0x51ed2701)))
 }
 
+// SplitBytesInto reseeds dst in place to exactly the substream
+// Split(string(label)) would return, without materializing the label as a
+// string or allocating the substream. It exists for hot loops that derive
+// one stream per item under a composite key (the cloud backend derives one
+// per file from a reused scratch buffer). dst must not be shared with
+// another goroutine.
+func (g *RNG) SplitBytesInto(dst *RNG, label []byte) {
+	h := g.seed
+	for _, b := range label {
+		h = (h ^ uint64(b)) * 0x100000001b3 // FNV-1a step, as in Split
+	}
+	dst.Reseed(mix(h))
+}
+
 // mix is a SplitMix64 finalizer; it decorrelates adjacent seeds.
 func mix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

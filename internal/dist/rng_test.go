@@ -393,3 +393,33 @@ func TestSplit64IntoAllocFree(t *testing.T) {
 		t.Fatalf("Split64Into allocates %.1f objects per call, want 0", allocs)
 	}
 }
+
+func TestSplitBytesIntoMatchesSplit(t *testing.T) {
+	root := NewRNG(424242)
+	scratch := NewRNG(0)
+	for _, label := range []string{"", "pre:", "pre:00112233445566778899aabbccddeeff", "warm"} {
+		want := root.Split(label)
+		root.SplitBytesInto(scratch, []byte(label))
+		if scratch.Seed() != want.Seed() {
+			t.Fatalf("label %q: SplitBytesInto seed %d, want %d", label, scratch.Seed(), want.Seed())
+		}
+		for i := 0; i < 8; i++ {
+			if scratch.Float64() != want.Float64() {
+				t.Fatalf("label %q: draw %d diverged from Split", label, i)
+			}
+		}
+	}
+}
+
+func TestSplitBytesIntoAllocFree(t *testing.T) {
+	root := NewRNG(3)
+	scratch := NewRNG(0)
+	label := []byte("pre:00112233445566778899aabbccddeeff")
+	allocs := testing.AllocsPerRun(100, func() {
+		root.SplitBytesInto(scratch, label)
+		scratch.Float64()
+	})
+	if allocs != 0 {
+		t.Fatalf("SplitBytesInto allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,68 @@
+//go:build !race
+
+package replay
+
+import (
+	"runtime"
+	"testing"
+
+	"odr/internal/workload"
+)
+
+// TestStreamSteadyStateAllocs is the allocation regression gate for the
+// stream hot path (wired into `make check`): the marginal allocation cost
+// of one additional replayed request must stay at or below one object.
+//
+// Measuring allocs/request directly would drown in the per-run setup
+// (backend fleet, warm pool, per-file memoized outcomes), so the gate
+// differences two stream lengths over the same population: setup cost
+// appears in both runs and cancels, leaving the steady-state slope
+// (mallocs(n2) - mallocs(n1)) / (n2 - n1). GC bookkeeping inflates the
+// counter nondeterministically, so the gate takes the minimum slope over
+// a few repeats — the cleanest run bounds what the code actually does.
+// The file is excluded under -race: instrumentation allocates per
+// tracked access and would measure the detector, not the hot path.
+func TestStreamSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs full-length streams")
+	}
+	f := setup(t)
+	const n1, n2 = 2000, 12000
+	if len(f.trace.Requests) < n2 {
+		t.Fatalf("trace has %d requests, want %d", len(f.trace.Requests), n2)
+	}
+
+	measure := func(n int) float64 {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err := RunODRStream(workload.NewSliceSource(f.trace.Requests[:n]),
+			f.trace.Files, f.aps, Options{Seed: 424242, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		if len(res.Tasks) != n {
+			t.Fatalf("replayed %d of %d tasks", len(res.Tasks), n)
+		}
+		return float64(after.Mallocs) - float64(before.Mallocs)
+	}
+
+	const budget = 1.0
+	measure(n2) // warm any lazy process-wide state before judging
+	bestSlope := -1.0
+	for rep := 0; rep < 3; rep++ {
+		slope := (measure(n2) - measure(n1)) / float64(n2-n1)
+		if bestSlope < 0 || slope < bestSlope {
+			bestSlope = slope
+		}
+		if bestSlope <= budget {
+			break
+		}
+	}
+	t.Logf("steady-state allocation slope: %.4f objects/request (budget %.1f)", bestSlope, budget)
+	if bestSlope > budget {
+		t.Fatalf("stream hot path allocates %.2f objects per request, budget is %.1f — "+
+			"something on the per-request path started allocating", bestSlope, budget)
+	}
+}

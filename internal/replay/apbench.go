@@ -45,56 +45,46 @@ func RunAPBenchmark(sample []workload.Request, aps []*smartap.AP, seed uint64) *
 	}
 	be := backend.NewSmartAP()
 	b := &APBench{}
-	b.Tasks, b.Engine = runSharded(sample, aps, seed, 0, nil,
-		func(i int, wreq workload.Request, req *backend.Request) (APTask, bool) {
-			pre := be.PreDownload(req)
-			return APTask{
-				Request: wreq,
-				APName:  req.AP.Spec().Name,
-				Result: smartap.Result{
-					Success:      pre.OK,
-					Rate:         pre.Rate,
-					Delay:        pre.Delay,
-					Traffic:      pre.Traffic,
-					IOWait:       pre.IOWait,
-					StorageBound: pre.StorageBound,
-					Cause:        pre.Cause,
-				},
-				B4Exposed: backend.StorageExposed(req),
-			}, pre.OK
-		})
+	b.Tasks, b.Engine = runSharded(sample, aps, seed, 0, nil, apTask(be))
 	return b
+}
+
+// apTask builds the §5 benchmark's task callback: one pre-download on the
+// request's AP, recorded into the engine-pooled task slot.
+func apTask(be *backend.SmartAP) func(int, workload.Request, *backend.Request, *APTask) bool {
+	return func(i int, wreq workload.Request, req *backend.Request, task *APTask) bool {
+		pre := be.PreDownload(req)
+		*task = APTask{
+			Request: wreq,
+			APName:  req.AP.Spec().Name,
+			Result: smartap.Result{
+				Success:      pre.OK,
+				Rate:         pre.Rate,
+				Delay:        pre.Delay,
+				Traffic:      pre.Traffic,
+				IOWait:       pre.IOWait,
+				StorageBound: pre.StorageBound,
+				Cause:        pre.Cause,
+			},
+			B4Exposed: backend.StorageExposed(req),
+		}
+		return pre.OK
+	}
 }
 
 // RunAPBenchmarkStream replays a request stream across the APs without
 // holding the sample; output is byte-identical to RunAPBenchmark over the
-// collected slice for the same seed and shard count.
+// collected slice for the same seed and shard count, for any tuning.
 func RunAPBenchmarkStream(src workload.RequestSource, aps []*smartap.AP,
-	seed uint64, shards int) (*APBench, error) {
+	seed uint64, shards int, tune StreamTuning) (*APBench, error) {
 	if len(aps) == 0 {
 		panic("replay: RunAPBenchmarkStream needs at least one AP")
 	}
 	be := backend.NewSmartAP()
 	b := &APBench{}
 	var err error
-	b.Tasks, b.Engine, err = runShardedStream(src, aps, seed, shards, nil, nil,
-		func(i int, wreq workload.Request, req *backend.Request) (APTask, bool) {
-			pre := be.PreDownload(req)
-			return APTask{
-				Request: wreq,
-				APName:  req.AP.Spec().Name,
-				Result: smartap.Result{
-					Success:      pre.OK,
-					Rate:         pre.Rate,
-					Delay:        pre.Delay,
-					Traffic:      pre.Traffic,
-					IOWait:       pre.IOWait,
-					StorageBound: pre.StorageBound,
-					Cause:        pre.Cause,
-				},
-				B4Exposed: backend.StorageExposed(req),
-			}, pre.OK
-		})
+	b.Tasks, b.Engine, err = runShardedStream(src, aps, seed, shards, tune,
+		nil, nil, apTask(be))
 	if err != nil {
 		return nil, err
 	}

@@ -51,9 +51,10 @@ func benchFixture(b *testing.B) ([]workload.Request, []*workload.FileMeta) {
 // sizes replay prefixes of the same trace over the same file population,
 // so the fixed setup cost (warm pool, file metadata) cancels out of the
 // comparison. Peak transient request memory is the engine's in-flight
-// window — shards × streamChanBuf + streamCellChunk cells — reported as
-// the inflight-reqs metric; a slice replay instead keeps all requests
-// resident (the stream-len metric).
+// window — shards × streamBatchDepth × chunk cells circulating between
+// the work queues and free lists — reported as the inflight-reqs metric;
+// a slice replay instead keeps all requests resident (the stream-len
+// metric).
 // The metrics=on sub-runs quantify the observability overhead: the
 // acceptance bar is ≤5% requests/sec delta against metrics=off, with
 // allocs/op unchanged on the nil path.
@@ -87,7 +88,7 @@ func BenchmarkStreamReplay(b *testing.B) {
 					}
 				}
 				shards := 4
-				b.ReportMetric(float64(shards*streamChanBuf+streamCellChunk), "inflight-reqs")
+				b.ReportMetric(float64(shards*streamBatchDepth*DefaultStreamChunk), "inflight-reqs")
 				b.ReportMetric(float64(n), "stream-len")
 				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "requests/sec")
 			})

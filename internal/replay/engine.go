@@ -24,10 +24,11 @@ import (
 //     pure function of (seed, file), with cross-request cache visibility
 //     gated by sample index (see backend.Cloud.Prime), so "who ran
 //     first" is unobservable;
-//   - every shard writes tasks at disjoint global indices of one
-//     pre-allocated slice, counts into its own ShardTotals, and backend
-//     ledgers use atomic integers — all merges are associative integer
-//     sums taken in shard order.
+//   - every shard writes tasks at disjoint global indices (directly into
+//     one pre-allocated slice on the slice path, via per-shard index/task
+//     buffers scattered by global index on the stream path), counts into
+//     its own ShardTotals, and backend ledgers use atomic integers — all
+//     merges are associative integer sums taken in shard order.
 //
 // All floating-point aggregation (ratios, means, stats.Sample) happens
 // afterwards, sequentially over the merged task slice in index order.
@@ -60,6 +61,53 @@ func (s EngineStats) Totals() ShardTotals {
 	}
 	return t
 }
+
+// StreamTuning tunes the stream transport's batching and pooling. The
+// zero value selects defaults. Tuning is strictly a performance knob:
+// replay output is byte-identical for every chunk size and with pooling
+// on or off (pinned by TestReplayDeterminism).
+type StreamTuning struct {
+	// Chunk is how many requests the reader packs into one batch before
+	// handing it to a shard worker. Larger chunks amortize channel
+	// operations over more requests at the cost of latency before the
+	// first task completes and a larger in-flight window. Non-positive
+	// selects DefaultStreamChunk.
+	Chunk int
+	// DisablePooling turns off batch recycling: every batch is freshly
+	// allocated and released batches are left to the garbage collector.
+	// It exists so tests (and suspicious operators) can pin that pooling
+	// is behavior-neutral; production runs should leave it off.
+	DisablePooling bool
+}
+
+// DefaultStreamChunk is the stream transport's default batch size.
+const DefaultStreamChunk = 512
+
+// streamBatchDepth is how many batches circulate per shard: the free
+// list starts with this many, so at any moment a shard has at most
+// streamBatchDepth batches between the reader's hands, its work queue,
+// and its worker. Together with the chunk size it caps how far the
+// reader can run ahead, keeping reader-side memory constant in stream
+// length.
+const streamBatchDepth = 8
+
+// chunkOf resolves the effective batch size.
+func (t StreamTuning) chunkOf() int {
+	if t.Chunk > 0 {
+		return t.Chunk
+	}
+	return DefaultStreamChunk
+}
+
+// poisonReleasedBatches, when set (tests only), makes workers overwrite
+// every cell of a batch with an obviously-wrong value before releasing it
+// to the free list. Any code that wrongly retains a cell across release —
+// the bug class object pooling invites — then dereferences a nil user or
+// replays a negative index instead of silently reading stale data.
+var poisonReleasedBatches = false
+
+// poisonIndex is the request index poisoned cells carry.
+const poisonIndex = -0x5D5D5D5D
 
 // engineObs threads an optional observability destination through a
 // sharded run. Each shard records into its own private registry via a
@@ -137,62 +185,109 @@ func userShard(u *workload.User, shards int) int {
 	return int((h >> 32) % uint64(shards))
 }
 
-// streamCellChunk is how many task cells the stream engine's reader
-// allocates at a time. Cells are handed to workers by pointer, so a chunk
-// must never be reallocated once any of its cells is in flight.
-const streamCellChunk = 4096
-
-// streamChanBuf bounds each shard's in-flight queue. Together with the
-// shard count it caps how far the reader can run ahead of the workers, so
-// reader-side memory stays constant in stream length.
-const streamChanBuf = 256
-
-// streamCell carries one request from the reader to a shard worker and
-// the task result back to the collector. The reader writes i/wreq before
-// the channel send, the owning worker writes task/ok before wg.Done, and
-// the collector reads after wg.Wait — every access is ordered.
-type streamCell[T any] struct {
+// streamCell carries one request from the reader to a shard worker. The
+// reader fills cells before the batch's channel send and the owning
+// worker reads them before releasing the batch — every access is ordered
+// by the channel operations.
+type streamCell struct {
 	i    int
 	wreq workload.Request
-	task T
-	ok   bool
+}
+
+// bindRequest points the reused backend request at one replay request,
+// reseeding the worker's scratch RNG to the exact substream
+// root.Split64(i) would return. Reset-then-fill keeps the pooled object's
+// contract obvious: nothing from the previous request survives.
+func bindRequest(req *backend.Request, rng *dist.RNG, root *dist.RNG,
+	i int, wreq workload.Request, aps []*smartap.AP) {
+	req.Reset()
+	root.Split64Into(rng, uint64(i))
+	req.Index = i
+	req.User = wreq.User
+	req.File = wreq.File
+	req.RNG = rng
+	req.EnvCap = EnvCap
+	if len(aps) > 0 {
+		req.AP = aps[i%len(aps)]
+	}
 }
 
 // runShardedStream is runSharded over a RequestSource: a single reader
 // goroutine (the caller) pulls requests in global-index order, invokes the
-// observe hook (cloud priming) on each, and fans them out to per-shard
-// bounded channels keyed by user partition. Workers reuse one
-// backend.Request and one scratch RNG each — reseeded per request from
-// the same index-keyed substream the slice path draws — so the output is
-// byte-identical to runSharded over the collected slice for any shard
-// count and GOMAXPROCS, while per-request allocations stay constant.
+// observe hook (cloud priming) on each, and packs them into fixed-size
+// batches fanned out to per-shard work channels keyed by user partition.
+//
+// The steady state allocates nothing per request. Batches circulate
+// between each shard's work queue and a free list (streamBatchDepth per
+// shard), so the transport reuses the same few arrays for the whole
+// stream; workers reuse one backend.Request and one scratch RNG each —
+// reseeded per request from the same index-keyed substream the slice path
+// draws — and append results to per-shard index/task buffers pre-sized
+// from the source's Sizer hint when it offers one. The buffers are
+// scattered into the final task slice by global index after the last
+// worker exits, so the output is byte-identical to runSharded over the
+// collected slice for any shard count, chunk size, pooling mode, and
+// GOMAXPROCS.
 //
 // Unlike the slice path, the stream length is unknown up front, so the
 // shard count is not capped by it; pass the same explicit positive count
 // to both paths when comparing digests of tiny samples.
 func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
-	seed uint64, shards int, eo *engineObs[T],
+	seed uint64, shards int, tune StreamTuning, eo *engineObs[T],
 	observe func(i int, wreq workload.Request),
-	fn func(i int, wreq workload.Request, req *backend.Request) (T, bool),
+	fn func(i int, wreq workload.Request, req *backend.Request, task *T) bool,
 ) ([]T, EngineStats, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	chunk := tune.chunkOf()
 	root := dist.NewRNG(seed).Split("replay-engine")
 	stats := EngineStats{Shards: shards, PerShard: make([]ShardTotals, shards)}
 	regs := eo.shardRegistries(shards)
-	// The in-flight high-water mark depends on goroutine scheduling, so it
-	// is recorded straight into the destination registry and excluded from
-	// the shard-merge determinism contract (a nil eo yields a nil gauge).
+	// The in-flight high-water mark depends on goroutine scheduling, and
+	// the effective chunk is a transport knob, not a replay outcome; both
+	// are recorded straight into the destination registry and excluded
+	// from the shard-merge determinism contract (a nil eo yields nil
+	// gauges).
 	var inflight *obs.Gauge
 	if eo != nil {
-		inflight = eo.dst.Gauge("odr_replay_inflight_peak")
+		inflight = eo.dst.Gauge(MetricInflightPeak)
+		eo.dst.Gauge(MetricStreamChunk).Set(int64(chunk))
 	}
 
-	chans := make([]chan *streamCell[T], shards)
-	for s := range chans {
-		chans[s] = make(chan *streamCell[T], streamChanBuf)
+	// Pre-size each shard's output buffers when the source knows its
+	// length. Fibonacci hashing spreads users near-uniformly, so a shard's
+	// share is about hint/shards; the extra quarter plus one chunk absorbs
+	// partition imbalance without a mid-run regrowth.
+	hint := 0
+	if sz, ok := src.(workload.Sizer); ok {
+		hint = sz.TotalRequests()
 	}
+	per := 0
+	if hint > 0 {
+		per = hint/shards + hint/(4*shards) + chunk
+	}
+	outIdx := make([][]int32, shards)
+	outWide := make([][]int, shards) // used instead of outIdx past 2^31 requests
+	outTasks := make([][]T, shards)
+
+	work := make([]chan []streamCell, shards)
+	free := make([]chan []streamCell, shards)
+	for s := 0; s < shards; s++ {
+		outIdx[s] = make([]int32, 0, per)
+		outTasks[s] = make([]T, 0, per)
+		work[s] = make(chan []streamCell, streamBatchDepth)
+		if !tune.DisablePooling {
+			// Stock the free list with the shard's full batch budget; the
+			// worker's release below can then never block, and the reader's
+			// receive here is the transport's only backpressure point.
+			free[s] = make(chan []streamCell, streamBatchDepth)
+			for j := 0; j < streamBatchDepth; j++ {
+				free[s] <- make([]streamCell, 0, chunk)
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		wg.Add(1)
@@ -200,43 +295,66 @@ func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
 			defer wg.Done()
 			totals := &stats.PerShard[s]
 			record := eo.recorder(regs, s)
-			req := &backend.Request{EnvCap: EnvCap}
+			req := &backend.Request{}
 			rng := dist.NewRNG(0)
-			for cell := range chans[s] {
-				// Reseeding in place yields the exact stream
-				// root.Split64(i) would, without the three allocations.
-				root.Split64Into(rng, uint64(cell.i))
-				req.Index = cell.i
-				req.User = cell.wreq.User
-				req.File = cell.wreq.File
-				req.RNG = rng
-				req.AP = nil
-				if len(aps) > 0 {
-					req.AP = aps[cell.i%len(aps)]
+			idx, wide, tasks := outIdx[s], outWide[s], outTasks[s]
+			for batch := range work[s] {
+				for k := range batch {
+					c := &batch[k]
+					bindRequest(req, rng, root, c.i, c.wreq, aps)
+					var zero T
+					tasks = append(tasks, zero)
+					t := &tasks[len(tasks)-1]
+					ok := fn(c.i, c.wreq, req, t)
+					if c.i <= maxInt32 {
+						idx = append(idx, int32(c.i))
+					} else {
+						wide = append(wide, c.i)
+					}
+					totals.Tasks++
+					if !ok {
+						totals.Failures++
+					}
+					if record != nil {
+						record(t, ok)
+					}
 				}
-				cell.task, cell.ok = fn(cell.i, cell.wreq, req)
-				totals.Tasks++
-				if !cell.ok {
-					totals.Failures++
+				if poisonReleasedBatches {
+					for k := range batch {
+						batch[k] = streamCell{i: poisonIndex}
+					}
 				}
-				if record != nil {
-					record(&cell.task, cell.ok)
+				if free[s] != nil {
+					free[s] <- batch[:0]
 				}
 			}
+			outIdx[s], outWide[s], outTasks[s] = idx, wide, tasks
 		}(s)
 	}
 
-	fail := func(err error) ([]T, EngineStats, error) {
-		for _, ch := range chans {
+	shut := func() {
+		for _, ch := range work {
 			close(ch)
 		}
 		wg.Wait()
+	}
+	fail := func(err error) ([]T, EngineStats, error) {
+		shut()
 		return nil, stats, err
 	}
 
-	var chunks [][]streamCell[T]
-	cur := make([]streamCell[T], streamCellChunk)
-	k, n := 0, 0
+	cur := make([][]streamCell, shards)
+	flush := func(s int) {
+		if len(cur[s]) == 0 {
+			return
+		}
+		if inflight != nil {
+			inflight.Max(int64((len(work[s]) + 1) * chunk))
+		}
+		work[s] <- cur[s]
+		cur[s] = nil
+	}
+	n := 0
 	for {
 		i, wreq, ok := src.Next()
 		if !ok {
@@ -248,47 +366,59 @@ func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
 		if observe != nil {
 			observe(i, wreq)
 		}
-		if k == len(cur) {
-			chunks = append(chunks, cur)
-			cur = make([]streamCell[T], streamCellChunk)
-			k = 0
-		}
-		cell := &cur[k]
-		cell.i = i
-		cell.wreq = wreq
-		k++
 		n++
-		ch := chans[userShard(wreq.User, shards)]
-		inflight.Max(int64(len(ch) + 1))
-		ch <- cell
+		s := userShard(wreq.User, shards)
+		if cur[s] == nil {
+			if free[s] != nil {
+				cur[s] = <-free[s]
+			} else {
+				cur[s] = make([]streamCell, 0, chunk)
+			}
+		}
+		cur[s] = append(cur[s], streamCell{i: i, wreq: wreq})
+		if len(cur[s]) == chunk {
+			flush(s)
+		}
 	}
-	chunks = append(chunks, cur[:k])
-	for _, ch := range chans {
-		close(ch)
+	for s := range cur {
+		flush(s)
 	}
-	wg.Wait()
+	shut()
 	eo.finish(regs, stats)
 	if err := src.Err(); err != nil {
 		return nil, stats, err
 	}
 
-	tasks := make([]T, 0, n)
-	for _, chunk := range chunks {
-		for i := range chunk {
-			tasks = append(tasks, chunk[i].task)
+	// Scatter each shard's results to their global positions. Shards own
+	// disjoint index sets, so every slot is written exactly once and the
+	// result is independent of shard iteration order.
+	tasks := make([]T, n)
+	for s := range outTasks {
+		narrow, ts := outIdx[s], outTasks[s]
+		for j := range narrow {
+			tasks[narrow[j]] = ts[j]
+		}
+		for j, gi := range outWide[s] {
+			tasks[gi] = ts[len(narrow)+j]
 		}
 	}
 	return tasks, stats, nil
 }
 
+// maxInt32 bounds the compact per-shard index representation; a stream
+// longer than 2^31 requests spills into the wide index buffer.
+const maxInt32 = int(^uint32(0) >> 1)
+
 // runSharded replays sample through fn across user-partitioned shards.
-// fn receives the request's global index, the raw workload request, and
-// the backend-layer request (environment-bound, with its own RNG
-// substream) and returns the task record plus whether the task succeeded.
-// aps may be empty for AP-less replays (the request's AP is then nil).
+// fn receives the request's global index, the raw workload request, the
+// backend-layer request (environment-bound, with its own RNG substream),
+// and the task slot to fill in place; it returns whether the task
+// succeeded. The request object and its RNG are pooled per shard — fn
+// must not retain them past the call. aps may be empty for AP-less
+// replays (the request's AP is then nil).
 func runSharded[T any](sample []workload.Request, aps []*smartap.AP,
 	seed uint64, shards int, eo *engineObs[T],
-	fn func(i int, wreq workload.Request, req *backend.Request) (T, bool),
+	fn func(i int, wreq workload.Request, req *backend.Request, task *T) bool,
 ) ([]T, EngineStats) {
 	shards = normalizeShards(shards, len(sample))
 	root := dist.NewRNG(seed).Split("replay-engine")
@@ -303,22 +433,14 @@ func runSharded[T any](sample []workload.Request, aps []*smartap.AP,
 			defer wg.Done()
 			totals := &stats.PerShard[s]
 			record := eo.recorder(regs, s)
+			req := &backend.Request{}
+			rng := dist.NewRNG(0)
 			for i := range sample {
 				if userShard(sample[i].User, shards) != s {
 					continue
 				}
-				req := &backend.Request{
-					Index:  i,
-					User:   sample[i].User,
-					File:   sample[i].File,
-					RNG:    root.Split64(uint64(i)),
-					EnvCap: EnvCap,
-				}
-				if len(aps) > 0 {
-					req.AP = aps[i%len(aps)]
-				}
-				task, ok := fn(i, sample[i], req)
-				tasks[i] = task
+				bindRequest(req, rng, root, i, sample[i], aps)
+				ok := fn(i, sample[i], req, &tasks[i])
 				totals.Tasks++
 				if !ok {
 					totals.Failures++

@@ -86,13 +86,34 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 	apWant := apDigest(RunAPBenchmark(f.sample, f.aps, 14))
 	for _, shards := range []int{1, 4, 8} {
-		got, err := RunAPBenchmarkStream(workload.NewSliceSource(f.sample), f.aps, 14, shards)
+		got, err := RunAPBenchmarkStream(workload.NewSliceSource(f.sample), f.aps, 14,
+			shards, StreamTuning{})
 		if err != nil {
 			t.Fatalf("AP stream shards=%d: %v", shards, err)
 		}
 		if d := apDigest(got); d != apWant {
 			t.Fatalf("AP stream shards=%d: diverged from the slice path\nfirst differing line:\n%s",
 				shards, firstDiff(apWant, d))
+		}
+	}
+
+	// Transport tuning must be invisible in the output: any chunk size,
+	// with pooling on or off, reproduces the reference byte-for-byte.
+	for _, tune := range []StreamTuning{
+		{Chunk: 1},
+		{Chunk: 7},
+		{Chunk: 4096},
+		{DisablePooling: true},
+		{Chunk: 3, DisablePooling: true},
+	} {
+		got, err := RunODRStream(workload.NewSliceSource(f.sample), f.trace.Files,
+			f.aps, Options{Seed: 14, Shards: 4, Stream: tune})
+		if err != nil {
+			t.Fatalf("tune %+v: %v", tune, err)
+		}
+		if d := digest(got); d != want {
+			t.Fatalf("tune %+v: tuned stream diverged from the slice path\nfirst differing line:\n%s",
+				tune, firstDiff(want, d))
 		}
 	}
 
@@ -144,7 +165,14 @@ func TestReplayDeterminism(t *testing.T) {
 		if _, ok := snap.Gauges[MetricInflightPeak]; !ok {
 			t.Fatalf("stream shards=%d: in-flight peak gauge never recorded", shards)
 		}
+		if v, ok := snap.Gauges[MetricStreamChunk]; !ok || v != DefaultStreamChunk {
+			t.Fatalf("stream shards=%d: chunk gauge = %d (recorded %v), want %d",
+				shards, v, ok, DefaultStreamChunk)
+		}
+		// Both gauges describe the transport, not the replay, and are
+		// exempt from the shard-merge determinism contract.
 		delete(snap.Gauges, MetricInflightPeak)
+		delete(snap.Gauges, MetricStreamChunk)
 		if !reflect.DeepEqual(snap, wantSnap) {
 			t.Fatalf("metrics stream shards=%d: registry differs from the slice path\nfirst differing line:\n%s",
 				shards, firstDiff(snapJSON(t, wantSnap), snapJSON(t, snap)))
@@ -254,7 +282,7 @@ func TestStreamErrorPropagation(t *testing.T) {
 		t.Fatal("failed stream replay returned a result")
 	}
 	apRes, err := RunAPBenchmarkStream(&faultySource{reqs: f.sample, n: 100, err: wantErr},
-		f.aps, 14, 4)
+		f.aps, 14, 4, StreamTuning{})
 	if err == nil || !strings.Contains(err.Error(), wantErr.Error()) {
 		t.Fatalf("RunAPBenchmarkStream error = %v, want %v", err, wantErr)
 	}
@@ -298,16 +326,31 @@ func TestStreamIndexContract(t *testing.T) {
 // TestEngineRequestStreams pins the per-request RNG keying: the engine
 // must hand request i the substream Split64(i) of the engine root, so a
 // backend replaying index i outside the engine sees the same draws
-// regardless of sharding.
+// regardless of sharding. The request object is pooled per shard worker
+// and rebound between calls, so the test snapshots everything it checks
+// inside the callback — exactly the contract real task functions live by.
 func TestEngineRequestStreams(t *testing.T) {
 	f := setup(t)
 	const n, seed = 16, 7
 	sample := f.sample[:n]
-	got := make([]*backend.Request, n)
+	type reqSnap struct {
+		index  int
+		user   *workload.User
+		file   *workload.FileMeta
+		ap     bool
+		envCap float64
+		draws  [4]float64
+	}
+	got := make([]*reqSnap, n)
 	runSharded(sample, f.aps, seed, 4, nil,
-		func(i int, _ workload.Request, req *backend.Request) (struct{}, bool) {
-			got[i] = req
-			return struct{}{}, true
+		func(i int, _ workload.Request, req *backend.Request, _ *struct{}) bool {
+			s := &reqSnap{index: req.Index, user: req.User, file: req.File,
+				ap: req.AP == f.aps[i%len(f.aps)], envCap: req.EnvCap}
+			for d := range s.draws {
+				s.draws[d] = req.RNG.Float64()
+			}
+			got[i] = s
+			return true
 		})
 	root := dist.NewRNG(seed).Split("replay-engine")
 	for i := 0; i < n; i++ {
@@ -315,18 +358,18 @@ func TestEngineRequestStreams(t *testing.T) {
 		if req == nil {
 			t.Fatalf("request %d never ran", i)
 		}
-		if req.Index != i || req.User != sample[i].User || req.File != sample[i].File {
+		if req.index != i || req.user != sample[i].User || req.file != sample[i].File {
 			t.Fatalf("request %d carries the wrong sample entry", i)
 		}
-		if req.AP != f.aps[i%len(f.aps)] {
+		if !req.ap {
 			t.Fatalf("request %d lost its round-robin AP", i)
 		}
-		if req.EnvCap != EnvCap {
-			t.Fatalf("request %d has EnvCap %g", i, req.EnvCap)
+		if req.envCap != EnvCap {
+			t.Fatalf("request %d has EnvCap %g", i, req.envCap)
 		}
 		want := root.Split64(uint64(i))
 		for d := 0; d < 4; d++ {
-			if req.RNG.Float64() != want.Float64() {
+			if req.draws[d] != want.Float64() {
 				t.Fatalf("request %d: RNG is not the index-keyed substream", i)
 			}
 		}

@@ -1,0 +1,193 @@
+package replay
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"odr/internal/core"
+	"odr/internal/stats"
+	"odr/internal/workload"
+)
+
+// TestStreamPoolHygiene is the batch-pool property test: with poison-fill
+// armed, every batch returned to a free list is overwritten with garbage
+// (negative index, nil user/file) before the reader can reuse it, so any
+// code path that wrongly holds onto a cell across release dereferences
+// nil or replays a nonsense index instead of silently reading stale data.
+// Two replays run interleaved on separate goroutines to stress reuse
+// under contention; both must still reproduce their slice-path reference
+// byte-for-byte. A tiny chunk maximizes recycle churn.
+func TestStreamPoolHygiene(t *testing.T) {
+	f := setup(t)
+	poisonReleasedBatches = true
+	defer func() { poisonReleasedBatches = false }()
+
+	type run struct {
+		seed uint64
+		tune StreamTuning
+		want string
+		got  string
+		err  error
+	}
+	runs := []*run{
+		{seed: 14, tune: StreamTuning{Chunk: 2}},
+		{seed: 77, tune: StreamTuning{Chunk: 5}},
+	}
+	for _, r := range runs {
+		r.want = digest(RunODR(f.sample, f.trace.Files, f.aps,
+			Options{Seed: r.seed, Shards: 4}))
+	}
+	var wg sync.WaitGroup
+	for _, r := range runs {
+		wg.Add(1)
+		go func(r *run) {
+			defer wg.Done()
+			res, err := RunODRStream(workload.NewSliceSource(f.sample),
+				f.trace.Files, f.aps,
+				Options{Seed: r.seed, Shards: 4, Stream: r.tune})
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.got = digest(res)
+		}(r)
+	}
+	wg.Wait()
+	for _, r := range runs {
+		if r.err != nil {
+			t.Fatalf("seed=%d: %v", r.seed, r.err)
+		}
+		if r.got != r.want {
+			t.Errorf("seed=%d: poisoned pooled replay diverged from slice path\nfirst differing line:\n%s",
+				r.seed, firstDiff(r.want, r.got))
+		}
+	}
+}
+
+// TestODRResultSummaryMatchesScan pins the memoized accessors to the
+// pre-memoization semantics: on a 10k-request replay, every aggregate
+// must equal a reference computed by scanning the tasks directly, exactly
+// as the accessors did before the summary cache existed.
+func TestODRResultSummaryMatchesScan(t *testing.T) {
+	f := setup(t)
+	const n = 10000
+	if len(f.trace.Requests) < n {
+		t.Fatalf("trace has %d requests, want %d", len(f.trace.Requests), n)
+	}
+	sample := f.trace.Requests[:n]
+	res := RunODR(sample, f.trace.Files, f.aps, Options{Seed: 31, Shards: 4})
+	if len(res.Tasks) != n {
+		t.Fatalf("replayed %d of %d tasks", len(res.Tasks), n)
+	}
+
+	// Reference scans, straight from the old accessor bodies.
+	var impeded, completed, fails int
+	var preSum, hpSum time.Duration
+	var hpN, unpopFails, unpopTotal, bound, b4 int
+	speeds := stats.NewSample(n)
+	for i := range res.Tasks {
+		tk := &res.Tasks[i]
+		speeds.Add(tk.PerceivedRate)
+		if tk.B4Exposed {
+			b4++
+		}
+		if tk.Request.File.Band() == workload.BandUnpopular {
+			unpopTotal++
+			if !tk.Success {
+				unpopFails++
+			}
+		}
+		if !tk.Success {
+			fails++
+			continue
+		}
+		completed++
+		if tk.PerceivedRate < core.HDThreshold {
+			impeded++
+		}
+		preSum += tk.PreDelay
+		if tk.StorageBound {
+			bound++
+		}
+		if tk.Request.File.Band() == workload.BandHighlyPopular {
+			hpSum += tk.PreDelay
+			hpN++
+		}
+	}
+	if completed == 0 || fails == 0 || unpopTotal == 0 || hpN == 0 {
+		t.Fatalf("degenerate replay (completed=%d fails=%d unpop=%d hp=%d): the fixture no longer exercises every accessor",
+			completed, fails, unpopTotal, hpN)
+	}
+
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"ImpededRatio", res.ImpededRatio(), float64(impeded) / float64(completed)},
+		{"FailureRatio", res.FailureRatio(), float64(fails) / float64(n)},
+		{"MeanPreDelay", float64(res.MeanPreDelay()), float64(preSum / time.Duration(completed))},
+		{"MeanPreDelayHighlyPopular", float64(res.MeanPreDelayHighlyPopular()),
+			float64(hpSum / time.Duration(hpN))},
+		{"UnpopularFailureRatio", res.UnpopularFailureRatio(),
+			float64(unpopFails) / float64(unpopTotal)},
+		{"StorageBoundRatio", res.StorageBoundRatio(), float64(bound) / float64(completed)},
+		{"B4ExposedRatio", res.B4ExposedRatio(), float64(b4) / float64(n)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v (memoized accessor diverged from task scan)", c.name, c.got, c.want)
+		}
+	}
+
+	// The memoized MeanPreDelayIf escape hatch still scans; identity keep
+	// must agree with the memoized MeanPreDelay.
+	if got := res.MeanPreDelayIf(func(*ODRTask) bool { return true }); got != res.MeanPreDelay() {
+		t.Errorf("MeanPreDelayIf(true) = %v, MeanPreDelay = %v", got, res.MeanPreDelay())
+	}
+
+	// FetchSpeeds: same observations, same order-insensitive quantiles,
+	// and the memoized sample is shared across calls.
+	got := res.FetchSpeeds()
+	if got.N() != speeds.N() {
+		t.Fatalf("FetchSpeeds N = %d, want %d", got.N(), speeds.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got.Quantile(q) != speeds.Quantile(q) {
+			t.Errorf("FetchSpeeds quantile %v = %v, want %v", q, got.Quantile(q), speeds.Quantile(q))
+		}
+	}
+	if res.FetchSpeeds() != got {
+		t.Error("FetchSpeeds rebuilt the sample instead of memoizing it")
+	}
+}
+
+// TestStreamSizerPresizing sanity-checks the Sizer plumbing end to end: a
+// sized source replays identically to an unsized wrapper of the same
+// stream (pre-sizing is purely an optimization).
+func TestStreamSizerPresizing(t *testing.T) {
+	f := setup(t)
+	sized, err := RunODRStream(workload.NewSliceSource(f.sample), f.trace.Files,
+		f.aps, Options{Seed: 14, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsized, err := RunODRStream(&hideSizer{src: workload.NewSliceSource(f.sample)},
+		f.trace.Files, f.aps, Options{Seed: 14, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest(sized) != digest(unsized) {
+		t.Fatalf("sized vs unsized source diverged\nfirst differing line:\n%s",
+			firstDiff(digest(sized), digest(unsized)))
+	}
+}
+
+// hideSizer strips the Sizer extension off a source.
+type hideSizer struct {
+	src workload.RequestSource
+}
+
+func (s *hideSizer) Next() (int, workload.Request, bool) { return s.src.Next() }
+func (s *hideSizer) Err() error                          { return s.src.Err() }

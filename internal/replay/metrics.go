@@ -35,6 +35,11 @@ const (
 	// MetricInflightPeak is the stream reader's channel-depth high-water
 	// mark — scheduling-dependent, recorded outside the shard registries.
 	MetricInflightPeak = "odr_replay_inflight_peak"
+	// MetricStreamChunk is the stream transport's effective batch size — a
+	// transport knob, not a replay outcome, so like the in-flight peak it
+	// is recorded outside the shard registries and exempt from the
+	// shard-merge determinism contract.
+	MetricStreamChunk = "odr_replay_stream_chunk"
 )
 
 // odrRecorder builds one shard's ODRTask recorder over the shard's

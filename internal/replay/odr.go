@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"sync"
 	"time"
 
 	"odr/internal/backend"
@@ -47,7 +48,9 @@ func (t *ODRTask) Impeded() bool {
 	return !t.Success || t.PerceivedRate < core.HDThreshold
 }
 
-// ODRResult is the outcome of a §6.2 replay.
+// ODRResult is the outcome of a §6.2 replay. Use it by pointer: the
+// memoized summary behind the aggregate accessors embeds a sync.Once
+// (go vet's copylocks check flags value copies).
 type ODRResult struct {
 	Tasks []ODRTask
 	// Backends is the fleet the replay ran against; its ledgers carry the
@@ -55,6 +58,71 @@ type ODRResult struct {
 	Backends *backend.Set
 	// Engine records how the sharded engine executed the run.
 	Engine EngineStats
+
+	// summaryOnce guards the lazily built summary: experiment reports read
+	// several aggregates off one result, and a 200k-task replay should pay
+	// for the full-task scan once, not once per accessor call. Tasks must
+	// not be mutated after the first accessor call.
+	summaryOnce sync.Once
+	summary     resultSummary
+}
+
+// resultSummary is the once-computed aggregate cache behind ODRResult's
+// scanning accessors. Every field is a pure function of the task records,
+// so computing them in one pass is observably identical to the scan each
+// accessor used to run (pinned by TestODRResultSummaryMatchesScan).
+type resultSummary struct {
+	completed, impeded, fails int
+	preDelaySum               time.Duration
+	hpPreDelaySum             time.Duration
+	hpCompleted               int
+	unpopFails, unpopTotal    int
+	storageBound, b4Exposed   int
+	speeds                    *stats.Sample
+}
+
+// summarize builds (once) and returns the aggregate summary.
+func (r *ODRResult) summarize() *resultSummary {
+	r.summaryOnce.Do(func() {
+		s := &r.summary
+		s.speeds = stats.NewSample(len(r.Tasks))
+		for i := range r.Tasks {
+			t := &r.Tasks[i]
+			s.speeds.Add(t.PerceivedRate)
+			if t.B4Exposed {
+				s.b4Exposed++
+			}
+			band := t.Request.File.Band()
+			if band == workload.BandUnpopular {
+				s.unpopTotal++
+				if !t.Success {
+					s.unpopFails++
+				}
+			}
+			if !t.Success {
+				s.fails++
+				continue
+			}
+			s.completed++
+			if t.PerceivedRate < core.HDThreshold {
+				s.impeded++
+			}
+			s.preDelaySum += t.PreDelay
+			if t.StorageBound {
+				s.storageBound++
+			}
+			if band == workload.BandHighlyPopular {
+				s.hpPreDelaySum += t.PreDelay
+				s.hpCompleted++
+			}
+		}
+		if s.speeds.N() > 0 {
+			// Force the sample's lazy sort now, so the shared *Sample
+			// FetchSpeeds hands out is read-only afterwards.
+			s.speeds.Median()
+		}
+	})
+	return &r.summary
 }
 
 // Options tunes an ODR replay.
@@ -76,6 +144,10 @@ type Options struct {
 	// DisableStorageSignal makes ODR ignore AP storage restrictions
 	// (ablation: Bottleneck 4 logic off).
 	DisableStorageSignal bool
+	// Stream tunes the streaming transport (RunODRStream only): batch
+	// size and pooling. The zero value selects defaults, and tuning never
+	// changes replay results.
+	Stream StreamTuning
 	// Metrics, when non-nil, receives the replay's observability: decision
 	// counts per backend and reason, fetch latency/byte histograms,
 	// stagnation counters, backend probe/pre-download/fetch outcomes, and
@@ -113,9 +185,9 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 	res := &ODRResult{Backends: set}
 	res.Tasks, res.Engine = runSharded(sample, aps, opts.Seed, opts.Shards,
 		newODRObs(opts.Metrics),
-		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
-			t := odrTask(wreq, req, db, set, opts)
-			return t, t.Success
+		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
+			odrTask(task, wreq, req, db, set, opts)
+			return task.Success
 		})
 	return res
 }
@@ -144,11 +216,11 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 	res := &ODRResult{Backends: set}
 	var err error
 	res.Tasks, res.Engine, err = runShardedStream(src, aps, opts.Seed, opts.Shards,
-		newODRObs(opts.Metrics),
+		opts.Stream, newODRObs(opts.Metrics),
 		func(i int, wreq workload.Request) { set.Cloud.Observe(i, wreq.File) },
-		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
-			t := odrTask(wreq, req, db, set, opts)
-			return t, t.Success
+		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
+			odrTask(task, wreq, req, db, set, opts)
+			return task.Success
 		})
 	if err != nil {
 		return nil, err
@@ -157,9 +229,10 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 }
 
 // odrTask routes one request per Figure 15 and executes it on the backend
-// the decision resolves to.
-func odrTask(wreq workload.Request, req *backend.Request, db core.StaticDB,
-	set *backend.Set, opts Options) ODRTask {
+// the decision resolves to, filling task in place (the engine hands it a
+// pooled slot in the shard's output buffer).
+func odrTask(task *ODRTask, wreq workload.Request, req *backend.Request,
+	db core.StaticDB, set *backend.Set, opts Options) {
 	user, file := req.User, req.File
 
 	in := core.Input{
@@ -174,7 +247,7 @@ func odrTask(wreq workload.Request, req *backend.Request, db core.StaticDB,
 	}
 	applyAblations(&in, opts)
 	dec := core.Decide(in)
-	task := ODRTask{Request: wreq, Decision: dec}
+	*task = ODRTask{Request: wreq, Decision: dec}
 
 	switch dec.Route {
 	case core.RouteUserDevice:
@@ -204,7 +277,7 @@ func odrTask(wreq workload.Request, req *backend.Request, db core.StaticDB,
 		task.CloudBytes = float64(f.CloudBytes)
 
 	case core.RouteCloudThenAP:
-		cloudThenAP(&task, set, req)
+		cloudThenAP(task, set, req)
 
 	case core.RouteCloudPreDownload:
 		pre := set.Cloud.PreDownload(req)
@@ -220,7 +293,7 @@ func odrTask(wreq workload.Request, req *backend.Request, db core.StaticDB,
 		task.Success = true
 		if dec2.Route == core.RouteCloudThenAP {
 			waited := task.PreDelay
-			cloudThenAP(&task, set, req)
+			cloudThenAP(task, set, req)
 			task.PreDelay += waited
 		} else {
 			f := set.Cloud.Fetch(req)
@@ -228,7 +301,6 @@ func odrTask(wreq workload.Request, req *backend.Request, db core.StaticDB,
 			task.CloudBytes += float64(f.CloudBytes)
 		}
 	}
-	return task
 }
 
 // cloudThenAP executes the Bottleneck 1 mitigation on the composite
@@ -268,20 +340,11 @@ func applyAblations(in *core.Input, opts Options) {
 // Bottleneck 1 bar). As in §4.2, the metric is over fetching processes:
 // tasks whose pre-download failed never fetch and are excluded.
 func (r *ODRResult) ImpededRatio() float64 {
-	var impeded, completed int
-	for i := range r.Tasks {
-		if !r.Tasks[i].Success {
-			continue
-		}
-		completed++
-		if r.Tasks[i].PerceivedRate < core.HDThreshold {
-			impeded++
-		}
-	}
-	if completed == 0 {
+	s := r.summarize()
+	if s.completed == 0 {
 		return 0
 	}
-	return float64(impeded) / float64(completed)
+	return float64(s.impeded) / float64(s.completed)
 }
 
 // FailureRatio returns the overall share of tasks that never obtained
@@ -290,23 +353,23 @@ func (r *ODRResult) FailureRatio() float64 {
 	if len(r.Tasks) == 0 {
 		return 0
 	}
-	fails := 0
-	for i := range r.Tasks {
-		if !r.Tasks[i].Success {
-			fails++
-		}
-	}
-	return float64(fails) / float64(len(r.Tasks))
+	return float64(r.summarize().fails) / float64(len(r.Tasks))
 }
 
 // MeanPreDelay returns the mean pre-download (availability) delay over
 // successful tasks — how long users waited before their fetch could start.
 func (r *ODRResult) MeanPreDelay() time.Duration {
-	return r.MeanPreDelayIf(func(*ODRTask) bool { return true })
+	s := r.summarize()
+	if s.completed == 0 {
+		return 0
+	}
+	return s.preDelaySum / time.Duration(s.completed)
 }
 
 // MeanPreDelayIf returns the mean availability delay over successful
-// tasks satisfying keep.
+// tasks satisfying keep. Unlike the fixed aggregates, an arbitrary
+// predicate cannot be memoized, so this is the one accessor that still
+// scans the tasks on every call.
 func (r *ODRResult) MeanPreDelayIf(keep func(*ODRTask) bool) time.Duration {
 	var sum time.Duration
 	var n int
@@ -328,59 +391,31 @@ func (r *ODRResult) MeanPreDelayIf(keep func(*ODRTask) bool) time.Duration {
 // successful highly-popular tasks — the waiting cost the storage signal
 // saves by routing fast users' downloads off slow-storage APs.
 func (r *ODRResult) MeanPreDelayHighlyPopular() time.Duration {
-	var sum time.Duration
-	var n int
-	for i := range r.Tasks {
-		t := &r.Tasks[i]
-		if !t.Success || t.Request.File.Band() != workload.BandHighlyPopular {
-			continue
-		}
-		sum += t.PreDelay
-		n++
-	}
-	if n == 0 {
+	s := r.summarize()
+	if s.hpCompleted == 0 {
 		return 0
 	}
-	return sum / time.Duration(n)
+	return s.hpPreDelaySum / time.Duration(s.hpCompleted)
 }
 
 // UnpopularFailureRatio returns the failure ratio over unpopular files
 // (Figure 16, Bottleneck 3 bar; ≈13 % under ODR).
 func (r *ODRResult) UnpopularFailureRatio() float64 {
-	var fails, total int
-	for i := range r.Tasks {
-		t := &r.Tasks[i]
-		if t.Request.File.Band() != workload.BandUnpopular {
-			continue
-		}
-		total++
-		if !t.Success {
-			fails++
-		}
-	}
-	if total == 0 {
+	s := r.summarize()
+	if s.unpopTotal == 0 {
 		return 0
 	}
-	return float64(fails) / float64(total)
+	return float64(s.unpopFails) / float64(s.unpopTotal)
 }
 
 // StorageBoundRatio returns the fraction of successful tasks capped by AP
 // storage (Figure 16, Bottleneck 4 bar; ≈0 under ODR).
 func (r *ODRResult) StorageBoundRatio() float64 {
-	var bound, ok int
-	for i := range r.Tasks {
-		if !r.Tasks[i].Success {
-			continue
-		}
-		ok++
-		if r.Tasks[i].StorageBound {
-			bound++
-		}
-	}
-	if ok == 0 {
+	s := r.summarize()
+	if s.completed == 0 {
 		return 0
 	}
-	return float64(bound) / float64(ok)
+	return float64(s.storageBound) / float64(s.completed)
 }
 
 // B4ExposedRatio returns the fraction of tasks routed onto an AP whose
@@ -390,13 +425,7 @@ func (r *ODRResult) B4ExposedRatio() float64 {
 	if len(r.Tasks) == 0 {
 		return 0
 	}
-	n := 0
-	for i := range r.Tasks {
-		if r.Tasks[i].B4Exposed {
-			n++
-		}
-	}
-	return float64(n) / float64(len(r.Tasks))
+	return float64(r.summarize().b4Exposed) / float64(len(r.Tasks))
 }
 
 // CloudBytes returns total bytes the cloud uploaded during the replay
@@ -407,13 +436,10 @@ func (r *ODRResult) CloudBytes() float64 {
 }
 
 // FetchSpeeds returns the Figure 17 sample: user-perceived fetch speeds in
-// bytes/second, failures included at 0.
+// bytes/second, failures included at 0. The sample is memoized and shared
+// across calls — read it (Quantile, Mean, Values), never Add to it.
 func (r *ODRResult) FetchSpeeds() *stats.Sample {
-	s := stats.NewSample(len(r.Tasks))
-	for i := range r.Tasks {
-		s.Add(r.Tasks[i].PerceivedRate)
-	}
-	return s
+	return r.summarize().speeds
 }
 
 // HybridBaseline replays the sample through the commercial hybrid
@@ -431,21 +457,21 @@ func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
 	set := newBackends(sample, files, float64(len(files))/cloud.FullScaleFiles, seed)
 	res := &ODRResult{Backends: set}
 	res.Tasks, res.Engine = runSharded(sample, aps, seed, 0, nil,
-		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
-			task := ODRTask{Request: wreq}
+		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
+			*task = ODRTask{Request: wreq}
 			if !set.Cloud.Probe(req) {
 				pre := set.Cloud.PreDownload(req)
 				task.PreDelay = pre.Delay
 				if !pre.OK {
 					task.Cause = pre.Cause
-					return task, false
+					return false
 				}
 			}
 			// The AP then pulls from the cloud, always.
 			waited := task.PreDelay
-			cloudThenAP(&task, set, req)
+			cloudThenAP(task, set, req)
 			task.PreDelay += waited
-			return task, true
+			return true
 		})
 	return res
 }
@@ -457,21 +483,21 @@ func CloudOnlyBaseline(sample []workload.Request, files []*workload.FileMeta, se
 	set := newBackends(sample, files, float64(len(files))/cloud.FullScaleFiles, seed)
 	res := &ODRResult{Backends: set}
 	res.Tasks, res.Engine = runSharded(sample, nil, seed, 0, nil,
-		func(i int, wreq workload.Request, req *backend.Request) (ODRTask, bool) {
-			task := ODRTask{Request: wreq}
+		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
+			*task = ODRTask{Request: wreq}
 			if !set.Cloud.Probe(req) {
 				pre := set.Cloud.PreDownload(req)
 				task.PreDelay = pre.Delay
 				if !pre.OK {
 					task.Cause = pre.Cause
-					return task, false
+					return false
 				}
 			}
 			f := set.Cloud.Fetch(req)
 			task.Success = true
 			task.PerceivedRate = f.Rate
 			task.CloudBytes = float64(f.CloudBytes)
-			return task, true
+			return true
 		})
 	return res
 }

@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"odr/internal/dist"
@@ -325,6 +327,10 @@ func (s *genSource) Next() (int, Request, bool) {
 
 func (s *genSource) Err() error { return nil }
 
+// TotalRequests implements Sizer: the permutation index fixes the stream
+// length before a single request is materialized.
+func (s *genSource) TotalRequests() int { return len(s.t.perm) }
+
 // loadBucket regenerates and time-sorts the next bucket's requests.
 func (s *genSource) loadBucket() {
 	t := s.t
@@ -410,17 +416,30 @@ func sampleFileSize(g *dist.RNG, c FileClass) int64 {
 	return int64(v)
 }
 
+// sourceURL formats a file's origin link in a single allocation: the hex
+// ID is rendered into a stack buffer and the URL assembled in one pre-grown
+// builder, so the per-file generation cost is the string itself rather
+// than intermediate hex/concat temporaries.
 func sourceURL(p Protocol, id FileID) string {
+	var prefix, suffix string
 	switch p {
 	case ProtoBitTorrent:
-		return "magnet:?xt=urn:btih:" + id.String()
+		prefix = "magnet:?xt=urn:btih:"
 	case ProtoEMule:
-		return "ed2k://|file|" + id.String() + "|"
+		prefix, suffix = "ed2k://|file|", "|"
 	case ProtoFTP:
-		return "ftp://origin.example.net/" + id.String()
+		prefix = "ftp://origin.example.net/"
 	default:
-		return "http://origin.example.net/" + id.String()
+		prefix = "http://origin.example.net/"
 	}
+	var hexBuf [2 * len(id)]byte
+	hex.Encode(hexBuf[:], id[:])
+	var b strings.Builder
+	b.Grow(len(prefix) + len(hexBuf) + len(suffix))
+	b.WriteString(prefix)
+	b.Write(hexBuf[:])
+	b.WriteString(suffix)
+	return b.String()
 }
 
 func generateUsers(cfg Config, g *dist.RNG) []*User {

@@ -23,6 +23,18 @@ type RequestSource interface {
 	Err() error
 }
 
+// Sizer is an optional RequestSource extension for sources that know
+// their total request count up front (an in-memory slice, the streaming
+// generator's permutation index). Consumers use the count purely as a
+// pre-sizing hint — the replay engine pre-sizes its per-shard result
+// buffers from TotalRequests()/shards — so a source that cannot know its
+// length (a trace file being read) simply does not implement Sizer and
+// consumers fall back to amortized growth. Implementations must return
+// the exact number of requests Next will yield.
+type Sizer interface {
+	TotalRequests() int
+}
+
 // SliceSource adapts an in-memory request slice to the RequestSource
 // interface, so every streaming consumer also accepts the classic slice
 // APIs for free.
@@ -35,6 +47,9 @@ type SliceSource struct {
 func NewSliceSource(reqs []Request) *SliceSource {
 	return &SliceSource{reqs: reqs}
 }
+
+// TotalRequests implements Sizer.
+func (s *SliceSource) TotalRequests() int { return len(s.reqs) }
 
 // Next implements RequestSource.
 func (s *SliceSource) Next() (int, Request, bool) {

@@ -153,6 +153,13 @@ type FileID [md5.Size]byte
 // String returns the hex form of the hash.
 func (id FileID) String() string { return hex.EncodeToString(id[:]) }
 
+// AppendHex appends the hex form of the hash to dst and returns the
+// extended slice — the allocation-free sibling of String for hot paths
+// that format IDs into reused buffers.
+func (id FileID) AppendHex(dst []byte) []byte {
+	return hex.AppendEncode(dst, id[:])
+}
+
 // FileIDFromIndex derives a stable synthetic FileID for the n-th file of a
 // generated trace. Distinct indices yield distinct IDs.
 func FileIDFromIndex(n uint64) FileID {

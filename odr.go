@@ -203,6 +203,9 @@ type (
 	// ReplayOptions tunes an ODR replay (including ablations and the
 	// engine shard count).
 	ReplayOptions = replay.Options
+	// StreamTuning tunes the streaming engine's batch transport (chunk
+	// size, pooling). Tuning never changes replay results.
+	StreamTuning = replay.StreamTuning
 )
 
 // RunAPBenchmark replays a sample across APs per §5.1.
@@ -216,9 +219,11 @@ func RunODR(sample []Request, files []*FileMeta, aps []*AP, opts ReplayOptions) 
 }
 
 // RunAPBenchmarkStream is RunAPBenchmark over a request stream,
-// byte-identical to the slice path for the same seed.
-func RunAPBenchmarkStream(src RequestSource, aps []*AP, seed uint64, shards int) (*APBench, error) {
-	return replay.RunAPBenchmarkStream(src, aps, seed, shards)
+// byte-identical to the slice path for the same seed, shard count, and
+// any transport tuning.
+func RunAPBenchmarkStream(src RequestSource, aps []*AP, seed uint64, shards int,
+	tune StreamTuning) (*APBench, error) {
+	return replay.RunAPBenchmarkStream(src, aps, seed, shards, tune)
 }
 
 // RunODRStream is RunODR over a request stream: one reader goroutine

@@ -78,7 +78,7 @@ func TestFacadeStreaming(t *testing.T) {
 		t.Fatal("streamed ODR replay diverged from the slice path")
 	}
 
-	bench, err := RunAPBenchmarkStream(NewSliceSource(sample), aps, 1, 0)
+	bench, err := RunAPBenchmarkStream(NewSliceSource(sample), aps, 1, 0, StreamTuning{})
 	if err != nil {
 		t.Fatal(err)
 	}
