@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: check build test vet fmt race determinism bench cover allocgate \
+.PHONY: check ci build test vet fmt race determinism bench cover allocgate \
 	bench-save bench-compare
 
 # check is the CI gate: static checks, a full build, the race-enabled
 # test suite, the engine determinism test at several GOMAXPROCS, the
-# observability coverage floor, and the hot-path allocation gate.
+# coverage floors, and the hot-path allocation gate.
 check: fmt vet build race determinism cover allocgate
+
+# ci is what .github/workflows/ci.yml runs: the full gate plus the
+# benchmark diff against the tracked baseline.
+ci: check bench-compare
 
 build:
 	$(GO) build ./...
@@ -32,16 +36,23 @@ race:
 determinism:
 	$(GO) test -race -run TestReplayDeterminism -cpu 1,4 ./internal/replay
 
-# The metrics subsystem is the measurement instrument; hold it to a
-# coverage floor so observation code never rots unexercised.
-OBS_COVER_FLOOR := 85
+# Coverage floors. The metrics subsystem is the measurement instrument
+# and the fault layer decides what fails and when — neither may rot
+# unexercised. Profiles go to a fresh mktemp path removed on exit, so
+# concurrent builds on one machine never clobber each other's files.
+COVER_FLOORS := internal/obs:85 internal/faults:85
 cover:
-	@$(GO) test -coverprofile=/tmp/obs.cover ./internal/obs >/dev/null
-	@total="$$($(GO) tool cover -func=/tmp/obs.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
-	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_FLOOR)%)"; \
-	awk -v t="$$total" -v floor="$(OBS_COVER_FLOOR)" \
-		'BEGIN { exit (t+0 < floor+0) ? 1 : 0 }' || \
-		{ echo "internal/obs coverage below $(OBS_COVER_FLOOR)%"; exit 1; }
+	@prof="$$(mktemp)" || exit 1; \
+	trap 'rm -f "$$prof"' EXIT; \
+	for spec in $(COVER_FLOORS); do \
+		pkg="$${spec%%:*}"; floor="$${spec##*:}"; \
+		$(GO) test -coverprofile="$$prof" "./$$pkg" >/dev/null || exit 1; \
+		total="$$($(GO) tool cover -func="$$prof" | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+		echo "$$pkg coverage: $$total% (floor $$floor%)"; \
+		awk -v t="$$total" -v floor="$$floor" \
+			'BEGIN { exit (t+0 < floor+0) ? 1 : 0 }' || \
+			{ echo "$$pkg coverage below $$floor%"; exit 1; }; \
+	done
 
 # Steady-state per-request allocations on the stream path must stay at or
 # below one object; TestStreamSteadyStateAllocs measures the marginal

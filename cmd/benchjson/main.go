@@ -7,6 +7,11 @@
 // benchjson records per-metric min/median/max over the -count runs and
 // compares medians.
 //
+// Exit codes: 0 ok, 1 gated regression (or I/O error), 2 bad usage,
+// 3 missing baseline file, 4 no benchmark lines parsed from stdin. CI
+// scripts can tell "you forgot to run `make bench-save`" (3) and "the
+// bench run produced nothing" (4) from a genuine regression (1).
+//
 // Usage:
 //
 //	go test -bench ... -benchmem -count 5 ./... | benchjson -save BENCH_replay.json
@@ -74,8 +79,9 @@ func main() {
 		os.Exit(1)
 	}
 	if len(bench) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed from stdin — "+
+			"pipe `go test -bench` output in (did the bench run fail, or was the regexp filter too narrow?)")
+		os.Exit(4)
 	}
 
 	if *save != "" {
@@ -102,6 +108,10 @@ func main() {
 
 	raw, err := os.ReadFile(*compare)
 	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s does not exist — run `make bench-save` first to record one\n", *compare)
+			os.Exit(3)
+		}
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

@@ -8,7 +8,7 @@
 //
 // With no -exp it runs the full suite in DESIGN.md order. Experiment IDs:
 // t0, f5, f6, f7, f8, f9, f10, f11, t1, f13, f14, t2, apfail, f16, f17,
-// abl, hyb, pool, led, s1.
+// abl, hyb, pool, led, s1, expf.
 package main
 
 import (

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	odrserver [-addr :8080] [-files N] [-seed S] [-metrics FORMAT]
-//	          [-pprof ADDR] [-shutdown-timeout D]
+//	          [-faults SPEC] [-pprof ADDR] [-shutdown-timeout D]
 //
 // The server builds a synthetic content universe of N files (the stand-in
 // for Xuanfeng's content database) with a pre-warmed cache, then serves:
@@ -14,6 +14,12 @@
 //	GET  /healthz         — liveness
 //	GET  /metrics         — Prometheus exposition (?format=json for JSON)
 //	GET  /                — front page
+//
+// With -faults the server follows a deterministic fault schedule (see
+// internal/faults): wall time, wrapped modulo the schedule span, decides
+// which backends are offline or degraded, decide responses report the
+// chosen backend's health and whether the router fell back, and
+// /metrics exposes odr_decisions_rerouted_total per degrade reason.
 //
 // SIGINT/SIGTERM drain in-flight requests through http.Server.Shutdown
 // (bounded by -shutdown-timeout) before the process exits. With
@@ -35,9 +41,11 @@ import (
 	"syscall"
 	"time"
 
+	"odr/internal/backend"
 	"odr/internal/cloud"
 	"odr/internal/core"
 	"odr/internal/dist"
+	"odr/internal/faults"
 	"odr/internal/obs"
 	"odr/internal/odrweb"
 	"odr/internal/workload"
@@ -48,23 +56,27 @@ func main() {
 	files := flag.Int("files", 20000, "files in the synthetic content database")
 	seed := flag.Uint64("seed", 1, "random seed")
 	metrics := flag.String("metrics", "", "dump the final metrics snapshot to stdout on exit: prom or json")
+	faultSpec := flag.String("faults", "", "deterministic fault schedule: intensity (e.g. 0.25) or k=v list (see internal/faults)")
 	pprofAddr := flag.String("pprof", "", "also serve net/http/pprof on this address")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "odrserver ", log.LstdFlags)
-	if err := run(*addr, *files, *seed, *metrics, *pprofAddr, *shutdownTimeout, logger); err != nil {
+	if err := run(*addr, *files, *seed, *metrics, *faultSpec, *pprofAddr, *shutdownTimeout, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr string, files int, seed uint64, metrics, pprofAddr string,
+func run(addr string, files int, seed uint64, metrics, faultSpec, pprofAddr string,
 	shutdownTimeout time.Duration, logger *log.Logger) error {
 	if err := validMetricsFormat(metrics); err != nil {
 		return err
 	}
 	srv, n, err := buildServer(files, seed, logger)
 	if err != nil {
+		return err
+	}
+	if err := installFaults(srv, faultSpec, seed, logger); err != nil {
 		return err
 	}
 	logger.Printf("content database ready: %d files (%d cached)", files, n)
@@ -112,6 +124,29 @@ func run(addr string, files int, seed uint64, metrics, pprofAddr string,
 		}
 	}
 	logger.Printf("bye")
+	return nil
+}
+
+// installFaults parses -faults and, when the spec injects anything, hooks
+// a schedule clock into the server: wall time since startup, wrapped
+// modulo the schedule span, maps each route's backend onto its
+// deterministic offline/degraded windows.
+func installFaults(srv *odrweb.Server, spec string, seed uint64, logger *log.Logger) error {
+	fs, err := faults.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	if !fs.Enabled() {
+		return nil
+	}
+	clock := faults.NewClock(fs, seed)
+	span := clock.Span()
+	start := time.Now()
+	srv.SetHealth(func(r core.Route) backend.Health {
+		at := time.Since(start) % span
+		return clock.Health(backend.NameForRoute(r), at)
+	})
+	logger.Printf("fault schedule active: %s (span %s)", fs.String(), span)
 	return nil
 }
 

@@ -5,8 +5,18 @@
 // Usage:
 //
 //	replay [-files N] [-sample N] [-seed S] [-shards N] [-chunk N]
-//	       [-tasks PATH] [-trace FILE] [-stream] [-metrics FORMAT]
-//	       [-pprof ADDR]
+//	       [-tasks PATH] [-trace FILE] [-stream] [-faults SPEC] [-naive]
+//	       [-metrics FORMAT] [-pprof ADDR]
+//
+// With -faults the ODR replay runs under the deterministic
+// fault-injection layer (see internal/faults): SPEC is either a preset
+// intensity ("0.25") or per-class rates
+// ("transient=0.1,stagnation=0.05,churn=0.1,degraded=0.2,giveup=1h").
+// Faulted replays are failure-aware by default — retries with RNG-drawn
+// backoff, per-operation timeouts, circuit-breaking into the decide path
+// — and stay byte-identical for any -shards/-chunk value. -naive turns
+// the resilience policy off so injected faults fail tasks outright (the
+// EXP-F baseline).
 //
 // With -trace it replays a recorded workload CSV (wgen format) instead of
 // generating one. With -stream the trace is consumed through the
@@ -39,7 +49,9 @@ import (
 	"sort"
 	"time"
 
+	"odr/internal/backend"
 	"odr/internal/cloud"
+	"odr/internal/faults"
 	"odr/internal/obs"
 	"odr/internal/replay"
 	"odr/internal/sim"
@@ -57,18 +69,36 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a workload CSV (wgen format) instead of generating one")
 	stream := flag.Bool("stream", false, "force the bounded-memory streaming pipeline")
 	chunk := flag.Int("chunk", 0, "streaming engine batch size in requests (0 = default; results are identical for any value)")
+	faultSpec := flag.String("faults", "", "inject deterministic faults: an intensity (\"0.25\") or per-class rates (\"transient=0.1,churn=0.05\")")
+	naive := flag.Bool("naive", false, "with -faults, disable the failure-aware routing policy (faults fail tasks outright)")
 	metrics := flag.String("metrics", "", "dump the ODR replay's metrics snapshot to stderr: prom or json")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while the replay runs")
 	flag.Parse()
 
-	if err := run(*files, *sampleN, *seed, *shards, *chunk, *tasks, *tracePath, *stream, *metrics, *pprofAddr); err != nil {
+	if err := run(*files, *sampleN, *seed, *shards, *chunk, *tasks, *tracePath, *stream,
+		*faultSpec, *naive, *metrics, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
+// faultOptions translates the -faults/-naive flags into replay options.
+func faultOptions(spec string, naive bool, opts *replay.Options) error {
+	parsed, err := faults.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	if parsed.Enabled() {
+		opts.Faults = &parsed
+	}
+	if !naive && (parsed.Enabled() || spec != "") {
+		opts.Resilience = &backend.RetryPolicy{}
+	}
+	return nil
+}
+
 func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePath string,
-	stream bool, metrics, pprofAddr string) error {
+	stream bool, faultSpec string, naive bool, metrics, pprofAddr string) error {
 	var reg *obs.Registry
 	switch metrics {
 	case "":
@@ -84,7 +114,7 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 		if tasksPath != "" {
 			return fmt.Errorf("-tasks needs the materialized week trace; drop -stream")
 		}
-		if err := runStream(files, sampleN, seed, shards, chunk, tracePath, reg); err != nil {
+		if err := runStream(files, sampleN, seed, shards, chunk, tracePath, faultSpec, naive, reg); err != nil {
 			return err
 		}
 		return dumpMetrics(reg, metrics)
@@ -101,9 +131,13 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 
 	bench := replay.RunAPBenchmark(sample, aps, seed)
 	baseline := replay.CloudOnlyBaseline(sample, tr.Files, seed)
-	odr := replay.RunODR(sample, tr.Files, aps,
-		replay.Options{Seed: seed, Shards: shards, Metrics: reg})
+	odrOpts := replay.Options{Seed: seed, Shards: shards, Metrics: reg}
+	if err := faultOptions(faultSpec, naive, &odrOpts); err != nil {
+		return err
+	}
+	odr := replay.RunODR(sample, tr.Files, aps, odrOpts)
 	summarize(bench, baseline, odr)
+	summarizeFaults(odrOpts)
 	if err := dumpMetrics(reg, metrics); err != nil {
 		return err
 	}
@@ -133,7 +167,7 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 // the streaming engine. Only the populations, the Unicom pool, and the
 // task records are ever resident.
 func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath string,
-	reg *obs.Registry) error {
+	faultSpec string, naive bool, reg *obs.Registry) error {
 	tune := replay.StreamTuning{Chunk: chunk}
 	var (
 		sample  []workload.Request
@@ -180,13 +214,31 @@ func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath str
 		return err
 	}
 	baseline := replay.CloudOnlyBaseline(sample, filePop, seed)
-	odr, err := replay.RunODRStream(workload.NewSliceSource(sample), filePop, aps,
-		replay.Options{Seed: seed, Shards: shards, Metrics: reg, Stream: tune})
+	odrOpts := replay.Options{Seed: seed, Shards: shards, Metrics: reg, Stream: tune}
+	if err := faultOptions(faultSpec, naive, &odrOpts); err != nil {
+		return err
+	}
+	odr, err := replay.RunODRStream(workload.NewSliceSource(sample), filePop, aps, odrOpts)
 	if err != nil {
 		return err
 	}
 	summarize(bench, baseline, odr)
+	summarizeFaults(odrOpts)
 	return nil
+}
+
+// summarizeFaults appends the fault/resilience configuration to the
+// summary when faults are in play, so a saved summary is
+// self-describing.
+func summarizeFaults(opts replay.Options) {
+	if opts.Faults == nil {
+		return
+	}
+	mode := "failure-aware (retry + breaker + fallback routing)"
+	if opts.Resilience == nil {
+		mode = "naive (faults fail tasks outright)"
+	}
+	fmt.Printf("\nfaults injected:    %s; routing %s\n", opts.Faults, mode)
 }
 
 // dumpMetrics writes the instrumented replay's snapshot to stderr so the

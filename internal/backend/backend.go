@@ -44,6 +44,12 @@ type Request struct {
 	// EnvCap is the replay environment's bandwidth ceiling in
 	// bytes/second (0 means uncapped).
 	EnvCap float64
+	// When is the request's position on the trace clock (offset from the
+	// trace start). The fault layer derives churn and degraded-bandwidth
+	// windows from the seed, so whether a request lands inside an episode
+	// is a pure function of (seed, When) — deterministic for any shard
+	// count or execution order.
+	When time.Duration
 }
 
 // Reset clears the request for reuse. The replay engine pools one Request

@@ -1,0 +1,311 @@
+package backend
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odr/internal/obs"
+)
+
+// Fault cause tokens. The fault-injection layer (internal/faults) stamps
+// these onto failed results so the resilience policy can tell an
+// environmental fault (worth retrying, evidence of backend trouble) from
+// a model failure (dead swarm, bad server — a property of the file, not
+// the backend). The prefix convention lives here, below the injector, so
+// both layers agree without an import cycle.
+const (
+	// CauseTransient: a short-lived connection/protocol error; the next
+	// attempt draws fresh randomness and may succeed.
+	CauseTransient = "fault:transient"
+	// CauseStagnation: progress froze past the client's patience.
+	CauseStagnation = "fault:stagnation"
+	// CauseOffline: the backend sat inside a churn (offline) window;
+	// retrying inside the window cannot help.
+	CauseOffline = "fault:offline"
+)
+
+// IsFaultCause reports whether a failure cause was injected by the fault
+// layer rather than produced by the download model.
+func IsFaultCause(cause string) bool { return strings.HasPrefix(cause, "fault:") }
+
+// retryable reports whether a failure is worth retrying on the same
+// backend: transient errors and stagnation freezes are; offline windows
+// and model failures are not.
+func retryable(cause string) bool {
+	return cause == CauseTransient || cause == CauseStagnation
+}
+
+// Resilience metric names.
+const (
+	// MetricRetries counts retry attempts (not first attempts), labeled
+	// by backend.
+	MetricRetries = "odr_retries_total"
+	// MetricCircuitOpens counts breaker open transitions, labeled by
+	// backend.
+	MetricCircuitOpens = "odr_circuit_opens_total"
+	// MetricCircuitState is the number of per-user circuit breakers still
+	// open at the end of the replay, labeled by backend. It is written
+	// once after the run (an order-independent scan), so its value is
+	// identical for every shard count.
+	MetricCircuitState = "odr_circuit_state"
+)
+
+// RetryPolicy tunes the Resilient wrapper. The zero value selects the
+// defaults noted on each field.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per operation (default 3).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff (default 2s); attempt k
+	// waits BaseBackoff·2^(k-1), jittered, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 1m).
+	MaxBackoff time.Duration
+	// OpTimeout is the per-operation patience: a failed attempt charges
+	// at most this much delay, modeling a client that cancels a stuck
+	// operation instead of waiting out the backend's own stagnation
+	// timeout (default 15m).
+	OpTimeout time.Duration
+	// BreakerThreshold opens a user's circuit after this many
+	// consecutive fault-class failures on the backend (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects the backend on
+	// the trace clock before a trial attempt is allowed (default 2h).
+	BreakerCooldown time.Duration
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 2 * time.Second
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Minute
+	}
+	if p.OpTimeout <= 0 {
+		p.OpTimeout = 15 * time.Minute
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 3
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 2 * time.Hour
+	}
+	return p
+}
+
+// breaker is one user's circuit state on one backend. A user's requests
+// execute in ascending trace-time order on exactly one shard (the engine
+// partitions by user), so the state sequence below is deterministic for
+// any shard count even though the map holding it is shared.
+type breaker struct {
+	consec    int
+	openUntil time.Duration
+}
+
+// Resilient wraps a backend with the failure policy: bounded retry with
+// exponential backoff + jitter, a per-operation timeout, and per-user
+// circuit breaking. All randomness (the jitter) is drawn from the
+// request's RNG substream and all waiting is virtual (accumulated into
+// the result's Delay), so wrapped replays stay byte-identical across
+// shard counts.
+type Resilient struct {
+	inner Backend
+	pol   RetryPolicy
+
+	mu       sync.Mutex
+	breakers map[int]*breaker
+	// maxWhen tracks the latest trace time any operation saw (an atomic
+	// max, hence order-independent); FinishMetrics uses it as "end of
+	// replay" when counting still-open breakers.
+	maxWhen atomic.Int64
+
+	retries *obs.Counter
+	opens   *obs.Counter
+	state   *obs.Gauge
+}
+
+// NewResilient wraps inner with pol (zero fields take defaults).
+func NewResilient(inner Backend, pol RetryPolicy) *Resilient {
+	return &Resilient{
+		inner:    inner,
+		pol:      pol.withDefaults(),
+		breakers: make(map[int]*breaker),
+	}
+}
+
+// Instrument resolves the wrapper's metric handles (nil reg disables).
+func (r *Resilient) Instrument(reg *obs.Registry) {
+	name := r.inner.Name()
+	r.retries = reg.Counter(obs.Label(MetricRetries, "backend", name))
+	r.opens = reg.Counter(obs.Label(MetricCircuitOpens, "backend", name))
+	r.state = reg.Gauge(obs.Label(MetricCircuitState, "backend", name))
+}
+
+// FinishMetrics publishes the end-of-run circuit gauge: how many user
+// circuits are still open past the last trace instant any request
+// touched. Call after the replay joins.
+func (r *Resilient) FinishMetrics() {
+	if r.state == nil {
+		return
+	}
+	end := time.Duration(r.maxWhen.Load())
+	r.mu.Lock()
+	open := 0
+	for _, b := range r.breakers {
+		if b.openUntil > end {
+			open++
+		}
+	}
+	r.mu.Unlock()
+	r.state.Set(int64(open))
+}
+
+// Name implements Backend.
+func (r *Resilient) Name() string { return r.inner.Name() }
+
+// Ledger implements Backend.
+func (r *Resilient) Ledger() *Ledger { return r.inner.Ledger() }
+
+// Probe implements Backend; probing is cheap and side-effect-free, so it
+// passes straight through.
+func (r *Resilient) Probe(req *Request) bool { return r.inner.Probe(req) }
+
+// Health implements HealthReporter: an open circuit makes the backend
+// Unavailable for this user; otherwise the inner backend's own report
+// (fault windows) stands.
+func (r *Resilient) Health(req *Request) Health {
+	if r.circuitOpen(req) {
+		return Unavailable
+	}
+	if hr, ok := r.inner.(HealthReporter); ok {
+		return hr.Health(req)
+	}
+	return Healthy
+}
+
+// PreDownload implements Backend with the retry policy.
+func (r *Resilient) PreDownload(req *Request) PreResult {
+	out := r.inner.PreDownload(req)
+	var waited time.Duration
+	for attempt := 1; !out.OK && retryable(out.Cause) && attempt < r.pol.MaxAttempts; attempt++ {
+		waited += r.clampOp(out.Delay) + r.backoff(req, attempt)
+		r.retries.Inc()
+		out = r.inner.PreDownload(req)
+	}
+	if !out.OK {
+		out.Delay = r.clampOp(out.Delay)
+	}
+	out.Delay += waited
+	r.observe(req, out.OK, out.Cause)
+	return out
+}
+
+// Fetch implements Backend with the retry policy. A failed attempt's
+// stall (clamped to OpTimeout) and the backoff both accumulate into the
+// final result's Delay.
+func (r *Resilient) Fetch(req *Request) FetchResult {
+	out := r.inner.Fetch(req)
+	var waited time.Duration
+	for attempt := 1; !out.OK && retryable(out.Cause) && attempt < r.pol.MaxAttempts; attempt++ {
+		waited += r.clampOp(out.Delay) + r.backoff(req, attempt)
+		r.retries.Inc()
+		out = r.inner.Fetch(req)
+	}
+	if !out.OK {
+		out.Delay = r.clampOp(out.Delay)
+	}
+	out.Delay += waited
+	r.observe(req, out.OK, out.Cause)
+	return out
+}
+
+// clampOp caps a failed attempt's charged delay at the per-operation
+// timeout.
+func (r *Resilient) clampOp(d time.Duration) time.Duration {
+	if d > r.pol.OpTimeout {
+		return r.pol.OpTimeout
+	}
+	return d
+}
+
+// backoff returns the jittered exponential backoff before retry number
+// attempt (1-based). The jitter is drawn from the request's RNG
+// substream: a pure function of (seed, index, draw position), so replays
+// are byte-identical no matter which goroutine runs them.
+func (r *Resilient) backoff(req *Request, attempt int) time.Duration {
+	d := r.pol.BaseBackoff << uint(attempt-1)
+	if d <= 0 || d > r.pol.MaxBackoff {
+		d = r.pol.MaxBackoff
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*req.RNG.Float64()))
+}
+
+// circuitOpen reports whether the requesting user's circuit on this
+// backend is open at the request's trace time.
+func (r *Resilient) circuitOpen(req *Request) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[req.User.ID]
+	return b != nil && b.openUntil > req.When
+}
+
+// observe feeds an operation's final outcome into the user's breaker.
+// Only fault-class failures count against the backend: a dead swarm says
+// nothing about the cloud's health. Successes close the circuit.
+func (r *Resilient) observe(req *Request, ok bool, cause string) {
+	// Order-independent atomic max of the trace clock.
+	for {
+		cur := r.maxWhen.Load()
+		if int64(req.When) <= cur || r.maxWhen.CompareAndSwap(cur, int64(req.When)) {
+			break
+		}
+	}
+	if ok || IsFaultCause(cause) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		b := r.breakers[req.User.ID]
+		if b == nil {
+			b = &breaker{}
+			r.breakers[req.User.ID] = b
+		}
+		if ok {
+			b.consec = 0
+			return
+		}
+		b.consec++
+		if b.consec >= r.pol.BreakerThreshold {
+			b.consec = 0
+			b.openUntil = req.When + r.pol.BreakerCooldown
+			r.opens.Inc()
+		}
+	}
+}
+
+var (
+	_ Backend        = (*Resilient)(nil)
+	_ HealthReporter = (*Resilient)(nil)
+)
+
+// WrapResilient layers the retry/breaker policy over every backend in
+// the fleet and instruments the wrappers against reg (nil disables
+// metrics). The returned finish func publishes the end-of-run circuit
+// gauges; call it after the replay joins.
+func WrapResilient(f *Fleet, pol RetryPolicy, reg *obs.Registry) (*Fleet, func()) {
+	var wrappers []*Resilient
+	nf := f.Wrap(func(b Backend) Backend {
+		w := NewResilient(b, pol)
+		w.Instrument(reg)
+		wrappers = append(wrappers, w)
+		return w
+	})
+	return nf, func() {
+		for _, w := range wrappers {
+			w.FinishMetrics()
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package backend
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/cloud"
+	"odr/internal/core"
+	"odr/internal/dist"
+	"odr/internal/obs"
+	"odr/internal/workload"
+)
+
+// flaky is a scripted inner backend: it fails with cause until failN
+// attempts have been consumed, then succeeds.
+type flaky struct {
+	name  string
+	led   Ledger
+	failN int
+	cause string
+	delay time.Duration
+	calls int
+}
+
+func (f *flaky) Name() string    { return f.name }
+func (f *flaky) Ledger() *Ledger { return &f.led }
+func (f *flaky) Probe(*Request) bool {
+	return true
+}
+func (f *flaky) PreDownload(*Request) PreResult {
+	f.calls++
+	if f.calls <= f.failN {
+		return PreResult{Delay: f.delay, Cause: f.cause}
+	}
+	return PreResult{OK: true, Rate: 1 << 20, Delay: time.Minute}
+}
+func (f *flaky) Fetch(*Request) FetchResult {
+	f.calls++
+	if f.calls <= f.failN {
+		return FetchResult{Delay: f.delay, Cause: f.cause}
+	}
+	return FetchResult{OK: true, Rate: 1 << 20}
+}
+
+func resReq(userID int, when time.Duration) *Request {
+	return &Request{
+		User: &workload.User{ID: userID, AccessBW: 2 << 20},
+		File: &workload.FileMeta{Size: 8 << 20},
+		RNG:  dist.NewRNG(77).Split("resilient").Split64(uint64(userID)),
+		When: when,
+	}
+}
+
+func TestResilientRetryRescuesTransient(t *testing.T) {
+	inner := &flaky{name: "cloud", failN: 2, cause: CauseTransient, delay: 10 * time.Second}
+	reg := obs.NewRegistry()
+	r := NewResilient(inner, RetryPolicy{})
+	r.Instrument(reg)
+	out := r.PreDownload(resReq(1, time.Hour))
+	if !out.OK {
+		t.Fatalf("retry did not rescue: %+v", out)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("attempts = %d, want 3", inner.calls)
+	}
+	// The rescued result still pays for the failed attempts: two stalls
+	// plus two jittered backoffs on top of the final attempt's minute.
+	if out.Delay <= time.Minute+20*time.Second {
+		t.Errorf("delay = %v, want the failed attempts' waiting charged on top", out.Delay)
+	}
+	key := obs.Label(MetricRetries, "backend", "cloud")
+	if got := reg.Snapshot().Counters[key]; got != 2 {
+		t.Errorf("%s = %d, want 2", key, got)
+	}
+}
+
+func TestResilientRetryBudgetExhausted(t *testing.T) {
+	inner := &flaky{name: "cloud", failN: 100, cause: CauseStagnation, delay: time.Minute}
+	r := NewResilient(inner, RetryPolicy{MaxAttempts: 4})
+	out := r.Fetch(resReq(1, time.Hour))
+	if out.OK || out.Cause != CauseStagnation {
+		t.Fatalf("exhausted retry = %+v, want stagnation failure", out)
+	}
+	if inner.calls != 4 {
+		t.Fatalf("attempts = %d, want MaxAttempts=4", inner.calls)
+	}
+}
+
+func TestResilientDoesNotRetryModelFailures(t *testing.T) {
+	for _, cause := range []string{"no-seeds", "bad-server", CauseOffline} {
+		inner := &flaky{name: "cloud", failN: 100, cause: cause, delay: time.Minute}
+		r := NewResilient(inner, RetryPolicy{})
+		out := r.PreDownload(resReq(1, time.Hour))
+		if out.OK || out.Cause != cause {
+			t.Fatalf("cause %q: result %+v", cause, out)
+		}
+		if inner.calls != 1 {
+			t.Errorf("cause %q retried: %d attempts, want 1", cause, inner.calls)
+		}
+	}
+}
+
+func TestResilientOpTimeoutClampsStall(t *testing.T) {
+	inner := &flaky{name: "cloud", failN: 100, cause: "no-seeds", delay: 10 * time.Hour}
+	r := NewResilient(inner, RetryPolicy{OpTimeout: 15 * time.Minute})
+	out := r.PreDownload(resReq(1, time.Hour))
+	if out.Delay != 15*time.Minute {
+		t.Errorf("delay = %v, want clamped to the 15m op timeout", out.Delay)
+	}
+}
+
+func TestResilientBackoffDeterministicAndBounded(t *testing.T) {
+	r := NewResilient(&flaky{name: "cloud"}, RetryPolicy{
+		BaseBackoff: 2 * time.Second, MaxBackoff: time.Minute})
+	a, b := resReq(9, 0), resReq(9, 0)
+	for attempt := 1; attempt <= 8; attempt++ {
+		da, db := r.backoff(a, attempt), r.backoff(b, attempt)
+		if da != db {
+			t.Fatalf("attempt %d: backoff %v != %v for identical substreams", attempt, da, db)
+		}
+		full := 2 * time.Second << uint(attempt-1)
+		if full <= 0 || full > time.Minute {
+			full = time.Minute
+		}
+		if da < full/2 || da > full {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, da, full/2, full)
+		}
+	}
+}
+
+func TestResilientBreakerOpensAndCoolsDown(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 1, BreakerThreshold: 3, BreakerCooldown: 2 * time.Hour}
+	inner := &flaky{name: "cloud", failN: 100, cause: CauseTransient, delay: time.Second}
+	reg := obs.NewRegistry()
+	r := NewResilient(inner, pol)
+	r.Instrument(reg)
+
+	if h := r.Health(resReq(1, 0)); h != Healthy {
+		t.Fatalf("fresh breaker health = %v, want Healthy", h)
+	}
+	for i := 0; i < 3; i++ {
+		r.PreDownload(resReq(1, time.Duration(i)*time.Minute))
+	}
+	at := 3 * time.Minute
+	if h := r.Health(resReq(1, at)); h != Unavailable {
+		t.Fatalf("health after %d fault failures = %v, want Unavailable (open circuit)",
+			pol.BreakerThreshold, h)
+	}
+	// Another user's circuit is untouched.
+	if h := r.Health(resReq(2, at)); h != Healthy {
+		t.Fatalf("user 2 health = %v, want Healthy", h)
+	}
+	// Past the cooldown the circuit half-opens: trial attempts allowed.
+	if h := r.Health(resReq(1, at+2*time.Hour)); h != Healthy {
+		t.Fatalf("health past cooldown = %v, want Healthy", h)
+	}
+	opens := obs.Label(MetricCircuitOpens, "backend", "cloud")
+	if got := reg.Snapshot().Counters[opens]; got != 1 {
+		t.Errorf("%s = %d, want 1", opens, got)
+	}
+
+	// FinishMetrics counts circuits still open past the last trace
+	// instant observed.
+	r.FinishMetrics()
+	state := obs.Label(MetricCircuitState, "backend", "cloud")
+	if got := reg.Snapshot().Gauges[state]; got != 1 {
+		t.Errorf("%s = %d, want 1 (cooldown outlives the run)", state, got)
+	}
+}
+
+func TestResilientSuccessClosesBreaker(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 1, BreakerThreshold: 3}
+	inner := &flaky{name: "cloud", failN: 2, cause: CauseTransient, delay: time.Second}
+	r := NewResilient(inner, pol)
+	r.PreDownload(resReq(1, time.Minute))
+	r.PreDownload(resReq(1, 2*time.Minute))
+	r.PreDownload(resReq(1, 3*time.Minute)) // succeeds, resets the count
+	inner.calls = 0                         // fail again from scratch
+	r.PreDownload(resReq(1, 4*time.Minute))
+	r.PreDownload(resReq(1, 5*time.Minute))
+	if h := r.Health(resReq(1, 6*time.Minute)); h != Healthy {
+		t.Fatalf("health = %v; success did not reset the consecutive-failure count", h)
+	}
+}
+
+func TestFleetWrapDedup(t *testing.T) {
+	tr, err := workload.Generate(workload.DefaultConfig(500, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewSet(tr.Files, cloud.DefaultConfig(
+		float64(len(tr.Files))/cloud.FullScaleFiles, 7), 7)
+	f := NewFleet(set)
+
+	var wrapped int
+	wf := f.Wrap(func(b Backend) Backend {
+		wrapped++
+		return NewResilient(b, RetryPolicy{})
+	})
+	if wrapped != 4 {
+		t.Fatalf("wrap ran %d times, want once per distinct backend (4)", wrapped)
+	}
+	// The two cloud routes share one backend underneath, so they must
+	// share one wrapper — a split wrapper would split the breaker state.
+	if wf.For(core.RouteCloud) != wf.For(core.RouteCloudPreDownload) {
+		t.Error("cloud routes got distinct wrappers")
+	}
+	if wf.For(core.RouteCloud) == f.For(core.RouteCloud) {
+		t.Error("wrap returned the unwrapped backend")
+	}
+	if wf.Set() != set {
+		t.Error("wrapped fleet lost the concrete set")
+	}
+}

@@ -50,6 +50,10 @@ const (
 	RouteCloudPreDownload
 )
 
+// NumRoutes is the number of route values; valid routes are
+// 0 .. NumRoutes-1.
+const NumRoutes = int(RouteCloudPreDownload) + 1
+
 // String names the route.
 func (r Route) String() string {
 	switch r {
@@ -147,6 +151,56 @@ type Decision struct {
 	// The slice is shared and read-only: Decide interns the handful of
 	// possible values so the replay hot path does not allocate per call.
 	Addresses []int
+}
+
+// Degradation reasons. Decide never emits these; the resilience layer
+// stamps them onto a Decision when it routes around an unhealthy backend,
+// so dashboards (odr_decisions_total{reason}) can separate Figure 15
+// choices from failure-driven reroutes. They are short tokens, not
+// sentences, because they double as metric label values.
+const (
+	// ReasonCircuitOpen: the preferred backend's circuit breaker is open
+	// (or it sits inside an offline window); routing degraded to the
+	// next-best backend before any attempt was made.
+	ReasonCircuitOpen = "circuit_open"
+	// ReasonDegraded: the preferred backend is up but running a
+	// degraded-bandwidth episode, and a healthy stable backend was
+	// available instead.
+	ReasonDegraded = "degraded"
+	// ReasonRetryExhausted: the chosen backend failed even after the
+	// retry budget; the task re-ran on the fallback backend.
+	ReasonRetryExhausted = "retry_exhausted"
+)
+
+// Fallback computes the next-best decision after dec's backend has been
+// ruled out (open circuit, offline window, or exhausted retries). For
+// AP-backed routes it re-runs Decide as if the user had no smart AP; for
+// cloud-backed routes it falls to the user's own device — the only
+// backend needing no infrastructure. The returned Input is the one the
+// fallback decision was made from (callers thread it through any further
+// re-decisions), and ok is false when dec is already the last resort.
+// Fallback never repeats a route: the caller can iterate it at most
+// NumRoutes times.
+func Fallback(in Input, dec Decision) (Decision, Input, bool) {
+	switch dec.Route {
+	case RouteSmartAP, RouteCloudThenAP:
+		if !in.HasAP {
+			break
+		}
+		nin := in
+		nin.HasAP = false
+		if next := Decide(nin); next.Route != dec.Route {
+			return next, nin, true
+		}
+	case RouteCloud, RouteCloudPreDownload:
+		return Decision{
+			Route:     RouteUserDevice,
+			Source:    SourceOriginal,
+			Reason:    "cloud ruled out: download on the user device",
+			Addresses: addrNone,
+		}, in, true
+	}
+	return dec, in, false
 }
 
 // The interned Addresses values. Decide is called once (sometimes twice)

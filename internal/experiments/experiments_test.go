@@ -201,7 +201,7 @@ func TestAblationsShowSignalValue(t *testing.T) {
 
 func TestAllAndByID(t *testing.T) {
 	reports := lab.All()
-	if len(reports) != 20 {
+	if len(reports) != 21 {
 		t.Fatalf("All returned %d reports", len(reports))
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestFaultRoutingBeatsNaive pins EXP-F's acceptance criterion: the
+// failure-aware router completes strictly more tasks than the naive one
+// at every non-zero fault intensity, with equal completions (and equal
+// pre-download delay) when nothing is injected.
+func TestFaultRoutingBeatsNaive(t *testing.T) {
+	r := lab.FaultRouting()
+	if r.ID != "EXPF" {
+		t.Fatalf("report ID = %q", r.ID)
+	}
+	for _, pct := range []string{"10", "25", "50"} {
+		naive, ok := r.Metrics["completed_naive_"+pct]
+		if !ok {
+			t.Fatalf("missing completed_naive_%s", pct)
+		}
+		aware := r.Metrics["completed_aware_"+pct]
+		if aware <= naive {
+			t.Errorf("intensity %s%%: aware completed %.0f, naive %.0f — want strictly more",
+				pct, aware, naive)
+		}
+	}
+	if n, a := r.Metrics["completed_naive_0"], r.Metrics["completed_aware_0"]; n != a {
+		t.Errorf("zero intensity: naive %.0f != aware %.0f — the policy must be inert without faults", n, a)
+	}
+	// Rising intensity must cost the naive router completions — the
+	// sweep is meaningless if the faults never bite.
+	if r.Metrics["completed_naive_50"] >= r.Metrics["completed_naive_0"] {
+		t.Error("naive completions did not fall with intensity")
+	}
+}

@@ -161,6 +161,7 @@ func (l *Lab) All() []*Report {
 		l.PoolSweep(),
 		l.LEDBATSmoothing(),
 		l.StreamEquivalence(),
+		l.FaultRouting(),
 	}
 }
 
@@ -207,6 +208,8 @@ func (l *Lab) ByID(id string) *Report {
 		return l.LEDBATSmoothing()
 	case "S1", "s1":
 		return l.StreamEquivalence()
+	case "EXPF", "expf":
+		return l.FaultRouting()
 	}
 	return nil
 }

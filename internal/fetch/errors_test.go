@@ -1,0 +1,89 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestOptionsWithDefaults pins the documented zero-value semantics:
+// Retries 0 means "the default of 3", negative means "none at all", and
+// explicit settings pass through untouched.
+func TestOptionsWithDefaults(t *testing.T) {
+	custom := &http.Client{Timeout: time.Second}
+	cases := []struct {
+		name       string
+		in         Options
+		wantRetry  int
+		wantDelay  time.Duration
+		wantClient *http.Client
+	}{
+		{"zero value", Options{}, 3, 100 * time.Millisecond, http.DefaultClient},
+		{"negative retries disable", Options{Retries: -1}, 0, 100 * time.Millisecond, http.DefaultClient},
+		{"very negative retries disable", Options{Retries: -100}, 0, 100 * time.Millisecond, http.DefaultClient},
+		{"explicit values kept", Options{Client: custom, Retries: 7, RetryDelay: time.Second}, 7, time.Second, custom},
+		{"one retry kept", Options{Retries: 1}, 1, 100 * time.Millisecond, http.DefaultClient},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.withDefaults()
+			if got.Retries != tc.wantRetry {
+				t.Errorf("Retries = %d, want %d", got.Retries, tc.wantRetry)
+			}
+			if got.RetryDelay != tc.wantDelay {
+				t.Errorf("RetryDelay = %v, want %v", got.RetryDelay, tc.wantDelay)
+			}
+			if got.Client != tc.wantClient {
+				t.Errorf("Client = %p, want %p", got.Client, tc.wantClient)
+			}
+		})
+	}
+}
+
+// TestRetryableClassification pins the resume policy: 5xx and transport
+// errors are worth retrying, 4xx and caller cancellation are not.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"404 permanent", &HTTPError{Status: 404}, false},
+		{"403 permanent", &HTTPError{Status: 403}, false},
+		{"410 permanent", &HTTPError{Status: 410}, false},
+		{"500 retryable", &HTTPError{Status: 500}, true},
+		{"503 retryable", &HTTPError{Status: 503}, true},
+		{"wrapped 502 retryable", fmt.Errorf("attempt: %w", &HTTPError{Status: 502}), true},
+		{"wrapped 404 permanent", fmt.Errorf("attempt: %w", &HTTPError{Status: 404}), false},
+		{"context canceled", context.Canceled, false},
+		{"wrapped cancel", fmt.Errorf("fetch: %w", context.Canceled), false},
+		{"deadline exceeded", context.DeadlineExceeded, false},
+		{"short body retryable", errShortBody, true},
+		{"unexpected EOF retryable", io.ErrUnexpectedEOF, true},
+		{"generic network error retryable", errors.New("connection reset by peer"), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryable(tc.err); got != tc.want {
+				t.Errorf("retryable(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHTTPErrorMessage keeps the error text stable — callers and logs
+// match on it.
+func TestHTTPErrorMessage(t *testing.T) {
+	err := &HTTPError{Status: 416}
+	if got, want := err.Error(), "fetch: unexpected HTTP status 416"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	var he *HTTPError
+	if !errors.As(error(err), &he) || he.Status != 416 {
+		t.Fatal("HTTPError does not round-trip through errors.As")
+	}
+}

@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"odr/internal/sim"
+	"odr/internal/workload"
+)
+
+// TestRateCapEdgeCases pins the documented StartFlow contract: a zero or
+// negative source cap means "unconstrained", so the flow runs at the
+// link rate.
+func TestRateCapEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		rateCap float64
+	}{
+		{"zero cap unconstrained", 0},
+		{"negative cap unconstrained", -5},
+		{"infinite cap unconstrained", math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.New()
+			n := New(eng)
+			l := n.AddLink("l", 100)
+			f := n.StartFlow(1000, tc.rateCap, []*Link{l}, nil)
+			approx(t, f.Rate(), 100, 1e-9, "uncapped flow rate")
+			eng.RunUntil(time.Minute)
+			if f.State() != FlowDone {
+				t.Fatalf("flow did not complete, state=%v", f.State())
+			}
+		})
+	}
+}
+
+// TestNonPositiveCapacityStalls covers links that never carry traffic:
+// zero or negative capacity yields a zero rate (never a negative one)
+// and a utilization of exactly 0.
+func TestNonPositiveCapacityStalls(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		capacity float64
+	}{
+		{"zero capacity", 0},
+		{"negative capacity", -250},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.New()
+			n := New(eng)
+			l := n.AddLink("dead", tc.capacity)
+			f := n.StartFlow(500, 0, []*Link{l}, nil)
+			if f.Rate() != 0 {
+				t.Fatalf("rate on dead link = %g, want 0", f.Rate())
+			}
+			eng.RunUntil(24 * time.Hour)
+			if f.State() != FlowActive {
+				t.Fatalf("flow should stall forever, state=%v", f.State())
+			}
+			approx(t, f.Transferred(), 0, 1e-9, "stalled transfer")
+			approx(t, l.Utilization(), 0, 1e-9, "dead-link utilization")
+		})
+	}
+}
+
+// TestCapacityDropMidFlowStalls drives a link's capacity to zero (and
+// below) mid-transfer: the flow keeps its progress, stops moving, and
+// resumes when capacity returns.
+func TestCapacityDropMidFlowStalls(t *testing.T) {
+	for _, newCap := range []float64{0, -10} {
+		eng := sim.New()
+		n := New(eng)
+		l := n.AddLink("wobbly", 100)
+		f := n.StartFlow(1000, 0, []*Link{l}, nil)
+
+		eng.RunUntil(5 * time.Second) // 500 bytes in
+		l.SetCapacity(newCap)
+		n.Reshare()
+		approx(t, f.Transferred(), 500, 1e-6, "progress at the drop")
+		if f.Rate() != 0 {
+			t.Fatalf("rate after capacity %g = %g, want 0", newCap, f.Rate())
+		}
+
+		eng.RunUntil(time.Hour)
+		if f.State() != FlowActive {
+			t.Fatalf("flow should stall at capacity %g, state=%v", newCap, f.State())
+		}
+		approx(t, f.Transferred(), 500, 1e-6, "no progress while stalled")
+
+		l.SetCapacity(100)
+		n.Reshare()
+		eng.RunUntil(2 * time.Hour)
+		if f.State() != FlowDone {
+			t.Fatalf("flow should finish after capacity returns, state=%v", f.State())
+		}
+	}
+}
+
+// TestTopologyBadCapacities table-drives the constructor's validation:
+// any non-positive backbone or peering capacity is a programming error.
+func TestTopologyBadCapacities(t *testing.T) {
+	cases := []struct {
+		name              string
+		backbone, peering float64
+	}{
+		{"zero backbone", 0, 1},
+		{"zero peering", 1, 0},
+		{"negative backbone", -1, 1},
+		{"negative peering", 1, -1},
+		{"both zero", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewChinaTopology(%g, %g) did not panic", tc.backbone, tc.peering)
+				}
+			}()
+			NewChinaTopology(New(sim.New()), tc.backbone, tc.peering)
+		})
+	}
+}
+
+// TestUnreachableUserStallsPath models a node with no usable access
+// bandwidth: the full server→user path exists topologically but carries
+// nothing, while a healthy user on the same backbone is unaffected.
+func TestUnreachableUserStallsPath(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	topo := NewChinaTopology(n, 1e9, 1e6)
+
+	dark := &workload.User{ID: 1, ISP: workload.ISPUnicom, AccessBW: 0}
+	lit := &workload.User{ID: 2, ISP: workload.ISPUnicom, AccessBW: 1e5}
+
+	stuck := n.StartFlow(1e6, 0, topo.Path(workload.ISPTelecom, dark), nil)
+	done := n.StartFlow(1e6, 0, topo.Path(workload.ISPTelecom, lit), nil)
+
+	eng.RunUntil(24 * time.Hour)
+	if stuck.State() != FlowActive {
+		t.Fatalf("flow to zero-bandwidth user should stall, state=%v", stuck.State())
+	}
+	approx(t, stuck.Transferred(), 0, 1e-9, "unreachable-user transfer")
+	if done.State() != FlowDone {
+		t.Fatalf("healthy user's flow should finish, state=%v", done.State())
+	}
+	// The shared cross-ISP hops stay usable: only the dark user's access
+	// link reads as dead.
+	approx(t, topo.AccessLink(dark).Utilization(), 0, 1e-9, "dark access utilization")
+}

@@ -1,0 +1,153 @@
+package odrweb
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"odr/internal/backend"
+	"odr/internal/core"
+)
+
+// healthServer builds a test server with a route-keyed health map; routes
+// absent from the map are Healthy.
+func healthServer(t *testing.T, health map[core.Route]backend.Health) (*httptest.Server, *Client) {
+	t.Helper()
+	files := testFiles()
+	advisor := &core.Advisor{
+		DB:    core.NewStaticDB(files),
+		Cache: cacheSet{files[1].ID: true},
+	}
+	s := NewServer(advisor, NewMapResolver(files), nil)
+	if health != nil {
+		s.SetHealth(func(r core.Route) backend.Health { return health[r] })
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	client, err := NewClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, client
+}
+
+func TestDecideHealthDefaultsToOK(t *testing.T) {
+	_, c := healthServer(t, nil)
+	resp, err := c.Decide(context.Background(), "http://origin/rare.mkv", goodAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Health != "ok" || resp.Rerouted {
+		t.Fatalf("without a health hook: health=%q rerouted=%v, want ok/false",
+			resp.Health, resp.Rerouted)
+	}
+}
+
+func TestDecideReroutesAroundUnavailableBackend(t *testing.T) {
+	srv, c := healthServer(t, map[core.Route]backend.Health{
+		core.RouteSmartAP: backend.Unavailable,
+	})
+	// The hot magnet normally routes to the smart AP; with the AP's
+	// circuit open the decision must fall back (here: the user device,
+	// since a highly popular P2P file without an AP downloads locally).
+	resp, err := c.Decide(context.Background(), "magnet:?xt=urn:btih:hot", goodAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Route == "smart-ap" {
+		t.Fatal("decision stayed on the unavailable smart AP")
+	}
+	if !resp.Rerouted {
+		t.Fatal("rerouted flag not set")
+	}
+	if resp.Reason != core.ReasonCircuitOpen {
+		t.Fatalf("reason = %q, want %q", resp.Reason, core.ReasonCircuitOpen)
+	}
+	if resp.Health != "ok" {
+		t.Fatalf("final backend health = %q, want ok", resp.Health)
+	}
+
+	// The reroute is visible on /metrics.
+	body := fetchMetrics(t, srv)
+	if !strings.Contains(body, metricRerouted) {
+		t.Fatalf("/metrics missing %s:\n%s", metricRerouted, body)
+	}
+}
+
+func TestDecideImpairedHopsOnlyToStableHealthyRoute(t *testing.T) {
+	// A low-bandwidth Unicom user with a cached file decides
+	// cloud+smart-ap; that route running a degraded episode hops to the
+	// stable, healthy cloud.
+	aux := goodAux()
+	aux.AccessBW = 100 * 1024
+	_, c := healthServer(t, map[core.Route]backend.Health{
+		core.RouteCloudThenAP: backend.Impaired,
+	})
+	resp, err := c.Decide(context.Background(), "http://origin/rare.mkv", aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Route != "cloud" || !resp.Rerouted || resp.Reason != core.ReasonDegraded {
+		t.Fatalf("got route=%q rerouted=%v reason=%q, want cloud/true/%q",
+			resp.Route, resp.Rerouted, resp.Reason, core.ReasonDegraded)
+	}
+	if resp.Health != "ok" {
+		t.Fatalf("final health = %q, want ok", resp.Health)
+	}
+}
+
+func TestDecideImpairedStaysWhenNoStableFallback(t *testing.T) {
+	// The hot magnet's fallback from the smart AP is the user device —
+	// not a stable route — so a merely degraded AP keeps the task: a
+	// working backend beats losing the AP's pre-download entirely.
+	_, c := healthServer(t, map[core.Route]backend.Health{
+		core.RouteSmartAP: backend.Impaired,
+	})
+	resp, err := c.Decide(context.Background(), "magnet:?xt=urn:btih:hot", goodAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Route != "smart-ap" || resp.Rerouted {
+		t.Fatalf("route=%q rerouted=%v, want smart-ap/false", resp.Route, resp.Rerouted)
+	}
+	if resp.Health != "degraded" {
+		t.Fatalf("health = %q, want degraded", resp.Health)
+	}
+}
+
+func TestDecideEverythingDownTerminatesAtUserDevice(t *testing.T) {
+	// All backends unavailable: the degrade loop must terminate (hop cap)
+	// and land on the terminal user-device route rather than spin.
+	all := map[core.Route]backend.Health{}
+	for r := 0; r < core.NumRoutes; r++ {
+		all[core.Route(r)] = backend.Unavailable
+	}
+	_, c := healthServer(t, all)
+	resp, err := c.Decide(context.Background(), "magnet:?xt=urn:btih:hot", goodAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Route != "user-device" {
+		t.Fatalf("route = %q, want the terminal user-device", resp.Route)
+	}
+	if resp.Health != "unavailable" {
+		t.Fatalf("health = %q, want unavailable (honestly reported)", resp.Health)
+	}
+}
+
+func fetchMetrics(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

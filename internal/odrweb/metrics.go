@@ -24,6 +24,9 @@ type webMetrics struct {
 	// file — the service-side analogue of the replay's fetch-bytes
 	// histogram (ODR never moves the bytes itself).
 	resolvedBytes *obs.Histogram
+	// rerouted counts decisions the health hook moved off the preferred
+	// backend, per degrade reason (circuit_open / degraded).
+	rerouted map[string]*obs.Counter
 }
 
 // Metric names exposed by the web service.
@@ -31,6 +34,7 @@ const (
 	metricHTTPRequests  = "odr_http_requests_total"
 	metricHTTPSeconds   = "odr_http_request_seconds"
 	metricDecisions     = "odr_decisions_total"
+	metricRerouted      = "odr_decisions_rerouted_total"
 	metricResolvedBytes = "odr_fetch_bytes"
 	httpSecondsScale    = 1e6 // observe microseconds, expose seconds
 )
@@ -52,6 +56,10 @@ func newWebMetrics(reg *obs.Registry) webMetrics {
 		name := backend.NameForRoute(r)
 		m.decisions[name] = reg.Counter(obs.Label(metricDecisions, "backend", name))
 	}
+	m.rerouted = make(map[string]*obs.Counter, 2)
+	for _, reason := range []string{core.ReasonCircuitOpen, core.ReasonDegraded} {
+		m.rerouted[reason] = reg.Counter(obs.Label(metricRerouted, "reason", reason))
+	}
 	// Pre-register the latency histogram and request counter for the
 	// well-known paths so an idle server still scrapes the full schema.
 	for _, p := range []string{"/", "/api/v1/decide", "/healthz", "/metrics"} {
@@ -67,6 +75,15 @@ func (m *webMetrics) decision(dec core.Decision) {
 	c := m.decisions[name]
 	if c == nil {
 		c = m.reg.Counter(obs.Label(metricDecisions, "backend", name))
+	}
+	c.Inc()
+}
+
+// reroute records one health-driven fallback hop.
+func (m *webMetrics) reroute(reason string) {
+	c := m.rerouted[reason]
+	if c == nil {
+		c = m.reg.Counter(obs.Label(metricRerouted, "reason", reason))
 	}
 	c.Inc()
 }

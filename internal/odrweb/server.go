@@ -125,6 +125,13 @@ type DecideResponse struct {
 	// Band and Cached echo what ODR learned from the content database.
 	Band   string `json:"band"`
 	Cached bool   `json:"cached"`
+	// Health reports the chosen backend's current health ("ok",
+	// "degraded", "unavailable"); "ok" when no health hook is installed.
+	Health string `json:"health"`
+	// Rerouted is set when the health hook moved the decision off the
+	// preferred backend; Reason then carries the degrade token
+	// (circuit_open or degraded).
+	Rerouted bool `json:"rerouted,omitempty"`
 }
 
 // ErrorResponse is the JSON error body.
@@ -134,6 +141,11 @@ type ErrorResponse struct {
 
 // auxCookie is the cookie remembering auxiliary information.
 const auxCookie = "odr_aux"
+
+// HealthFunc reports the current health of a route's backend. The
+// replay engine asks its fault injector; cmd/odrserver derives it from a
+// faults.Clock on wall time. It must be safe for concurrent use.
+type HealthFunc func(core.Route) backend.Health
 
 // Server is the ODR web service.
 type Server struct {
@@ -145,6 +157,7 @@ type Server struct {
 	started  time.Time
 	reg      *obs.Registry
 	met      webMetrics
+	health   HealthFunc
 }
 
 // NewServer assembles the service. logger may be nil to disable logging.
@@ -173,6 +186,11 @@ func NewServer(advisor *core.Advisor, resolver Resolver, logger *log.Logger) *Se
 	s.handler = s.met.instrument(mux)
 	return s
 }
+
+// SetHealth installs the backend-health hook consulted on every decide.
+// Call it before serving traffic; nil (the default) means every backend
+// is always healthy.
+func (s *Server) SetHealth(h HealthFunc) { s.health = h }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -244,9 +262,10 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 
 	dec := core.Decide(in)
+	dec, health, rerouted := s.degrade(in, dec)
 	s.met.decision(dec)
-	s.logf("decide link=%s band=%v cached=%v -> %v from %v",
-		req.Link, in.Band, in.Cached, dec.Route, dec.Source)
+	s.logf("decide link=%s band=%v cached=%v -> %v from %v (health %v)",
+		req.Link, in.Band, in.Cached, dec.Route, dec.Source, health)
 
 	// Remember the auxiliary info for next time.
 	if req.Aux != nil {
@@ -260,7 +279,53 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		Addresses: dec.Addresses,
 		Band:      in.Band.String(),
 		Cached:    in.Cached,
+		Health:    health.String(),
+		Rerouted:  rerouted,
 	})
+}
+
+// degrade applies the health hook to a fresh decision, mirroring the
+// replay engine's policy: an unavailable backend always falls back to
+// the next-best route (reason circuit_open); a merely degraded one hops
+// only to a stable, fully healthy route (reason degraded), because
+// switching away from a working backend must never lose a completion.
+// It returns the final decision, the chosen backend's health, and
+// whether any hop happened.
+func (s *Server) degrade(in core.Input, dec core.Decision) (core.Decision, backend.Health, bool) {
+	if s.health == nil {
+		return dec, backend.Healthy, false
+	}
+	rerouted := false
+	h := s.health(dec.Route)
+	for hops := 0; hops < core.NumRoutes; hops++ {
+		if h == backend.Healthy {
+			break
+		}
+		fb, fin, ok := core.Fallback(in, dec)
+		if !ok {
+			break
+		}
+		if h == backend.Impaired {
+			if !stableRoute(fb.Route) || s.health(fb.Route) != backend.Healthy {
+				break
+			}
+			fb.Reason = core.ReasonDegraded
+		} else {
+			fb.Reason = core.ReasonCircuitOpen
+		}
+		s.met.reroute(fb.Reason)
+		rerouted = true
+		dec, in = fb, fin
+		h = s.health(dec.Route)
+	}
+	return dec, h, rerouted
+}
+
+// stableRoute mirrors the replay engine's notion of a route worth
+// switching to when the preferred backend is merely degraded: the
+// cloud-backed paths, whose fetch legs have no failure mode of their own.
+func stableRoute(r core.Route) bool {
+	return r == core.RouteCloud || r == core.RouteCloudThenAP
 }
 
 // buildInput validates and converts auxiliary info into a decision input

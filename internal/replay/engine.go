@@ -207,6 +207,7 @@ func bindRequest(req *backend.Request, rng *dist.RNG, root *dist.RNG,
 	req.File = wreq.File
 	req.RNG = rng
 	req.EnvCap = EnvCap
+	req.When = wreq.Time
 	if len(aps) > 0 {
 		req.AP = aps[i%len(aps)]
 	}

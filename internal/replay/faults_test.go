@@ -1,0 +1,160 @@
+package replay
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"odr/internal/backend"
+	"odr/internal/faults"
+	"odr/internal/obs"
+	"odr/internal/workload"
+)
+
+// TestReplayDeterminismFaults extends the engine's core guarantee to the
+// fault-injection and resilience layers: with faults injected and the
+// failure-aware policy active (retries, RNG-drawn backoff, per-user
+// circuit breakers feeding the decide path), the replay digest stays
+// byte-identical for every shard count, the stream transport at any
+// chunk size, and pooling on or off. The name keeps the
+// TestReplayDeterminism prefix so `make determinism` runs it.
+func TestReplayDeterminismFaults(t *testing.T) {
+	f := setup(t)
+	spec := faults.Preset(0.4)
+	pol := backend.RetryPolicy{}
+	opts := func(shards int, tune StreamTuning, reg *obs.Registry) Options {
+		return Options{Seed: 14, Shards: shards, Stream: tune, Metrics: reg,
+			Faults: &spec, Resilience: &pol}
+	}
+
+	refReg := obs.NewRegistry()
+	ref := RunODR(f.sample, f.trace.Files, f.aps, opts(1, StreamTuning{}, refReg))
+	want := digest(ref)
+	wantSnap := refReg.Snapshot()
+
+	// Faults must actually bite for the test to mean anything: injected
+	// faults recorded, some fault-class failures, some retries.
+	if !hasPrefixedCounter(wantSnap, faults.MetricInjected) {
+		t.Fatalf("no %s counters recorded at intensity 0.4", faults.MetricInjected)
+	}
+	if !hasPrefixedCounter(wantSnap, backend.MetricRetries) {
+		t.Fatalf("no %s counters recorded — the resilience layer never retried", backend.MetricRetries)
+	}
+	var rerouted, faultCaused int
+	for i := range ref.Tasks {
+		switch ref.Tasks[i].Decision.Reason {
+		case "circuit_open", "degraded", "retry_exhausted":
+			rerouted++
+		}
+		if backend.IsFaultCause(ref.Tasks[i].Cause) {
+			faultCaused++
+		}
+	}
+	if rerouted == 0 {
+		t.Fatal("failure-aware routing never rerouted a task at intensity 0.4")
+	}
+
+	// Slice path: every shard count reproduces the reference digest and
+	// the reference metrics registry exactly.
+	for _, shards := range []int{4, 8} {
+		reg := obs.NewRegistry()
+		got := RunODR(f.sample, f.trace.Files, f.aps, opts(shards, StreamTuning{}, reg))
+		if d := digest(got); d != want {
+			t.Fatalf("faults shards=%d: replay diverged from the single-shard reference\nfirst differing line:\n%s",
+				shards, firstDiff(want, d))
+		}
+		if snap := reg.Snapshot(); !reflect.DeepEqual(snap, wantSnap) {
+			t.Fatalf("faults shards=%d: merged registry differs from the single-shard registry\nfirst differing line:\n%s",
+				shards, firstDiff(snapJSON(t, wantSnap), snapJSON(t, snap)))
+		}
+	}
+
+	// Stream path: shard counts × transport tunings, all byte-identical.
+	for _, tc := range []struct {
+		shards int
+		tune   StreamTuning
+	}{
+		{1, StreamTuning{}},
+		{4, StreamTuning{}},
+		{8, StreamTuning{}},
+		{4, StreamTuning{Chunk: 1}},
+		{4, StreamTuning{Chunk: 7}},
+		{4, StreamTuning{DisablePooling: true}},
+		{8, StreamTuning{Chunk: 3, DisablePooling: true}},
+	} {
+		reg := obs.NewRegistry()
+		got, err := RunODRStream(workload.NewSliceSource(f.sample), f.trace.Files,
+			f.aps, opts(tc.shards, tc.tune, reg))
+		if err != nil {
+			t.Fatalf("faults stream shards=%d tune=%+v: %v", tc.shards, tc.tune, err)
+		}
+		if d := digest(got); d != want {
+			t.Fatalf("faults stream shards=%d tune=%+v: diverged from the slice reference\nfirst differing line:\n%s",
+				tc.shards, tc.tune, firstDiff(want, d))
+		}
+		snap := reg.Snapshot()
+		// The transport gauges are scheduling/tuning descriptors, exempt
+		// from the determinism contract (same exemption as the fault-free
+		// test).
+		delete(snap.Gauges, MetricInflightPeak)
+		delete(snap.Gauges, MetricStreamChunk)
+		if !reflect.DeepEqual(snap, wantSnap) {
+			t.Fatalf("faults stream shards=%d tune=%+v: registry differs from the slice path\nfirst differing line:\n%s",
+				tc.shards, tc.tune, firstDiff(snapJSON(t, wantSnap), snapJSON(t, snap)))
+		}
+	}
+
+	// Naive mode (faults without the resilience policy) must be just as
+	// deterministic: the injector draws only from request substreams.
+	nref := RunODR(f.sample, f.trace.Files, f.aps,
+		Options{Seed: 14, Shards: 1, Faults: &spec})
+	nwant := digest(nref)
+	if nwant == want {
+		t.Fatal("naive and failure-aware replays produced identical digests — the policy did nothing")
+	}
+	for _, shards := range []int{4, 8} {
+		got := RunODR(f.sample, f.trace.Files, f.aps,
+			Options{Seed: 14, Shards: shards, Faults: &spec})
+		if d := digest(got); d != nwant {
+			t.Fatalf("naive faults shards=%d: diverged\nfirst differing line:\n%s",
+				shards, firstDiff(nwant, d))
+		}
+	}
+}
+
+// hasPrefixedCounter reports whether any counter series in the snapshot
+// carries the given metric name (labels follow the name in the key).
+func hasPrefixedCounter(snap *obs.Snapshot, name string) bool {
+	for k, v := range snap.Counters {
+		if strings.HasPrefix(k, name) && v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFaultRoutingCompletesMore is EXP-F's acceptance criterion at unit
+// scope: under injected faults the failure-aware router completes
+// strictly more tasks than the naive one, and without faults the two are
+// identical on completions.
+func TestFaultRoutingCompletesMore(t *testing.T) {
+	f := setup(t)
+	for _, intensity := range []float64{0.1, 0.25, 0.5} {
+		spec := faults.Preset(intensity)
+		naive := RunODR(f.sample, f.trace.Files, f.aps,
+			Options{Seed: 14, Faults: &spec})
+		aware := RunODR(f.sample, f.trace.Files, f.aps,
+			Options{Seed: 14, Faults: &spec, Resilience: &backend.RetryPolicy{}})
+		if aware.Completed() <= naive.Completed() {
+			t.Errorf("intensity %.2f: aware completed %d, naive %d — want strictly more",
+				intensity, aware.Completed(), naive.Completed())
+		}
+	}
+	plain := RunODR(f.sample, f.trace.Files, f.aps, Options{Seed: 14})
+	polOnly := RunODR(f.sample, f.trace.Files, f.aps,
+		Options{Seed: 14, Resilience: &backend.RetryPolicy{}})
+	if plain.Completed() != polOnly.Completed() {
+		t.Errorf("fault-free: policy changed completions (%d vs %d)",
+			polOnly.Completed(), plain.Completed())
+	}
+}

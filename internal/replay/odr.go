@@ -7,6 +7,7 @@ import (
 	"odr/internal/backend"
 	"odr/internal/cloud"
 	"odr/internal/core"
+	"odr/internal/faults"
 	"odr/internal/obs"
 	"odr/internal/smartap"
 	"odr/internal/stats"
@@ -144,6 +145,21 @@ type Options struct {
 	// DisableStorageSignal makes ODR ignore AP storage restrictions
 	// (ablation: Bottleneck 4 logic off).
 	DisableStorageSignal bool
+	// Faults, when non-nil and enabled, wraps every backend with the
+	// deterministic fault-injection layer: per-operation faults are drawn
+	// from each request's RNG substream and episode windows are derived
+	// from Seed, so faulted replays remain byte-identical for any shard
+	// count, chunk size, or pooling setting (TestReplayDeterminismFaults
+	// pins this).
+	Faults *faults.Spec
+	// Resilience, when non-nil, makes the replay failure-aware: every
+	// backend gains bounded retry with RNG-drawn backoff jitter, a
+	// per-operation timeout, and per-user circuit breaking, and the
+	// decide path degrades to the next-best backend (reasons
+	// circuit_open, degraded, retry_exhausted) instead of failing the
+	// task. Nil replays naively: injected faults fail tasks outright.
+	// Zero fields take RetryPolicy defaults.
+	Resilience *backend.RetryPolicy
 	// Stream tunes the streaming transport (RunODRStream only): batch
 	// size and pooling. The zero value selects defaults, and tuning never
 	// changes replay results.
@@ -167,6 +183,23 @@ func newBackends(sample []workload.Request, files []*workload.FileMeta,
 	return set
 }
 
+// newFleet builds the route view the replay executes against, layering
+// the options' wrappers over the concrete set: the fault injector sits
+// closest to the backends, the resilience policy on top (retries must
+// see injected faults, not the other way around). finish publishes the
+// end-of-run circuit gauges; it is a no-op without resilience.
+func newFleet(set *backend.Set, opts Options) (fleet *backend.Fleet, finish func()) {
+	fleet = backend.NewFleet(set)
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		fleet = faults.WrapFleet(fleet, *opts.Faults, opts.Seed, opts.Metrics)
+	}
+	finish = func() {}
+	if opts.Resilience != nil {
+		fleet, finish = backend.WrapResilient(fleet, *opts.Resilience, opts.Metrics)
+	}
+	return fleet, finish
+}
+
 // RunODR replays the sample through the ODR decision procedure. Each
 // request's user owns the AP it was assigned in the §5.1 environment
 // (round-robin over aps).
@@ -180,15 +213,17 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 	}
 	set := newBackends(sample, files, opts.CloudScale, opts.Seed)
 	set.Instrument(opts.Metrics)
+	fleet, finish := newFleet(set, opts)
 	db := core.NewStaticDB(files)
 
 	res := &ODRResult{Backends: set}
 	res.Tasks, res.Engine = runSharded(sample, aps, opts.Seed, opts.Shards,
 		newODRObs(opts.Metrics),
 		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
-			odrTask(task, wreq, req, db, set, opts)
+			odrTask(task, wreq, req, db, fleet, opts)
 			return task.Success
 		})
+	finish()
 	return res
 }
 
@@ -211,6 +246,7 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 	}
 	set := backend.NewSet(files, cloud.DefaultConfig(opts.CloudScale, opts.Seed), opts.Seed)
 	set.Instrument(opts.Metrics)
+	fleet, finish := newFleet(set, opts)
 	db := core.NewStaticDB(files)
 
 	res := &ODRResult{Backends: set}
@@ -219,26 +255,30 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 		opts.Stream, newODRObs(opts.Metrics),
 		func(i int, wreq workload.Request) { set.Cloud.Observe(i, wreq.File) },
 		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
-			odrTask(task, wreq, req, db, set, opts)
+			odrTask(task, wreq, req, db, fleet, opts)
 			return task.Success
 		})
 	if err != nil {
 		return nil, err
 	}
+	finish()
 	return res, nil
 }
 
 // odrTask routes one request per Figure 15 and executes it on the backend
 // the decision resolves to, filling task in place (the engine hands it a
-// pooled slot in the shard's output buffer).
+// pooled slot in the shard's output buffer). With resilience enabled the
+// routing is failure-aware: unhealthy backends are degraded around
+// before any attempt, and a task that still fails on a fault gets one
+// re-execution on the fallback backend (reason retry_exhausted).
 func odrTask(task *ODRTask, wreq workload.Request, req *backend.Request,
-	db core.StaticDB, set *backend.Set, opts Options) {
+	db core.StaticDB, fleet *backend.Fleet, opts Options) {
 	user, file := req.User, req.File
 
 	in := core.Input{
 		Protocol:  file.Protocol,
 		Band:      db.Band(file.ID),
-		Cached:    set.Cloud.Probe(req),
+		Cached:    fleet.For(core.RouteCloud).Probe(req),
 		ISP:       user.ISP,
 		AccessBW:  user.AccessBW,
 		HasAP:     true,
@@ -247,11 +287,74 @@ func odrTask(task *ODRTask, wreq workload.Request, req *backend.Request,
 	}
 	applyAblations(&in, opts)
 	dec := core.Decide(in)
+	aware := opts.Resilience != nil
+	if aware {
+		dec, in = degrade(fleet, req, in, dec)
+	}
 	*task = ODRTask{Request: wreq, Decision: dec}
+	execRoute(task, fleet, req, in, aware)
 
-	switch dec.Route {
+	if aware && !task.Success && backend.IsFaultCause(task.Cause) {
+		if fb, fin, ok := core.Fallback(in, dec); ok {
+			fb.Reason = core.ReasonRetryExhausted
+			fb, fin = degrade(fleet, req, fin, fb)
+			waited := task.PreDelay
+			*task = ODRTask{Request: wreq, Decision: fb}
+			execRoute(task, fleet, req, fin, aware)
+			task.PreDelay += waited
+		}
+	}
+}
+
+// degrade routes around unhealthy backends before any attempt is made.
+// An Unavailable backend (offline window, open circuit) is always routed
+// around — attempting it is guaranteed failure — while an Impaired one
+// (degraded-bandwidth episode) is abandoned only for a fully healthy
+// stable fallback: trading a slow-but-certain completion for a
+// user-device gamble would lose tasks, not save them. Each hop re-runs
+// the Figure 15 logic with the ruled-out backend removed (core.Fallback)
+// and stamps the degradation reason onto the decision. Health checks
+// never draw from the request's RNG, so consulting them keeps replays
+// byte-identical.
+func degrade(fleet *backend.Fleet, req *backend.Request,
+	in core.Input, dec core.Decision) (core.Decision, core.Input) {
+	for hops := 0; hops < core.NumRoutes; hops++ {
+		h := fleet.Health(dec.Route, req)
+		if h == backend.Healthy {
+			break
+		}
+		fb, fin, ok := core.Fallback(in, dec)
+		if !ok {
+			break
+		}
+		if h == backend.Impaired {
+			if !stableRoute(fb.Route) || fleet.Health(fb.Route, req) != backend.Healthy {
+				break
+			}
+			fb.Reason = core.ReasonDegraded
+		} else {
+			fb.Reason = core.ReasonCircuitOpen
+		}
+		dec, in = fb, fin
+	}
+	return dec, in
+}
+
+// stableRoute reports whether a route's fetch path has no model failure
+// mode (the cloud's HTTP paths and the AP LAN): the routes worth
+// switching to when the preferred backend is merely degraded.
+func stableRoute(r core.Route) bool {
+	return r == core.RouteCloud || r == core.RouteCloudThenAP
+}
+
+// execRoute executes task's decision against the fleet. in must be the
+// input the decision was derived from (the cloud-pre-download arm
+// re-decides with Cached set).
+func execRoute(task *ODRTask, fleet *backend.Fleet, req *backend.Request,
+	in core.Input, aware bool) {
+	switch task.Decision.Route {
 	case core.RouteUserDevice:
-		f := set.UserDevice.Fetch(req)
+		f := fleet.For(core.RouteUserDevice).Fetch(req)
 		task.Success = f.OK
 		task.PerceivedRate = f.Rate
 		task.Cause = f.Cause
@@ -260,60 +363,79 @@ func odrTask(task *ODRTask, wreq workload.Request, req *backend.Request,
 		}
 
 	case core.RouteSmartAP:
-		pre := set.SmartAP.PreDownload(req)
+		b := fleet.For(core.RouteSmartAP)
+		pre := b.PreDownload(req)
 		task.Success = pre.OK
 		task.Cause = pre.Cause
 		task.PreDelay = pre.Delay
 		task.StorageBound = pre.StorageBound
 		task.B4Exposed = backend.StorageExposed(req)
 		if pre.OK {
-			task.PerceivedRate = set.SmartAP.Fetch(req).Rate
+			f := b.Fetch(req)
+			task.Success = f.OK
+			task.Cause = f.Cause
+			task.PerceivedRate = f.Rate
+			if !f.OK {
+				task.PreDelay += f.Delay
+			}
 		}
 
 	case core.RouteCloud:
-		f := set.Cloud.Fetch(req)
-		task.Success = true
+		f := fleet.For(core.RouteCloud).Fetch(req)
+		task.Success = f.OK
+		task.Cause = f.Cause
 		task.PerceivedRate = f.Rate
 		task.CloudBytes = float64(f.CloudBytes)
+		if !f.OK {
+			task.PreDelay = f.Delay
+		}
 
 	case core.RouteCloudThenAP:
-		cloudThenAP(task, set, req)
+		cloudThenAP(task, fleet.For(core.RouteCloudThenAP), req)
 
 	case core.RouteCloudPreDownload:
-		pre := set.Cloud.PreDownload(req)
+		pre := fleet.For(core.RouteCloudPreDownload).PreDownload(req)
 		task.PreDelay = pre.Delay
 		if !pre.OK {
 			task.Cause = pre.Cause
 			break
 		}
-		// Notified; ask ODR again — the file is now cached.
+		// Notified; ask ODR again — the file is now cached. The re-decide
+		// cannot return RouteCloudPreDownload (Cached is set), so the
+		// recursion terminates after one step.
 		in.Cached = true
 		dec2 := core.Decide(in)
-		task.Decision = dec2
-		task.Success = true
-		if dec2.Route == core.RouteCloudThenAP {
-			waited := task.PreDelay
-			cloudThenAP(task, set, req)
-			task.PreDelay += waited
-		} else {
-			f := set.Cloud.Fetch(req)
-			task.PerceivedRate = f.Rate
-			task.CloudBytes += float64(f.CloudBytes)
+		if aware {
+			dec2, in = degrade(fleet, req, in, dec2)
 		}
+		waited := task.PreDelay
+		*task = ODRTask{Request: task.Request, Decision: dec2}
+		execRoute(task, fleet, req, in, aware)
+		task.PreDelay += waited
 	}
 }
 
 // cloudThenAP executes the Bottleneck 1 mitigation on the composite
 // backend: the AP pulls the file from the cloud over a stable HTTP path
 // and the user fetches over the LAN.
-func cloudThenAP(task *ODRTask, set *backend.Set, req *backend.Request) {
-	pre := set.CloudThenAP.PreDownload(req)
-	task.Success = true
+func cloudThenAP(task *ODRTask, b backend.Backend, req *backend.Request) {
+	pre := b.PreDownload(req)
+	task.PreDelay = pre.Delay
 	task.StorageBound = pre.StorageBound
 	task.B4Exposed = pre.StorageBound
-	task.PreDelay = pre.Delay
 	task.CloudBytes = float64(pre.CloudBytes)
-	task.PerceivedRate = set.CloudThenAP.Fetch(req).Rate
+	if !pre.OK {
+		task.Cause = pre.Cause
+		return
+	}
+	f := b.Fetch(req)
+	task.Success = f.OK
+	task.Cause = f.Cause
+	task.PerceivedRate = f.Rate
+	task.CloudBytes += float64(f.CloudBytes)
+	if !f.OK {
+		task.PreDelay += f.Delay
+	}
 }
 
 func applyAblations(in *core.Input, opts Options) {
@@ -346,6 +468,9 @@ func (r *ODRResult) ImpededRatio() float64 {
 	}
 	return float64(s.impeded) / float64(s.completed)
 }
+
+// Completed returns the number of tasks that obtained their file.
+func (r *ODRResult) Completed() int { return r.summarize().completed }
 
 // FailureRatio returns the overall share of tasks that never obtained
 // their file.
@@ -469,7 +594,7 @@ func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
 			}
 			// The AP then pulls from the cloud, always.
 			waited := task.PreDelay
-			cloudThenAP(task, set, req)
+			cloudThenAP(task, set.CloudThenAP, req)
 			task.PreDelay += waited
 			return true
 		})
