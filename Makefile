@@ -40,7 +40,7 @@ determinism:
 # and the fault layer decides what fails and when — neither may rot
 # unexercised. Profiles go to a fresh mktemp path removed on exit, so
 # concurrent builds on one machine never clobber each other's files.
-COVER_FLOORS := internal/obs:85 internal/faults:85
+COVER_FLOORS := internal/obs:85 internal/faults:85 internal/cloud:85
 cover:
 	@prof="$$(mktemp)" || exit 1; \
 	trap 'rm -f "$$prof"' EXIT; \
@@ -63,13 +63,16 @@ allocgate:
 	$(GO) test -run TestStreamSteadyStateAllocs -count 1 ./internal/replay
 
 # Replay benchmarks: the shard-count throughput sweep plus the streaming
-# pipeline's allocation profile and the metrics hot path. -count 5
-# repeated runs with -benchmem give the aggregator enough samples.
+# pipeline's allocation profile, the metrics hot path, and the storage
+# pool's per-policy demand loop. -count 5 repeated runs with -benchmem
+# give the aggregator enough samples.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamReplay|BenchmarkReplayParallel' \
 		-benchmem -benchtime 3x -count 5 ./internal/replay
 	$(GO) test -run '^$$' -bench BenchmarkRegistryHotPath \
 		-benchmem -count 5 ./internal/obs
+	$(GO) test -run '^$$' -bench BenchmarkStoragePool \
+		-benchmem -benchtime 200000x -count 5 ./internal/cloud
 
 # The tracked benchmark baseline. bench-save reruns the suite and rewrites
 # it; bench-compare reruns the suite and diffs median metrics against it,

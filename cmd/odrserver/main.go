@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	odrserver [-addr :8080] [-files N] [-seed S] [-metrics FORMAT]
-//	          [-faults SPEC] [-pprof ADDR] [-shutdown-timeout D]
+//	odrserver [-addr :8080] [-files N] [-seed S] [-cache-policy NAME]
+//	          [-metrics FORMAT] [-faults SPEC] [-pprof ADDR]
+//	          [-shutdown-timeout D]
 //
+// With -cache-policy the pre-warmed pool runs under the named eviction
+// policy (lru, lfu, band, prewarm); the pool's state and counters appear
+// as odr_pool_* series on /metrics either way.
 // The server builds a synthetic content universe of N files (the stand-in
 // for Xuanfeng's content database) with a pre-warmed cache, then serves:
 //
@@ -58,21 +62,23 @@ func main() {
 	metrics := flag.String("metrics", "", "dump the final metrics snapshot to stdout on exit: prom or json")
 	faultSpec := flag.String("faults", "", "deterministic fault schedule: intensity (e.g. 0.25) or k=v list (see internal/faults)")
 	pprofAddr := flag.String("pprof", "", "also serve net/http/pprof on this address")
+	cachePolicy := flag.String("cache-policy", "", "storage-pool eviction policy: lru, lfu, band, prewarm (empty = lru)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "odrserver ", log.LstdFlags)
-	if err := run(*addr, *files, *seed, *metrics, *faultSpec, *pprofAddr, *shutdownTimeout, logger); err != nil {
+	if err := run(*addr, *files, *seed, *metrics, *faultSpec, *pprofAddr, *cachePolicy,
+		*shutdownTimeout, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr string, files int, seed uint64, metrics, faultSpec, pprofAddr string,
+func run(addr string, files int, seed uint64, metrics, faultSpec, pprofAddr, cachePolicy string,
 	shutdownTimeout time.Duration, logger *log.Logger) error {
 	if err := validMetricsFormat(metrics); err != nil {
 		return err
 	}
-	srv, n, err := buildServer(files, seed, logger)
+	srv, n, err := buildServer(files, seed, cachePolicy, logger)
 	if err != nil {
 		return err
 	}
@@ -119,7 +125,7 @@ func run(addr string, files int, seed uint64, metrics, faultSpec, pprofAddr stri
 	}
 
 	if metrics != "" {
-		if err := dumpSnapshot(os.Stdout, srv.Metrics().Snapshot(), metrics); err != nil {
+		if err := dumpSnapshot(os.Stdout, srv.Snapshot(), metrics); err != nil {
 			return err
 		}
 	}
@@ -185,7 +191,11 @@ func servePprof(addr string, logger *log.Logger) {
 
 // buildServer synthesizes the content universe and assembles the service,
 // returning the number of pre-cached files.
-func buildServer(files int, seed uint64, logger *log.Logger) (*odrweb.Server, int, error) {
+func buildServer(files int, seed uint64, cachePolicy string, logger *log.Logger) (*odrweb.Server, int, error) {
+	pol, err := cloud.NewPolicy(cachePolicy)
+	if err != nil {
+		return nil, 0, err
+	}
 	tr, err := workload.Generate(workload.DefaultConfig(files, seed))
 	if err != nil {
 		return nil, 0, fmt.Errorf("generate content universe: %w", err)
@@ -193,17 +203,19 @@ func buildServer(files int, seed uint64, logger *log.Logger) (*odrweb.Server, in
 	db := cloud.NewContentDB()
 	db.SeedPopularity(tr.Files)
 
-	pool := cloud.NewStoragePool(cloud.FullPoolBytes)
+	pool := cloud.NewStoragePoolPolicy(cloud.FullPoolBytes, len(tr.Files), pol)
 	warm := dist.NewRNG(seed).Split("server-warm")
 	warmProbs := [3]float64{0.70, 0.97, 0.998}
 	cached := 0
 	for _, f := range tr.Files {
 		if warm.Bool(warmProbs[f.Band()]) {
-			pool.Add(f.ID, f.Size)
+			pool.AddMeta(f)
 			cached++
 		}
 	}
 	advisor := &core.Advisor{DB: db, Cache: pool}
 	resolver := odrweb.FallbackResolver{Primary: odrweb.NewMapResolver(tr.Files)}
-	return odrweb.NewServer(advisor, resolver, logger), cached, nil
+	srv := odrweb.NewServer(advisor, resolver, logger)
+	srv.SetPoolStats(pool.Stats)
+	return srv, cached, nil
 }

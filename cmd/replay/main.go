@@ -6,8 +6,15 @@
 //
 //	replay [-files N] [-sample N] [-seed S] [-shards N] [-chunk N]
 //	       [-tasks PATH] [-trace FILE] [-stream] [-faults SPEC] [-naive]
+//	       [-cache-policy NAME] [-pool-bytes N]
 //	       [-metrics FORMAT] [-pprof ADDR]
 //
+// With -cache-policy the ODR replay's cloud pool evolves under the named
+// eviction policy (lru, lfu, band, prewarm) instead of the default static
+// warm set; -pool-bytes overrides the pool capacity so the policy comes
+// under pressure. Results stay byte-identical for any -shards/-chunk
+// value under every policy, and the pool's end-of-run state appears as
+// odr_pool_* metrics in the -metrics dump.
 // With -faults the ODR replay runs under the deterministic
 // fault-injection layer (see internal/faults): SPEC is either a preset
 // intensity ("0.25") or per-class rates
@@ -73,10 +80,12 @@ func main() {
 	naive := flag.Bool("naive", false, "with -faults, disable the failure-aware routing policy (faults fail tasks outright)")
 	metrics := flag.String("metrics", "", "dump the ODR replay's metrics snapshot to stderr: prom or json")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while the replay runs")
+	cachePolicy := flag.String("cache-policy", "", "run the cloud pool under this eviction policy (lru, lfu, band, prewarm; empty = static warm set)")
+	poolBytes := flag.Int64("pool-bytes", 0, "override the cloud pool capacity in bytes (0 = scale default)")
 	flag.Parse()
 
 	if err := run(*files, *sampleN, *seed, *shards, *chunk, *tasks, *tracePath, *stream,
-		*faultSpec, *naive, *metrics, *pprofAddr); err != nil {
+		*faultSpec, *naive, *metrics, *pprofAddr, *cachePolicy, *poolBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
@@ -98,7 +107,8 @@ func faultOptions(spec string, naive bool, opts *replay.Options) error {
 }
 
 func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePath string,
-	stream bool, faultSpec string, naive bool, metrics, pprofAddr string) error {
+	stream bool, faultSpec string, naive bool, metrics, pprofAddr, cachePolicy string,
+	poolBytes int64) error {
 	var reg *obs.Registry
 	switch metrics {
 	case "":
@@ -107,6 +117,9 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 	default:
 		return fmt.Errorf("unknown -metrics format %q (want prom or json)", metrics)
 	}
+	if _, err := cloud.NewPolicy(cachePolicy); err != nil {
+		return err
+	}
 	if pprofAddr != "" {
 		go servePprof(pprofAddr)
 	}
@@ -114,7 +127,8 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 		if tasksPath != "" {
 			return fmt.Errorf("-tasks needs the materialized week trace; drop -stream")
 		}
-		if err := runStream(files, sampleN, seed, shards, chunk, tracePath, faultSpec, naive, reg); err != nil {
+		if err := runStream(files, sampleN, seed, shards, chunk, tracePath, faultSpec, naive,
+			reg, cachePolicy, poolBytes); err != nil {
 			return err
 		}
 		return dumpMetrics(reg, metrics)
@@ -131,7 +145,8 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 
 	bench := replay.RunAPBenchmark(sample, aps, seed)
 	baseline := replay.CloudOnlyBaseline(sample, tr.Files, seed)
-	odrOpts := replay.Options{Seed: seed, Shards: shards, Metrics: reg}
+	odrOpts := replay.Options{Seed: seed, Shards: shards, Metrics: reg,
+		CachePolicy: cachePolicy, PoolBytes: poolBytes}
 	if err := faultOptions(faultSpec, naive, &odrOpts); err != nil {
 		return err
 	}
@@ -167,7 +182,7 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 // the streaming engine. Only the populations, the Unicom pool, and the
 // task records are ever resident.
 func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath string,
-	faultSpec string, naive bool, reg *obs.Registry) error {
+	faultSpec string, naive bool, reg *obs.Registry, cachePolicy string, poolBytes int64) error {
 	tune := replay.StreamTuning{Chunk: chunk}
 	var (
 		sample  []workload.Request
@@ -214,7 +229,8 @@ func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath str
 		return err
 	}
 	baseline := replay.CloudOnlyBaseline(sample, filePop, seed)
-	odrOpts := replay.Options{Seed: seed, Shards: shards, Metrics: reg, Stream: tune}
+	odrOpts := replay.Options{Seed: seed, Shards: shards, Metrics: reg, Stream: tune,
+		CachePolicy: cachePolicy, PoolBytes: poolBytes}
 	if err := faultOptions(faultSpec, naive, &odrOpts); err != nil {
 		return err
 	}

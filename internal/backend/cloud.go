@@ -29,13 +29,23 @@ var WarmProbs = [3]float64{0.70, 0.97, 0.998}
 // not stress cloud admission, so upload-pool bookkeeping reduces to byte
 // accounting in the Ledger.
 //
-// Concurrency and determinism: the warm pool is immutable after
-// construction, and each cache miss's pre-download outcome is a memoized
-// pure function of (seed, file) drawn from a file-keyed RNG substream —
-// never from a shared sequential stream. Whether a request sees the file
-// cached therefore depends only on the warm set, that per-file outcome,
-// and the index order recorded by Prime, not on which goroutine got there
-// first.
+// Concurrency and determinism: in the default static mode the warm pool
+// is immutable after construction, and each cache miss's pre-download
+// outcome is a memoized pure function of (seed, file) drawn from a
+// file-keyed RNG substream — never from a shared sequential stream.
+// Whether a request sees the file cached therefore depends only on the
+// warm set, that per-file outcome, and the index order recorded by Prime,
+// not on which goroutine got there first.
+//
+// Naming a cache policy (cloud.Config.CachePolicy) switches the backend
+// to dynamic mode: the pool evolves under the policy — lookups refresh
+// placement, successful pre-downloads admit files, capacity pressure
+// evicts. The pool then mutates only in ObserveAt, which the replay
+// engines call in strictly ascending index order before the matching
+// request is dispatched (Prime for slices, the reader goroutine for
+// streams). Each request's cached-or-not verdict is latched in a bitset
+// at observation time, so the parallel dispatch phase only reads verdict
+// bits — worker scheduling still cannot influence what any request sees.
 type Cloud struct {
 	cfg  cloud.Config
 	fm   cloud.FetchModel
@@ -49,7 +59,10 @@ type Cloud struct {
 	// firstIdx records each sampled file's earliest request index; a
 	// request sees a pre-downloaded (not warm) file as cached only when a
 	// strictly earlier request could have triggered the pre-download.
+	// Static mode only.
 	firstIdx map[workload.FileID]int
+	// dyn holds the policy-driven pool state; nil in static mode.
+	dyn *dynCache
 	// preLabel and preRNG are scratch state for outcomeLocked's per-file
 	// substream derivation, guarded by mu like the maps above.
 	preLabel []byte
@@ -59,23 +72,59 @@ type Cloud struct {
 	met    backendMetrics
 }
 
-// NewCloud builds a warmed cloud backend over the file population.
+// dynCache is the dynamic-mode observation state: how far the sequential
+// observation pass has advanced and the per-request cache verdicts it
+// latched along the way.
+type dynCache struct {
+	// verdicts is a bitset over request indices: bit i set means request i
+	// found its file cached at observation time.
+	verdicts []uint64
+	// next is the lowest request index not yet observed.
+	next int
+}
+
+func (d *dynCache) set(i int) {
+	w := i >> 6
+	for len(d.verdicts) <= w {
+		d.verdicts = append(d.verdicts, 0)
+	}
+	d.verdicts[w] |= 1 << (uint(i) & 63)
+}
+
+func (d *dynCache) get(i int) bool {
+	w := i >> 6
+	return w < len(d.verdicts) && d.verdicts[w]&(1<<(uint(i)&63)) != 0
+}
+
+// NewCloud builds a warmed cloud backend over the file population. It
+// panics when cfg names an unknown cache policy (construction-time
+// programming error, same contract as cloud.New).
 func NewCloud(files []*workload.FileMeta, cfg cloud.Config, seed uint64) *Cloud {
+	pol, err := cloud.NewPolicy(cfg.CachePolicy)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.CachePolicy == "" {
+		pol = nil // static mode keeps the pool's embedded LRU (no extra alloc)
+	}
 	g := dist.NewRNG(seed).Split("mini-cloud")
 	c := &Cloud{
 		cfg:      cfg,
 		fm:       cloud.NewFetchModel(cfg),
 		src:      sources.NewMix(),
-		pool:     cloud.NewStoragePoolSized(cfg.PoolCapacity, len(files)),
+		pool:     cloud.NewStoragePoolPolicy(cfg.PoolCapacity, len(files), pol),
 		root:     g,
 		outcomes: make(map[workload.FileID]PreResult),
 		firstIdx: make(map[workload.FileID]int),
 		preRNG:   dist.NewRNG(0),
 	}
+	if cfg.CachePolicy != "" {
+		c.dyn = &dynCache{}
+	}
 	warm := g.Split("warm")
 	for _, f := range files {
 		if warm.Bool(WarmProbs[f.Band()]) {
-			c.pool.Add(f.ID, f.Size)
+			c.pool.AddMeta(f)
 		}
 	}
 	return c
@@ -90,9 +139,33 @@ func (c *Cloud) Ledger() *Ledger { return &c.ledger }
 // Config returns the backend's cloud configuration.
 func (c *Cloud) Config() cloud.Config { return c.cfg }
 
-// Contains implements core.CacheProbe over the warm pool (the state ODR's
-// advisor would see at replay start).
-func (c *Cloud) Contains(id workload.FileID) bool { return c.pool.Contains(id) }
+// Contains implements core.CacheProbe over the pool (the state ODR's
+// advisor would see). In dynamic mode the pool evolves, so the read takes
+// the backend lock.
+func (c *Cloud) Contains(id workload.FileID) bool {
+	if c.dyn == nil {
+		return c.pool.Contains(id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pool.Contains(id)
+}
+
+// PoolStats snapshots the storage pool's state and counters.
+func (c *Cloud) PoolStats() cloud.PoolStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pool.Stats()
+}
+
+// PolicyLabel names the pool's placement regime for metrics: "static" for
+// the default immutable warm pool, the policy name in dynamic mode.
+func (c *Cloud) PolicyLabel() string {
+	if c.dyn == nil {
+		return "static"
+	}
+	return c.pool.Policy()
+}
 
 // Prime records each sampled file's earliest request index and resolves
 // the pre-download outcome of every non-warm sampled file up front, so
@@ -100,11 +173,15 @@ func (c *Cloud) Contains(id workload.FileID) bool { return c.pool.Contains(id) }
 // index map without disturbing already-recorded entries.
 func (c *Cloud) Prime(sample []workload.Request) {
 	for i := range sample {
-		c.Observe(i, sample[i].File)
+		c.ObserveAt(i, sample[i].File, sample[i].Time)
 	}
 }
 
-// Observe is the streaming form of Prime: it records one request as it
+// Observe is ObserveAt without a trace time (adequate in static mode,
+// where observation order alone decides visibility).
+func (c *Cloud) Observe(i int, f *workload.FileMeta) { c.ObserveAt(i, f, 0) }
+
+// ObserveAt is the streaming form of Prime: it records one request as it
 // flows past, without the caller ever holding the full sample. Requests
 // must be observed in ascending index order before any request with a
 // larger index is dispatched; the streaming replay engine's reader
@@ -112,14 +189,45 @@ func (c *Cloud) Prime(sample []workload.Request) {
 // pure function of (seed, file) and firstIdx keeps only the smallest index
 // per file, observing a stream leaves the cloud in the identical state a
 // full Prime over the same requests would.
-func (c *Cloud) Observe(i int, f *workload.FileMeta) {
+//
+// In dynamic mode this is the single point where the pool evolves: the
+// trace clock ticks (driving prefetch policies), the request's lookup
+// refreshes or misses, and a successful pre-download outcome admits the
+// file for later requests. The request's own verdict is latched before
+// any admission, so a request never sees a file its own miss fetched.
+func (c *Cloud) ObserveAt(i int, f *workload.FileMeta, when time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.dyn != nil {
+		c.observeDynamicLocked(i, f, when)
+		return
+	}
 	if _, ok := c.firstIdx[f.ID]; !ok {
 		c.firstIdx[f.ID] = i
 	}
 	if !c.pool.Contains(f.ID) {
 		c.outcomeLocked(f)
+	}
+}
+
+// observeDynamicLocked advances the policy-driven pool by one request.
+// Re-observing an already-observed index (a second Prime pass) is a
+// no-op; skipping ahead is an engine-sequencing bug and panics.
+func (c *Cloud) observeDynamicLocked(i int, f *workload.FileMeta, when time.Duration) {
+	if i < c.dyn.next {
+		return
+	}
+	if i != c.dyn.next {
+		panic("backend: out-of-order observation in dynamic cache mode")
+	}
+	c.dyn.next = i + 1
+	c.pool.Tick(when)
+	if c.pool.Lookup(f.ID) {
+		c.dyn.set(i)
+		return
+	}
+	if c.outcomeLocked(f).OK {
+		c.pool.AddMeta(f)
 	}
 }
 
@@ -132,13 +240,13 @@ func (c *Cloud) PrimeSource(src workload.RequestSource) error {
 		if !ok {
 			return src.Err()
 		}
-		c.Observe(i, req.File)
+		c.ObserveAt(i, req.File, req.Time)
 	}
 }
 
 // Probe implements Backend: the file is available to this request when it
 // is warm, or when a strictly earlier request's cloud pre-download
-// succeeded.
+// succeeded. In dynamic mode the answer was latched at observation time.
 func (c *Cloud) Probe(req *Request) bool {
 	hit := c.probe(req)
 	c.met.probe(hit)
@@ -146,6 +254,11 @@ func (c *Cloud) Probe(req *Request) bool {
 }
 
 func (c *Cloud) probe(req *Request) bool {
+	if c.dyn != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.dyn.get(req.Index)
+	}
 	if c.pool.Contains(req.File.ID) {
 		return true
 	}

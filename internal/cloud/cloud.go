@@ -72,6 +72,9 @@ type Config struct {
 	// BurdenInterval is the sampling period of the Figure 11 timeseries
 	// (5 minutes in the paper). Zero disables sampling.
 	BurdenInterval time.Duration
+	// CachePolicy names the storage pool's eviction policy (see
+	// PolicyNames). Empty selects the LRU default.
+	CachePolicy string
 	// Seed drives the cloud's randomness.
 	Seed uint64
 }
@@ -131,6 +134,9 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("cloud: WarmProbs must be in [0,1]")
 		}
 	}
+	if _, err := NewPolicy(c.CachePolicy); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -174,11 +180,15 @@ func New(cfg Config, eng *sim.Engine) *Cloud {
 	for isp, share := range cfg.ISPPoolShares {
 		caps[isp] = cfg.UploadCapacity * share
 	}
+	pol, err := NewPolicy(cfg.CachePolicy)
+	if err != nil {
+		panic(err)
+	}
 	c := &Cloud{
 		cfg:      cfg,
 		eng:      eng,
 		db:       NewContentDB(),
-		pool:     NewStoragePool(cfg.PoolCapacity),
+		pool:     NewStoragePoolPolicy(cfg.PoolCapacity, 0, pol),
 		up:       NewUploaders(caps, cfg.FlowReserve),
 		src:      sources.NewMix(),
 		g:        dist.NewRNG(cfg.Seed).Split("cloud"),
@@ -220,7 +230,7 @@ func (c *Cloud) Prewarm(files []*workload.FileMeta) {
 	for _, f := range files {
 		c.db.Register(f)
 		if g.Bool(c.cfg.WarmProbs[f.Band()]) {
-			c.pool.Add(f.ID, f.Size)
+			c.pool.AddMeta(f)
 		}
 	}
 }
@@ -233,6 +243,7 @@ func (c *Cloud) Submit(user *workload.User, file *workload.FileMeta) *TaskRecord
 	c.records = append(c.records, rec)
 	c.db.Record(file)
 
+	c.pool.Tick(now)
 	if c.pool.Lookup(file.ID) {
 		rec.CacheHit = true
 		rec.PreSuccess = true
@@ -302,7 +313,7 @@ func (c *Cloud) finishPreDownload(rec *TaskRecord, infl *inflightDL, ok bool, ra
 		}
 	}
 	if ok {
-		c.pool.Add(rec.File.ID, rec.File.Size)
+		c.pool.AddMeta(rec.File)
 	}
 	complete(rec, traffic)
 	for _, w := range infl.waiters {

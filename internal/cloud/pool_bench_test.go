@@ -1,0 +1,60 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"odr/internal/workload"
+)
+
+// BenchmarkStoragePool drives each policy through the pool's demand loop —
+// lookup, admit under pressure, periodic trace-clock ticks — over a skewed
+// id stream, so the per-policy steady-state cost (list surgery, bucket
+// rebalancing, ghost bookkeeping) shows up as ns/op and allocs/op. The id
+// stream is a fixed LCG: identical work for every policy and every run.
+func BenchmarkStoragePool(b *testing.B) {
+	const (
+		population = 4096
+		fileSize   = 1 << 20
+	)
+	for _, name := range PolicyNames() {
+		b.Run(name, func(b *testing.B) {
+			pol, err := NewPolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Capacity for a quarter of the population: every policy is
+			// under continuous eviction pressure.
+			p := NewStoragePoolPolicy(population/4*fileSize, population, pol)
+			state := uint64(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Skewed draw: two LCG steps, min of the pair biases the
+				// stream toward low ids — a crude popularity head.
+				state = state*6364136223846793005 + 1442695040888963407
+				a := state >> 52
+				state = state*6364136223846793005 + 1442695040888963407
+				c := state >> 52
+				if c < a {
+					a = c
+				}
+				n := a % population
+				fid := id(n)
+				if i%64 == 0 {
+					p.Tick(time.Duration(i) * time.Minute)
+				}
+				if !p.Lookup(fid) {
+					band := workload.BandUnpopular
+					switch {
+					case n < population/128:
+						band = workload.BandHighlyPopular
+					case n < population/16:
+						band = workload.BandPopular
+					}
+					p.AddBanded(fid, fileSize, band)
+				}
+			}
+		})
+	}
+}

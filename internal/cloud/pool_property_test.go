@@ -46,8 +46,18 @@ func (p *refPool) lookup(id workload.FileID) bool {
 
 func (p *refPool) add(id workload.FileID, size int64) bool {
 	if i := p.find(id); i >= 0 {
+		// Re-add of a resident file: correct the stored size, refresh
+		// recency, then shrink back under capacity — possibly expelling
+		// the resized entry itself when it no longer fits.
+		p.used += size - p.order[i].size
+		p.order[i].size = size
 		p.touch(i)
-		return true
+		for p.used > p.capacity && len(p.order) > 0 {
+			last := p.order[len(p.order)-1]
+			p.order = p.order[:len(p.order)-1]
+			p.used -= last.size
+		}
+		return p.find(id) >= 0
 	}
 	if size > p.capacity {
 		return false

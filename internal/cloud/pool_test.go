@@ -135,6 +135,58 @@ func TestPoolManyEvictions(t *testing.T) {
 	}
 }
 
+// TestPoolReAddResizesEntry pins the fix for the latent accounting bug:
+// re-adding a resident file with a different size used to keep the stale
+// size, silently corrupting the used-bytes counter.
+func TestPoolReAddResizesEntry(t *testing.T) {
+	p := NewStoragePool(100)
+	p.Add(id(1), 40)
+	if !p.Add(id(1), 70) {
+		t.Fatal("resize re-add reported not resident")
+	}
+	if p.Used() != 70 || p.Len() != 1 {
+		t.Fatalf("used=%d len=%d after grow, want 70/1", p.Used(), p.Len())
+	}
+	if !p.Add(id(1), 10) {
+		t.Fatal("shrink re-add reported not resident")
+	}
+	if p.Used() != 10 || p.Len() != 1 {
+		t.Fatalf("used=%d len=%d after shrink, want 10/1", p.Used(), p.Len())
+	}
+	if p.Evictions() != 0 {
+		t.Fatalf("evictions=%d, want 0", p.Evictions())
+	}
+}
+
+// TestPoolReAddResizeEvicts pins the overflow half of the resize fix: a
+// grow that pushes the pool past capacity evicts colder entries, and the
+// byte accounting stays exact.
+func TestPoolReAddResizeEvicts(t *testing.T) {
+	p := NewStoragePool(100)
+	p.Add(id(1), 40)
+	p.Add(id(2), 50)
+	// Growing 1 to 60 makes used 110; the refresh touches 1 first, so the
+	// LRU victim is 2.
+	if !p.Add(id(1), 60) {
+		t.Fatal("grow past capacity reported not resident")
+	}
+	if p.Contains(id(2)) {
+		t.Fatal("overflow resize did not evict the cold entry")
+	}
+	if p.Used() != 60 || p.Len() != 1 || p.Evictions() != 1 {
+		t.Fatalf("used=%d len=%d evictions=%d, want 60/1/1", p.Used(), p.Len(), p.Evictions())
+	}
+	// Growing beyond the whole capacity can leave nothing to evict but the
+	// entry itself; the pool drops it and reports non-residency rather
+	// than hold a file larger than the pool.
+	if p.Add(id(1), 150) {
+		t.Fatal("grow beyond pool capacity reported resident")
+	}
+	if p.Contains(id(1)) || p.Used() != 0 {
+		t.Fatalf("oversized resize left residue: len=%d used=%d", p.Len(), p.Used())
+	}
+}
+
 func TestContentDBPopularity(t *testing.T) {
 	db := NewContentDB()
 	f := &workload.FileMeta{ID: id(1), Size: 10}
@@ -316,5 +368,18 @@ func TestUploaderMinimumOneSlot(t *testing.T) {
 	u := NewUploaders(map[workload.ISP]float64{workload.ISPCERNET: 5}, 100)
 	if g := u.Admit(workload.ISPCERNET, 1, 1); g == nil {
 		t.Fatal("pool with minimum slot count rejected its first fetch")
+	}
+}
+
+// TestStoragePoolConstructionAllocs pins the default pool's construction
+// cost: the LRU policy is embedded in the pool by value, so building a
+// policy-less pool allocates exactly the struct and its index map — the
+// mechanism/policy split must not tax the default path.
+func TestStoragePoolConstructionAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		NewStoragePool(1 << 20)
+	})
+	if allocs > 2 {
+		t.Fatalf("NewStoragePool allocates %.0f objects, want <= 2", allocs)
 	}
 }

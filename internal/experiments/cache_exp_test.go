@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestCacheTournamentBandBeatsLRU pins EXP-C's acceptance criterion: with
+// the pool squeezed, the popularity-band-aware policy must beat plain LRU
+// on hit ratio — the paper's skew (0.84 % of files carry 39 % of requests)
+// is exactly the structure recency alone cannot exploit.
+func TestCacheTournamentBandBeatsLRU(t *testing.T) {
+	r := lab.CacheTournament()
+	if r.ID != "EXPC" {
+		t.Fatalf("report ID = %q", r.ID)
+	}
+	for _, pol := range tournamentPolicies {
+		hr, ok := r.Metrics["hit_ratio_"+pol]
+		if !ok {
+			t.Fatalf("missing hit_ratio_%s", pol)
+		}
+		if hr <= 0 || hr >= 1 {
+			t.Errorf("hit_ratio_%s = %.4f outside (0, 1)", pol, hr)
+		}
+		if ev := r.Metrics["evictions_"+pol]; ev == 0 {
+			t.Errorf("evictions_%s = 0 — the tournament pool is not under pressure", pol)
+		}
+	}
+	band, lru := r.Metrics["hit_ratio_band"], r.Metrics["hit_ratio_lru"]
+	if band <= lru {
+		t.Errorf("band hit ratio %.4f does not beat lru %.4f under pressure", band, lru)
+	}
+	// Better placement must also not stall more downloads: the winning
+	// policy may not raise stagnation over the LRU default.
+	if sb, sl := r.Metrics["stagnation_band"], r.Metrics["stagnation_lru"]; sb > sl {
+		t.Errorf("band stagnation %.4f exceeds lru %.4f", sb, sl)
+	}
+}

@@ -201,7 +201,7 @@ func TestAblationsShowSignalValue(t *testing.T) {
 
 func TestAllAndByID(t *testing.T) {
 	reports := lab.All()
-	if len(reports) != 21 {
+	if len(reports) != 22 {
 		t.Fatalf("All returned %d reports", len(reports))
 	}
 	seen := map[string]bool{}

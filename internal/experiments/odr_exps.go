@@ -162,6 +162,7 @@ func (l *Lab) All() []*Report {
 		l.LEDBATSmoothing(),
 		l.StreamEquivalence(),
 		l.FaultRouting(),
+		l.CacheTournament(),
 	}
 }
 
@@ -210,6 +211,8 @@ func (l *Lab) ByID(id string) *Report {
 		return l.StreamEquivalence()
 	case "EXPF", "expf":
 		return l.FaultRouting()
+	case "EXPC", "expc":
+		return l.CacheTournament()
 	}
 	return nil
 }

@@ -37,6 +37,15 @@ const (
 	metricRerouted      = "odr_decisions_rerouted_total"
 	metricResolvedBytes = "odr_fetch_bytes"
 	httpSecondsScale    = 1e6 // observe microseconds, expose seconds
+
+	// Pool series, refreshed from the SetPoolStats hook on each scrape;
+	// the names match the replay's odr_pool_* metrics so dashboards read
+	// one schema.
+	metricPoolUsedBytes = "odr_pool_used_bytes"
+	metricPoolFiles     = "odr_pool_files"
+	metricPoolHits      = "odr_pool_hits_total"
+	metricPoolMisses    = "odr_pool_misses_total"
+	metricPoolEvictions = "odr_pool_evictions_total"
 )
 
 // webRoutes are the backend names decisions can resolve to, pre-registered
@@ -156,10 +165,41 @@ func (m *webMetrics) instrument(next http.Handler) http.Handler {
 // observability into a larger one (e.g. cmd/odrserver's -metrics dump).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// Snapshot refreshes hook-driven series (the storage pool's odr_pool_*
+// family) and returns the registry snapshot — what /metrics serves and
+// what cmd/odrserver dumps on exit.
+func (s *Server) Snapshot() *obs.Snapshot {
+	s.refreshPoolMetrics()
+	return s.reg.Snapshot()
+}
+
+// refreshPoolMetrics folds the pool hook's current snapshot into the
+// registry: gauges track the resident state, and the pool's monotonic
+// tallies become counter deltas against the previous scrape.
+func (s *Server) refreshPoolMetrics() {
+	if s.poolStats == nil {
+		return
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	st := s.poolStats()
+	s.reg.Gauge(metricPoolUsedBytes).Set(st.Used)
+	s.reg.Gauge(metricPoolFiles).Set(int64(st.Files))
+	delta := func(name string, cur, prev uint64) {
+		if cur > prev {
+			s.reg.Counter(obs.Label(name, "policy", st.Policy)).Add(cur - prev)
+		}
+	}
+	delta(metricPoolHits, st.Hits, s.poolPrev.Hits)
+	delta(metricPoolMisses, st.Misses, s.poolPrev.Misses)
+	delta(metricPoolEvictions, st.Evictions, s.poolPrev.Evictions)
+	s.poolPrev = st
+}
+
 // handleMetrics serves the Prometheus text exposition of the server's
 // registry; ?format=json selects the JSON snapshot instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.reg.Snapshot()
+	snap := s.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		_ = obs.WriteJSON(w, snap)

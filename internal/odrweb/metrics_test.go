@@ -4,9 +4,12 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"odr/internal/cloud"
+	"odr/internal/core"
 	"odr/internal/obs"
 )
 
@@ -129,6 +132,62 @@ func TestNormalizePathAndStatusClass(t *testing.T) {
 	for code, want := range classes {
 		if got := statusClass(code); got != want {
 			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+// TestMetricsExposesPoolSeries wires a live storage pool into the server
+// through SetPoolStats and checks the odr_pool_* family on /metrics: gauges
+// track the resident state, counters accumulate scrape-over-scrape deltas
+// labeled with the active policy, and the exposition stays lint-clean.
+func TestMetricsExposesPoolSeries(t *testing.T) {
+	files := testFiles()
+	advisor := &core.Advisor{DB: core.NewStaticDB(files), Cache: cacheSet{}}
+	server := NewServer(advisor, NewMapResolver(files), nil)
+
+	pol, err := cloud.NewPolicy("band")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cloud.NewStoragePoolPolicy(1<<30, len(files), pol)
+	pool.AddMeta(files[0])
+	pool.Lookup(files[0].ID) // one hit
+	pool.Lookup(files[1].ID) // one miss
+	server.SetPoolStats(pool.Stats)
+
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+
+	_, body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`odr_pool_files 1`,
+		`odr_pool_hits_total{policy="band"} 1`,
+		`odr_pool_misses_total{policy="band"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "odr_pool_used_bytes") {
+		t.Error("/metrics missing odr_pool_used_bytes")
+	}
+	if err := obs.LintPrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics with pool series is not valid exposition: %v", err)
+	}
+
+	// The counters are deltas against the previous scrape, not re-adds of
+	// the pool's absolute tallies: more traffic, then two more scrapes,
+	// must land on the exact totals.
+	pool.Lookup(files[0].ID)
+	pool.Lookup(files[0].ID)
+	get(t, srv.URL+"/metrics")
+	_, body = get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`odr_pool_hits_total{policy="band"} 3`,
+		`odr_pool_misses_total{policy="band"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("delta scrape: /metrics missing %q\n%s", want, body)
 		}
 	}
 }

@@ -16,9 +16,11 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"odr/internal/backend"
+	"odr/internal/cloud"
 	"odr/internal/core"
 	"odr/internal/obs"
 	"odr/internal/storage"
@@ -158,6 +160,14 @@ type Server struct {
 	reg      *obs.Registry
 	met      webMetrics
 	health   HealthFunc
+
+	// poolStats, when installed, snapshots the cloud storage pool backing
+	// the advisor's cache probe; each metrics scrape refreshes the
+	// odr_pool_* series from it. poolPrev remembers the last snapshot so
+	// monotonic pool counters translate into counter deltas.
+	poolMu    sync.Mutex
+	poolStats func() cloud.PoolStats
+	poolPrev  cloud.PoolStats
 }
 
 // NewServer assembles the service. logger may be nil to disable logging.
@@ -191,6 +201,12 @@ func NewServer(advisor *core.Advisor, resolver Resolver, logger *log.Logger) *Se
 // Call it before serving traffic; nil (the default) means every backend
 // is always healthy.
 func (s *Server) SetHealth(h HealthFunc) { s.health = h }
+
+// SetPoolStats installs the storage-pool snapshot hook; /metrics (and
+// Snapshot) then expose the pool's state and counters as odr_pool_*
+// series. Call it before serving traffic; the hook must be safe for
+// concurrent use.
+func (s *Server) SetPoolStats(f func() cloud.PoolStats) { s.poolStats = f }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {

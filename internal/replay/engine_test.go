@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"odr/internal/backend"
+	"odr/internal/cloud"
 	"odr/internal/dist"
 	"odr/internal/obs"
 	"odr/internal/workload"
@@ -176,6 +177,114 @@ func TestReplayDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(snap, wantSnap) {
 			t.Fatalf("metrics stream shards=%d: registry differs from the slice path\nfirst differing line:\n%s",
 				shards, firstDiff(snapJSON(t, wantSnap), snapJSON(t, snap)))
+		}
+	}
+
+	// Policy axis: under every cache policy — with the pool squeezed so
+	// eviction actually runs — the replay must stay byte-identical across
+	// shard counts, slice vs stream, and transport tuning. The pool
+	// evolves only in the sequential observation pass and each request's
+	// verdict is latched there, so worker scheduling cannot leak in.
+	var popBytes int64
+	for _, file := range f.trace.Files {
+		popBytes += file.Size
+	}
+	pressure := popBytes / 12
+	for _, policy := range cloud.PolicyNames() {
+		base := Options{Seed: 14, Shards: 1, CachePolicy: policy, PoolBytes: pressure}
+		pRef := RunODR(f.sample, f.trace.Files, f.aps, base)
+		if ev := pRef.Backends.Cloud.PoolStats().Evictions; ev == 0 {
+			t.Fatalf("policy=%s: no evictions — the policy axis is not under capacity pressure", policy)
+		}
+		pWant := digest(pRef)
+		for _, shards := range []int{4, 8} {
+			opts := base
+			opts.Shards = shards
+			if d := digest(RunODR(f.sample, f.trace.Files, f.aps, opts)); d != pWant {
+				t.Fatalf("policy=%s shards=%d: diverged from the single-shard reference\nfirst differing line:\n%s",
+					policy, shards, firstDiff(pWant, d))
+			}
+		}
+		for _, shards := range []int{1, 4} {
+			opts := base
+			opts.Shards = shards
+			got, err := RunODRStream(workload.NewSliceSource(f.sample), f.trace.Files, f.aps, opts)
+			if err != nil {
+				t.Fatalf("policy=%s stream shards=%d: %v", policy, shards, err)
+			}
+			if d := digest(got); d != pWant {
+				t.Fatalf("policy=%s stream shards=%d: diverged from the slice path\nfirst differing line:\n%s",
+					policy, shards, firstDiff(pWant, d))
+			}
+		}
+		tuned := base
+		tuned.Shards = 4
+		tuned.Stream = StreamTuning{Chunk: 3, DisablePooling: true}
+		got, err := RunODRStream(workload.NewSliceSource(f.sample), f.trace.Files, f.aps, tuned)
+		if err != nil {
+			t.Fatalf("policy=%s tuned stream: %v", policy, err)
+		}
+		if d := digest(got); d != pWant {
+			t.Fatalf("policy=%s tuned stream: diverged from the slice path\nfirst differing line:\n%s",
+				policy, firstDiff(pWant, d))
+		}
+
+		// Policy equivalence: at unbounded capacity no policy can evict,
+		// so every dynamic replay must reproduce the static no-eviction
+		// reference byte-for-byte — placement can only matter under
+		// capacity pressure.
+		unbounded := Options{Seed: 14, Shards: 4, CachePolicy: policy, PoolBytes: 1 << 50}
+		ub := RunODR(f.sample, f.trace.Files, f.aps, unbounded)
+		if st := ub.Backends.Cloud.PoolStats(); st.Evictions != 0 {
+			t.Fatalf("policy=%s: unbounded pool evicted %d files", policy, st.Evictions)
+		}
+		if d := digest(ub); d != want {
+			t.Fatalf("policy=%s: unbounded-capacity replay diverged from the static reference\nfirst differing line:\n%s",
+				policy, firstDiff(want, d))
+		}
+	}
+
+	// Pool metrics obey the shard-merge contract: the post-run snapshot
+	// is a pure function of the request sequence, so the merged registry
+	// (pool series included) is identical for every shard count and for
+	// the stream path.
+	polRef := obs.NewRegistry()
+	polOpts := Options{Seed: 14, Shards: 1, CachePolicy: "band", PoolBytes: pressure, Metrics: polRef}
+	if d := digest(RunODR(f.sample, f.trace.Files, f.aps, polOpts)); d == want {
+		t.Fatal("pressured band replay unexpectedly matches the static reference")
+	}
+	polSnap := polRef.Snapshot()
+	if _, ok := polSnap.Counters[obs.Label(MetricPoolHits, "policy", "band")]; !ok {
+		t.Fatalf("missing %s in instrumented policy snapshot", MetricPoolHits)
+	}
+	if _, ok := polSnap.Gauges[MetricPoolUsedBytes]; !ok {
+		t.Fatalf("missing %s in instrumented policy snapshot", MetricPoolUsedBytes)
+	}
+	for _, shards := range []int{4, 8} {
+		reg := obs.NewRegistry()
+		opts := polOpts
+		opts.Shards = shards
+		opts.Metrics = reg
+		RunODR(f.sample, f.trace.Files, f.aps, opts)
+		if snap := reg.Snapshot(); !reflect.DeepEqual(snap, polSnap) {
+			t.Fatalf("policy metrics shards=%d: merged registry differs\nfirst differing line:\n%s",
+				shards, firstDiff(snapJSON(t, polSnap), snapJSON(t, snap)))
+		}
+	}
+	{
+		reg := obs.NewRegistry()
+		opts := polOpts
+		opts.Shards = 4
+		opts.Metrics = reg
+		if _, err := RunODRStream(workload.NewSliceSource(f.sample), f.trace.Files, f.aps, opts); err != nil {
+			t.Fatalf("policy metrics stream: %v", err)
+		}
+		snap := reg.Snapshot()
+		delete(snap.Gauges, MetricInflightPeak)
+		delete(snap.Gauges, MetricStreamChunk)
+		if !reflect.DeepEqual(snap, polSnap) {
+			t.Fatalf("policy metrics stream: registry differs from the slice path\nfirst differing line:\n%s",
+				firstDiff(snapJSON(t, polSnap), snapJSON(t, snap)))
 		}
 	}
 

@@ -40,7 +40,39 @@ const (
 	// is recorded outside the shard registries and exempt from the
 	// shard-merge determinism contract.
 	MetricStreamChunk = "odr_replay_stream_chunk"
+	// Pool metrics snapshot the cloud storage pool after the run: gauges
+	// for resident state, counters (labeled by placement policy) for the
+	// lookup/eviction/prefetch tallies. The pool evolves only in the
+	// sequential observation pass, so every value is a pure function of
+	// the request sequence — identical for any shard count or transport
+	// and covered by the shard-merge determinism contract.
+	MetricPoolUsedBytes     = "odr_pool_used_bytes"
+	MetricPoolFiles         = "odr_pool_files"
+	MetricPoolHits          = "odr_pool_hits_total"
+	MetricPoolMisses        = "odr_pool_misses_total"
+	MetricPoolEvictions     = "odr_pool_evictions_total"
+	MetricPoolHitBytes      = "odr_pool_hit_bytes_total"
+	MetricPoolPrefetches    = "odr_pool_prefetches_total"
+	MetricPoolPrefetchBytes = "odr_pool_prefetch_bytes_total"
 )
+
+// recordPoolMetrics snapshots the cloud backend's storage pool into the
+// replay registry once, after the run. Nil-safe on dst.
+func recordPoolMetrics(dst *obs.Registry, c *backend.Cloud) {
+	if dst == nil {
+		return
+	}
+	st := c.PoolStats()
+	policy := c.PolicyLabel()
+	dst.Gauge(MetricPoolUsedBytes).Set(st.Used)
+	dst.Gauge(MetricPoolFiles).Set(int64(st.Files))
+	dst.Counter(obs.Label(MetricPoolHits, "policy", policy)).Add(st.Hits)
+	dst.Counter(obs.Label(MetricPoolMisses, "policy", policy)).Add(st.Misses)
+	dst.Counter(obs.Label(MetricPoolEvictions, "policy", policy)).Add(st.Evictions)
+	dst.Counter(obs.Label(MetricPoolHitBytes, "policy", policy)).Add(st.HitBytes)
+	dst.Counter(obs.Label(MetricPoolPrefetches, "policy", policy)).Add(st.Prefetches)
+	dst.Counter(obs.Label(MetricPoolPrefetchBytes, "policy", policy)).Add(st.PrefetchBytes)
+}
 
 // odrRecorder builds one shard's ODRTask recorder over the shard's
 // private registry. Handles are resolved lazily and memoized in plain

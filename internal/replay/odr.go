@@ -133,6 +133,17 @@ type Options struct {
 	// CloudScale sizes the cloud backend (pool capacity, warm
 	// probabilities use cloud defaults at this scale).
 	CloudScale float64
+	// CachePolicy selects the cloud pool's eviction policy by name
+	// (cloud.PolicyNames). Empty replays against the default static warm
+	// pool; naming a policy (including "lru") switches the cloud backend to
+	// dynamic mode, where the pool evolves request by request under the
+	// policy. Results stay byte-identical across shard counts, transports,
+	// and tuning for every policy.
+	CachePolicy string
+	// PoolBytes overrides the cloud pool capacity in bytes (<= 0 keeps the
+	// CloudScale-derived default). The policy tournament uses it to put the
+	// pool under capacity pressure.
+	PoolBytes int64
 	// Shards is the engine's shard count; non-positive selects
 	// GOMAXPROCS. Results are identical for every value.
 	Shards int
@@ -173,12 +184,23 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
+// cloudConfig derives the replay's cloud configuration from the options:
+// the paper calibration at CloudScale, with the cache policy and any pool
+// capacity override applied.
+func (o Options) cloudConfig() cloud.Config {
+	cfg := cloud.DefaultConfig(o.CloudScale, o.Seed)
+	cfg.CachePolicy = o.CachePolicy
+	if o.PoolBytes > 0 {
+		cfg.PoolCapacity = o.PoolBytes
+	}
+	return cfg
+}
+
 // newBackends builds the replay's backend fleet and primes the cloud's
 // index-gated cache visibility over the sample.
 func newBackends(sample []workload.Request, files []*workload.FileMeta,
-	scale float64, seed uint64) *backend.Set {
-	cfg := cloud.DefaultConfig(scale, seed)
-	set := backend.NewSet(files, cfg, seed)
+	opts Options) *backend.Set {
+	set := backend.NewSet(files, opts.cloudConfig(), opts.Seed)
 	set.Cloud.Prime(sample)
 	return set
 }
@@ -211,7 +233,7 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 	if opts.CloudScale <= 0 {
 		opts.CloudScale = float64(len(files)) / cloud.FullScaleFiles
 	}
-	set := newBackends(sample, files, opts.CloudScale, opts.Seed)
+	set := newBackends(sample, files, opts)
 	set.Instrument(opts.Metrics)
 	fleet, finish := newFleet(set, opts)
 	db := core.NewStaticDB(files)
@@ -224,6 +246,7 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 			return task.Success
 		})
 	finish()
+	recordPoolMetrics(opts.Metrics, set.Cloud)
 	return res
 }
 
@@ -244,7 +267,7 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 	if opts.CloudScale <= 0 {
 		opts.CloudScale = float64(len(files)) / cloud.FullScaleFiles
 	}
-	set := backend.NewSet(files, cloud.DefaultConfig(opts.CloudScale, opts.Seed), opts.Seed)
+	set := backend.NewSet(files, opts.cloudConfig(), opts.Seed)
 	set.Instrument(opts.Metrics)
 	fleet, finish := newFleet(set, opts)
 	db := core.NewStaticDB(files)
@@ -253,7 +276,7 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 	var err error
 	res.Tasks, res.Engine, err = runShardedStream(src, aps, opts.Seed, opts.Shards,
 		opts.Stream, newODRObs(opts.Metrics),
-		func(i int, wreq workload.Request) { set.Cloud.Observe(i, wreq.File) },
+		func(i int, wreq workload.Request) { set.Cloud.ObserveAt(i, wreq.File, wreq.Time) },
 		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
 			odrTask(task, wreq, req, db, fleet, opts)
 			return task.Success
@@ -262,6 +285,7 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 		return nil, err
 	}
 	finish()
+	recordPoolMetrics(opts.Metrics, set.Cloud)
 	return res, nil
 }
 
@@ -579,7 +603,8 @@ func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
 	if len(aps) == 0 {
 		panic("replay: HybridBaseline needs at least one AP")
 	}
-	set := newBackends(sample, files, float64(len(files))/cloud.FullScaleFiles, seed)
+	set := newBackends(sample, files,
+		Options{Seed: seed, CloudScale: float64(len(files)) / cloud.FullScaleFiles})
 	res := &ODRResult{Backends: set}
 	res.Tasks, res.Engine = runSharded(sample, aps, seed, 0, nil,
 		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
@@ -605,7 +630,8 @@ func HybridBaseline(sample []workload.Request, files []*workload.FileMeta,
 // cloud (the pure cloud-based approach), returning the byte ledger and the
 // impeded ratio for Figure 16's baseline bars.
 func CloudOnlyBaseline(sample []workload.Request, files []*workload.FileMeta, seed uint64) *ODRResult {
-	set := newBackends(sample, files, float64(len(files))/cloud.FullScaleFiles, seed)
+	set := newBackends(sample, files,
+		Options{Seed: seed, CloudScale: float64(len(files)) / cloud.FullScaleFiles})
 	res := &ODRResult{Backends: set}
 	res.Tasks, res.Engine = runSharded(sample, nil, seed, 0, nil,
 		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {

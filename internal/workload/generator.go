@@ -486,6 +486,11 @@ var hourProfile = [24]float64{
 	1.12, 1.20, 1.32, 1.36, 1.12, 0.85, // 18-23
 }
 
+// DiurnalProfile returns the relative request rate per hour of day that the
+// generator samples arrival times from. Consumers (e.g. predictive cache
+// pre-warming) can locate the trough and peak of the daily cycle.
+func DiurnalProfile() [24]float64 { return hourProfile }
+
 // UnicomSample draws n requests issued by Unicom users whose clients
 // report access bandwidth, mirroring the paper's §5.1 methodology for the
 // smart-AP benchmarks (1000 sampled Unicom requests replayed on

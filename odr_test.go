@@ -148,7 +148,7 @@ func TestLabSmoke(t *testing.T) {
 	}
 	lab := NewLab(LabConfig{NumFiles: 3000, SampleSize: 300, Seed: 3})
 	reports := lab.All()
-	if len(reports) != 21 {
+	if len(reports) != 22 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 }
