@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: check ci build test vet fmt race determinism bench cover allocgate \
-	bench-save bench-compare
+	bench-save bench-compare matrix-smoke
 
 # check is the CI gate: static checks, a full build, the race-enabled
 # test suite, the engine determinism test at several GOMAXPROCS, the
@@ -9,8 +9,19 @@ GO ?= go
 check: fmt vet build race determinism cover allocgate
 
 # ci is what .github/workflows/ci.yml runs: the full gate plus the
-# benchmark diff against the tracked baseline.
-ci: check bench-compare
+# benchmark diff against the tracked baseline and a tiny scenario-matrix
+# smoke.
+ci: check bench-compare matrix-smoke
+
+# matrix-smoke drives the declarative path end to end from one command: a
+# 2×2 {profile × fault intensity} grid over a small 10-day trace, with a
+# pressured pool and daily timeline windows, exactly as a user would run
+# it. It proves the scenario layer, the matrix runner, the long-horizon
+# workload schedules, and the timeline report all still compose.
+matrix-smoke:
+	$(GO) run ./cmd/scenario -files 2000 -sample 200 -days 10 \
+		-profiles baseline,flash-crowd -fault-grid '0;0.25' \
+		-policies lru -window 24 -pool-divisor 12
 
 build:
 	$(GO) build ./...
@@ -40,7 +51,8 @@ determinism:
 # and the fault layer decides what fails and when — neither may rot
 # unexercised. Profiles go to a fresh mktemp path removed on exit, so
 # concurrent builds on one machine never clobber each other's files.
-COVER_FLOORS := internal/obs:85 internal/faults:85 internal/cloud:85
+COVER_FLOORS := internal/obs:85 internal/faults:85 internal/cloud:85 \
+	internal/scenario:85
 cover:
 	@prof="$$(mktemp)" || exit 1; \
 	trap 'rm -f "$$prof"' EXIT; \
@@ -63,11 +75,13 @@ allocgate:
 	$(GO) test -run TestStreamSteadyStateAllocs -count 1 ./internal/replay
 
 # Replay benchmarks: the shard-count throughput sweep plus the streaming
-# pipeline's allocation profile, the metrics hot path, and the storage
-# pool's per-policy demand loop. -count 5 repeated runs with -benchmem
-# give the aggregator enough samples.
+# pipeline's allocation profile, the metrics hot path, the windowed
+# timeline on/off pair, and the storage pool's per-policy demand loop.
+# -count 5 repeated runs with -benchmem give the aggregator enough
+# samples.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkStreamReplay|BenchmarkReplayParallel' \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkStreamReplay|BenchmarkReplayParallel|BenchmarkReplayTimeline' \
 		-benchmem -benchtime 3x -count 5 ./internal/replay
 	$(GO) test -run '^$$' -bench BenchmarkRegistryHotPath \
 		-benchmem -count 5 ./internal/obs

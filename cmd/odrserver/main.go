@@ -39,7 +39,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,8 +49,8 @@ import (
 	"odr/internal/core"
 	"odr/internal/dist"
 	"odr/internal/faults"
-	"odr/internal/obs"
 	"odr/internal/odrweb"
+	"odr/internal/scenario"
 	"odr/internal/workload"
 )
 
@@ -59,36 +58,32 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	files := flag.Int("files", 20000, "files in the synthetic content database")
 	seed := flag.Uint64("seed", 1, "random seed")
-	metrics := flag.String("metrics", "", "dump the final metrics snapshot to stdout on exit: prom or json")
-	faultSpec := flag.String("faults", "", "deterministic fault schedule: intensity (e.g. 0.25) or k=v list (see internal/faults)")
-	pprofAddr := flag.String("pprof", "", "also serve net/http/pprof on this address")
-	cachePolicy := flag.String("cache-policy", "", "storage-pool eviction policy: lru, lfu, band, prewarm (empty = lru)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+	common := scenario.RegisterCommon(flag.CommandLine)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "odrserver ", log.LstdFlags)
-	if err := run(*addr, *files, *seed, *metrics, *faultSpec, *pprofAddr, *cachePolicy,
-		*shutdownTimeout, logger); err != nil {
+	if err := run(*addr, *files, *seed, *shutdownTimeout, common, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr string, files int, seed uint64, metrics, faultSpec, pprofAddr, cachePolicy string,
-	shutdownTimeout time.Duration, logger *log.Logger) error {
-	if err := validMetricsFormat(metrics); err != nil {
+func run(addr string, files int, seed uint64, shutdownTimeout time.Duration,
+	common *scenario.Common, logger *log.Logger) error {
+	if err := common.Validate(); err != nil {
 		return err
 	}
-	srv, n, err := buildServer(files, seed, cachePolicy, logger)
+	srv, n, err := buildServer(files, seed, common.CachePolicy, common.PoolBytes, logger)
 	if err != nil {
 		return err
 	}
-	if err := installFaults(srv, faultSpec, seed, logger); err != nil {
+	if err := installFaults(srv, common.Faults, seed, logger); err != nil {
 		return err
 	}
 	logger.Printf("content database ready: %d files (%d cached)", files, n)
 
-	if pprofAddr != "" {
-		go servePprof(pprofAddr, logger)
+	if common.Pprof != "" {
+		go scenario.ServePprof(common.Pprof, logger.Printf)
 	}
 
 	httpSrv := &http.Server{
@@ -124,10 +119,8 @@ func run(addr string, files int, seed uint64, metrics, faultSpec, pprofAddr, cac
 		}
 	}
 
-	if metrics != "" {
-		if err := dumpSnapshot(os.Stdout, srv.Snapshot(), metrics); err != nil {
-			return err
-		}
+	if err := scenario.DumpSnapshot(os.Stdout, srv.Snapshot(), common.Metrics); err != nil {
+		return err
 	}
 	logger.Printf("bye")
 	return nil
@@ -156,42 +149,11 @@ func installFaults(srv *odrweb.Server, spec string, seed uint64, logger *log.Log
 	return nil
 }
 
-// validMetricsFormat rejects unknown -metrics values up front, before the
-// server binds its port.
-func validMetricsFormat(format string) error {
-	switch format {
-	case "", "prom", "json":
-		return nil
-	}
-	return fmt.Errorf("unknown -metrics format %q (want prom or json)", format)
-}
-
-// dumpSnapshot writes a snapshot in the chosen format.
-func dumpSnapshot(w *os.File, snap *obs.Snapshot, format string) error {
-	if format == "json" {
-		return obs.WriteJSON(w, snap)
-	}
-	return obs.WritePrometheus(w, snap)
-}
-
-// servePprof runs the net/http/pprof handlers on their own mux so the
-// profiling surface never shares a listener with the public service.
-func servePprof(addr string, logger *log.Logger) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	logger.Printf("pprof listening on %s", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		logger.Printf("pprof: %v", err)
-	}
-}
-
 // buildServer synthesizes the content universe and assembles the service,
-// returning the number of pre-cached files.
-func buildServer(files int, seed uint64, cachePolicy string, logger *log.Logger) (*odrweb.Server, int, error) {
+// returning the number of pre-cached files. poolBytes overrides the
+// pool's full-scale capacity when positive.
+func buildServer(files int, seed uint64, cachePolicy string, poolBytes int64,
+	logger *log.Logger) (*odrweb.Server, int, error) {
 	pol, err := cloud.NewPolicy(cachePolicy)
 	if err != nil {
 		return nil, 0, err
@@ -203,7 +165,11 @@ func buildServer(files int, seed uint64, cachePolicy string, logger *log.Logger)
 	db := cloud.NewContentDB()
 	db.SeedPopularity(tr.Files)
 
-	pool := cloud.NewStoragePoolPolicy(cloud.FullPoolBytes, len(tr.Files), pol)
+	capacity := int64(cloud.FullPoolBytes)
+	if poolBytes > 0 {
+		capacity = poolBytes
+	}
+	pool := cloud.NewStoragePoolPolicy(capacity, len(tr.Files), pol)
 	warm := dist.NewRNG(seed).Split("server-warm")
 	warmProbs := [3]float64{0.70, 0.97, 0.998}
 	cached := 0

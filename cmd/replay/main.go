@@ -50,17 +50,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"sort"
 	"time"
 
-	"odr/internal/backend"
 	"odr/internal/cloud"
-	"odr/internal/faults"
 	"odr/internal/obs"
 	"odr/internal/replay"
+	"odr/internal/scenario"
 	"odr/internal/sim"
 	"odr/internal/smartap"
 	"odr/internal/trace"
@@ -76,62 +73,50 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a workload CSV (wgen format) instead of generating one")
 	stream := flag.Bool("stream", false, "force the bounded-memory streaming pipeline")
 	chunk := flag.Int("chunk", 0, "streaming engine batch size in requests (0 = default; results are identical for any value)")
-	faultSpec := flag.String("faults", "", "inject deterministic faults: an intensity (\"0.25\") or per-class rates (\"transient=0.1,churn=0.05\")")
 	naive := flag.Bool("naive", false, "with -faults, disable the failure-aware routing policy (faults fail tasks outright)")
-	metrics := flag.String("metrics", "", "dump the ODR replay's metrics snapshot to stderr: prom or json")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while the replay runs")
-	cachePolicy := flag.String("cache-policy", "", "run the cloud pool under this eviction policy (lru, lfu, band, prewarm; empty = static warm set)")
-	poolBytes := flag.Int64("pool-bytes", 0, "override the cloud pool capacity in bytes (0 = scale default)")
+	common := scenario.RegisterCommon(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(*files, *sampleN, *seed, *shards, *chunk, *tasks, *tracePath, *stream,
-		*faultSpec, *naive, *metrics, *pprofAddr, *cachePolicy, *poolBytes); err != nil {
+		*naive, common); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-// faultOptions translates the -faults/-naive flags into replay options.
-func faultOptions(spec string, naive bool, opts *replay.Options) error {
-	parsed, err := faults.ParseSpec(spec)
+// odrOptions compiles the command's flags into replay options through the
+// scenario layer, so the replay command, odrserver, and the experiments
+// share one faults/policy/resilience wiring.
+func odrOptions(seed uint64, shards, chunk int, naive bool,
+	common *scenario.Common, reg *obs.Registry) (replay.Options, error) {
+	spec := scenario.Spec{Seed: seed, Shards: shards, Chunk: chunk, Naive: naive}
+	common.ApplyTo(&spec)
+	opts, err := spec.ReplayOptions()
 	if err != nil {
-		return err
+		return replay.Options{}, err
 	}
-	if parsed.Enabled() {
-		opts.Faults = &parsed
-	}
-	if !naive && (parsed.Enabled() || spec != "") {
-		opts.Resilience = &backend.RetryPolicy{}
-	}
-	return nil
+	opts.Metrics = reg
+	return opts, nil
 }
 
 func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePath string,
-	stream bool, faultSpec string, naive bool, metrics, pprofAddr, cachePolicy string,
-	poolBytes int64) error {
-	var reg *obs.Registry
-	switch metrics {
-	case "":
-	case "prom", "json":
-		reg = obs.NewRegistry()
-	default:
-		return fmt.Errorf("unknown -metrics format %q (want prom or json)", metrics)
-	}
-	if _, err := cloud.NewPolicy(cachePolicy); err != nil {
+	stream bool, naive bool, common *scenario.Common) error {
+	if err := common.Validate(); err != nil {
 		return err
 	}
-	if pprofAddr != "" {
-		go servePprof(pprofAddr)
+	reg := common.Registry()
+	if common.Pprof != "" {
+		go scenario.ServePprof(common.Pprof, log.Printf)
 	}
 	if stream {
 		if tasksPath != "" {
 			return fmt.Errorf("-tasks needs the materialized week trace; drop -stream")
 		}
-		if err := runStream(files, sampleN, seed, shards, chunk, tracePath, faultSpec, naive,
-			reg, cachePolicy, poolBytes); err != nil {
+		if err := runStream(files, sampleN, seed, shards, chunk, tracePath, naive,
+			reg, common); err != nil {
 			return err
 		}
-		return dumpMetrics(reg, metrics)
+		return scenario.DumpRegistry(os.Stderr, reg, common.Metrics)
 	}
 	tr, err := loadOrGenerate(files, seed, tracePath)
 	if err != nil {
@@ -145,15 +130,14 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 
 	bench := replay.RunAPBenchmark(sample, aps, seed)
 	baseline := replay.CloudOnlyBaseline(sample, tr.Files, seed)
-	odrOpts := replay.Options{Seed: seed, Shards: shards, Metrics: reg,
-		CachePolicy: cachePolicy, PoolBytes: poolBytes}
-	if err := faultOptions(faultSpec, naive, &odrOpts); err != nil {
+	odrOpts, err := odrOptions(seed, shards, 0, naive, common, reg)
+	if err != nil {
 		return err
 	}
 	odr := replay.RunODR(sample, tr.Files, aps, odrOpts)
 	summarize(bench, baseline, odr)
 	summarizeFaults(odrOpts)
-	if err := dumpMetrics(reg, metrics); err != nil {
+	if err := scenario.DumpRegistry(os.Stderr, reg, common.Metrics); err != nil {
 		return err
 	}
 
@@ -182,7 +166,7 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 // the streaming engine. Only the populations, the Unicom pool, and the
 // task records are ever resident.
 func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath string,
-	faultSpec string, naive bool, reg *obs.Registry, cachePolicy string, poolBytes int64) error {
+	naive bool, reg *obs.Registry, common *scenario.Common) error {
 	tune := replay.StreamTuning{Chunk: chunk}
 	var (
 		sample  []workload.Request
@@ -229,9 +213,8 @@ func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath str
 		return err
 	}
 	baseline := replay.CloudOnlyBaseline(sample, filePop, seed)
-	odrOpts := replay.Options{Seed: seed, Shards: shards, Metrics: reg, Stream: tune,
-		CachePolicy: cachePolicy, PoolBytes: poolBytes}
-	if err := faultOptions(faultSpec, naive, &odrOpts); err != nil {
+	odrOpts, err := odrOptions(seed, shards, chunk, naive, common, reg)
+	if err != nil {
 		return err
 	}
 	odr, err := replay.RunODRStream(workload.NewSliceSource(sample), filePop, aps, odrOpts)
@@ -255,34 +238,6 @@ func summarizeFaults(opts replay.Options) {
 		mode = "naive (faults fail tasks outright)"
 	}
 	fmt.Printf("\nfaults injected:    %s; routing %s\n", opts.Faults, mode)
-}
-
-// dumpMetrics writes the instrumented replay's snapshot to stderr so the
-// human-facing summary on stdout stays clean.
-func dumpMetrics(reg *obs.Registry, format string) error {
-	if reg == nil {
-		return nil
-	}
-	snap := reg.Snapshot()
-	if format == "json" {
-		return obs.WriteJSON(os.Stderr, snap)
-	}
-	return obs.WritePrometheus(os.Stderr, snap)
-}
-
-// servePprof runs the net/http/pprof handlers on their own mux for the
-// lifetime of the replay.
-func servePprof(addr string) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	log.Printf("pprof listening on %s", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		log.Printf("pprof: %v", err)
-	}
 }
 
 // countingSource counts the requests that flow through it.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"odr/internal/replay"
+	"odr/internal/scenario"
 	"odr/internal/workload"
 )
 
@@ -36,12 +37,15 @@ func (l *Lab) CacheTournament() *Report {
 
 	// Squeeze the pool to ~8 % of the population bytes: small enough that
 	// the warm pass and the replay both evict continuously, large enough
-	// that the protected band fits.
+	// that the protected band fits. The squeeze is declared as a scenario
+	// pool divisor and resolved against the population, the same relative
+	// form the matrix runner uses.
+	base := scenario.Spec{Seed: l.cfg.Seed, PoolDivisor: 12}
+	poolBytes := base.ResolvePoolBytes(files)
 	var popBytes int64
 	for _, f := range files {
 		popBytes += f.Size
 	}
-	poolBytes := popBytes / 12
 	hp := 0
 	for _, f := range files {
 		if f.Band() == workload.BandHighlyPopular {
@@ -56,11 +60,14 @@ func (l *Lab) CacheTournament() *Report {
 
 	rows := make([]cacheRow, 0, len(tournamentPolicies))
 	for _, pol := range tournamentPolicies {
-		res := replay.RunODR(sample, files, aps, replay.Options{
-			Seed:        l.cfg.Seed,
-			CachePolicy: pol,
-			PoolBytes:   poolBytes,
-		})
+		spec := base
+		spec.CachePolicy = pol
+		opts, err := spec.ReplayOptions()
+		if err != nil {
+			panic(err)
+		}
+		opts.PoolBytes = spec.ResolvePoolBytes(files)
+		res := replay.RunODR(sample, files, aps, opts)
 		st := res.Backends.Cloud.PoolStats()
 		rows = append(rows, cacheRow{
 			policy:     pol,

@@ -3,9 +3,8 @@ package experiments
 import (
 	"strconv"
 
-	"odr/internal/backend"
-	"odr/internal/faults"
 	"odr/internal/replay"
+	"odr/internal/scenario"
 )
 
 // faultIntensities is EXP-F's sweep over the faults.Preset knob.
@@ -28,14 +27,21 @@ func (l *Lab) FaultRouting() *Report {
 
 	r.addf("%9s %15s %15s %15s %15s", "intensity",
 		"naive done", "aware done", "naive pre(min)", "aware pre(min)")
+	// Each arm is a declarative scenario: the intensity becomes the fault
+	// spec string and the naive arm drops the resilience policy, exactly
+	// as the replay command's flags would. Compiling through
+	// scenario.Spec keeps EXP-F on the same config path as every other
+	// consumer (refactor-neutral: the pinned aware>naive results are
+	// unchanged).
 	run := func(intensity float64, aware bool) *replay.ODRResult {
-		opts := replay.Options{Seed: l.cfg.Seed}
-		if intensity > 0 {
-			spec := faults.Preset(intensity)
-			opts.Faults = &spec
+		spec := scenario.Spec{
+			Seed:   l.cfg.Seed,
+			Faults: strconv.FormatFloat(intensity, 'g', -1, 64),
+			Naive:  !aware,
 		}
-		if aware {
-			opts.Resilience = &backend.RetryPolicy{}
+		opts, err := spec.ReplayOptions()
+		if err != nil {
+			panic(err)
 		}
 		return replay.RunODR(sample, files, aps, opts)
 	}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"odr/internal/obs"
 	"odr/internal/smartap"
@@ -93,6 +94,44 @@ func BenchmarkStreamReplay(b *testing.B) {
 				b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "requests/sec")
 			})
 		}
+	}
+}
+
+// BenchmarkReplayTimeline measures the windowed-timeline overhead: the
+// same 200k-request stream replay with and without a 6-hour timeline.
+// BuildTimeline is one sequential pass over the merged task slice after
+// the engine's barrier, so the acceptance bar is a ≤5% requests/sec
+// delta against timeline=off.
+func BenchmarkReplayTimeline(b *testing.B) {
+	_, files := benchFixture(b)
+	aps := smartap.Benchmarked()
+	const n = 200000
+	if len(benchTrace.Requests) < n {
+		b.Fatalf("benchmark trace has %d requests, want %d", len(benchTrace.Requests), n)
+	}
+	sample := benchTrace.Requests[:n]
+	for _, timeline := range []bool{false, true} {
+		b.Run(fmt.Sprintf("timeline=%v", timeline), func(b *testing.B) {
+			b.ReportAllocs()
+			var cfg *TimelineConfig
+			if timeline {
+				cfg = &TimelineConfig{Window: 6 * time.Hour}
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := RunODRStream(workload.NewSliceSource(sample), files, aps,
+					Options{Seed: benchSeed, Shards: 4, Timeline: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tasks) != n {
+					b.Fatalf("replayed %d of %d tasks", len(res.Tasks), n)
+				}
+				if timeline != (res.Timeline != nil) {
+					b.Fatalf("timeline=%v but result timeline present=%v", timeline, res.Timeline != nil)
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "requests/sec")
+		})
 	}
 }
 

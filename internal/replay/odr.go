@@ -59,6 +59,9 @@ type ODRResult struct {
 	Backends *backend.Set
 	// Engine records how the sharded engine executed the run.
 	Engine EngineStats
+	// Timeline is the windowed observability timeline, built from the
+	// merged task records when Options.Timeline is set (nil otherwise).
+	Timeline *Timeline
 
 	// summaryOnce guards the lazily built summary: experiment reports read
 	// several aggregates off one result, and a 200k-task replay should pay
@@ -182,6 +185,12 @@ type Options struct {
 	// byte-identical with Metrics nil or set — and the merged values are
 	// identical for every shard count (TestReplayDeterminism pins both).
 	Metrics *obs.Registry
+	// Timeline, when non-nil, builds a windowed observability timeline
+	// over the merged task records (ODRResult.Timeline). Building it
+	// never changes replay results, and the windows are byte-identical
+	// for every shard count, transport, chunk size, and pooling setting
+	// (see Timeline).
+	Timeline *TimelineConfig
 }
 
 // cloudConfig derives the replay's cloud configuration from the options:
@@ -247,6 +256,9 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 		})
 	finish()
 	recordPoolMetrics(opts.Metrics, set.Cloud)
+	if opts.Timeline != nil {
+		res.Timeline = BuildTimeline(res.Tasks, *opts.Timeline)
+	}
 	return res
 }
 
@@ -286,6 +298,9 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 	}
 	finish()
 	recordPoolMetrics(opts.Metrics, set.Cloud)
+	if opts.Timeline != nil {
+		res.Timeline = BuildTimeline(res.Tasks, *opts.Timeline)
+	}
 	return res, nil
 }
 

@@ -35,10 +35,23 @@ type Config struct {
 	ISPShares [5]float64
 	// BWReportProb is the probability a user reports access bandwidth.
 	BWReportProb float64
-	// DayLoad scales the arrival rate of each of the seven days; the
-	// growth toward day 7 reproduces the Figure 11 peak that exceeds the
-	// cloud's 30 Gbps upload budget.
-	DayLoad [7]float64
+	// DayLoad scales the arrival rate of each trace day. The default
+	// seven entries reproduce the Figure 11 growth toward the day-7 peak
+	// that exceeds the cloud's 30 Gbps upload budget. A Span covering
+	// more days than the table either cycles it (CycleDays) or fails
+	// validation — days past the table are never silently unreachable.
+	DayLoad []float64
+	// CycleDays makes a Span longer than the DayLoad table legal by
+	// repeating the table cyclically: day d carries weight
+	// DayLoad[d % len(DayLoad)], so the default week-shaped table
+	// becomes a weekly rhythm over any horizon. Load-pattern profiles
+	// (ApplyProfile) instead materialize a full-length table.
+	CycleDays bool
+
+	// dayWeights is the normalized per-day arrival weight table covering
+	// every day of the span, resolved once by normalize() so the
+	// per-request sampling path never re-expands the cycle.
+	dayWeights []float64
 }
 
 // DefaultConfig returns the calibration matching §3 of the paper at the
@@ -52,8 +65,40 @@ func DefaultConfig(numFiles int, seed uint64) Config {
 		ProtocolShares: [4]float64{0.68, 0.19, 0.10, 0.03},
 		ISPShares:      [5]float64{0.40, 0.30, 0.15, 0.054, 0.096},
 		BWReportProb:   0.8,
-		DayLoad:        [7]float64{0.90, 0.93, 0.96, 0.99, 1.02, 1.06, 1.34},
+		DayLoad:        []float64{0.90, 0.93, 0.96, 0.99, 1.02, 1.06, 1.34},
 	}
+}
+
+// spanOrDefault resolves the zero-value Span to the default week.
+func (c *Config) spanOrDefault() time.Duration {
+	if c.Span == 0 {
+		return 7 * 24 * time.Hour
+	}
+	return c.Span
+}
+
+// spanDays is the number of whole days the resolved span covers.
+func (c *Config) spanDays() int {
+	return int(c.spanOrDefault() / (24 * time.Hour))
+}
+
+// resolvedDayWeights expands DayLoad to cover every day of the span: a
+// table at least span-days long is used as-is (trailing entries beyond the
+// span are ignored), a shorter one is cycled (Validate has already
+// required CycleDays for that case).
+func (c *Config) resolvedDayWeights() []float64 {
+	days := c.spanDays()
+	if days < 1 {
+		return nil
+	}
+	if days <= len(c.DayLoad) {
+		return c.DayLoad[:days]
+	}
+	w := make([]float64, days)
+	for i := range w {
+		w[i] = c.DayLoad[i%len(c.DayLoad)]
+	}
+	return w
 }
 
 // Validate reports whether the configuration is structurally sound.
@@ -85,6 +130,28 @@ func (c *Config) Validate() error {
 	}
 	if err := check("ISP", c.ISPShares[:]); err != nil {
 		return err
+	}
+	if days := c.spanDays(); days >= 1 {
+		if len(c.DayLoad) == 0 {
+			return fmt.Errorf("workload: DayLoad is empty but Span %v covers %d day(s)", c.spanOrDefault(), days)
+		}
+		if days > len(c.DayLoad) && !c.CycleDays {
+			return fmt.Errorf("workload: Span %v covers %d days but DayLoad has %d entries; set CycleDays to repeat the table (or supply a full-length schedule) — days past the table must not be silently unreachable", c.spanOrDefault(), days, len(c.DayLoad))
+		}
+		used := len(c.DayLoad)
+		if days < used {
+			used = days
+		}
+		var sum float64
+		for _, w := range c.DayLoad[:used] {
+			if w < 0 {
+				return fmt.Errorf("workload: negative DayLoad weight %g", w)
+			}
+			sum += w
+		}
+		if sum == 0 {
+			return fmt.Errorf("workload: DayLoad weights for the %d-day span sum to zero", days)
+		}
 	}
 	return nil
 }
@@ -185,6 +252,7 @@ func GenerateStream(cfg Config, chunkSize int) (*StreamTrace, error) {
 	if cfg.NumUsers == 0 {
 		cfg.NumUsers = int(math.Max(1, float64(cfg.NumFiles)*7.25/5.2))
 	}
+	cfg.dayWeights = cfg.resolvedDayWeights()
 	if chunkSize <= 0 {
 		chunkSize = DefaultStreamChunk
 	}
@@ -455,17 +523,18 @@ func generateUsers(cfg Config, g *dist.RNG) []*User {
 	return users
 }
 
-// sampleArrival draws a request time over the week: a day weighted by
-// DayLoad, then a diurnal hour-of-day profile with an evening peak.
+// sampleArrival draws a request time over the span: a day weighted by the
+// resolved day-weight table, then a diurnal hour-of-day profile with an
+// evening peak. The substream consumption (one Choice draw for the day
+// regardless of table length, one Choice for the hour, one Float64 for
+// the sub-hour offset) is part of the stream's definition: it keeps the
+// per-request RNG byte-identical across horizons and chunk sizes.
 func sampleArrival(cfg Config, g *dist.RNG) time.Duration {
-	days := int(cfg.Span / (24 * time.Hour))
-	if days < 1 {
+	if len(cfg.dayWeights) == 0 {
+		// Sub-day span: uniform over the span (no whole day to weight).
 		return time.Duration(g.Float64() * float64(cfg.Span))
 	}
-	if days > len(cfg.DayLoad) {
-		days = len(cfg.DayLoad)
-	}
-	day := g.Choice(cfg.DayLoad[:days])
+	day := g.Choice(cfg.dayWeights)
 	hour := g.Choice(hourProfile[:])
 	frac := g.Float64()
 	return time.Duration(day)*24*time.Hour +

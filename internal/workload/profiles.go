@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Load-pattern profiles rewrite a Config's day-load schedule into a named
+// long-horizon shape. Each profile is a pure function of the span length,
+// so two configs with the same profile, span, and scale draw identical
+// request streams — the profiles only reshape the per-day weight table
+// that sampleArrival's single day Choice draws from, leaving the
+// per-request substream consumption untouched.
+const (
+	// ProfileBaseline cycles the weekly diurnal table over the span: the
+	// paper's Figure 11 week repeated as a steady weekly rhythm.
+	ProfileBaseline = "baseline"
+	// ProfileFlashCrowd layers a release-day demand spike at two-thirds
+	// of the span, decaying over the following days — a hot new title
+	// landing mid-trace.
+	ProfileFlashCrowd = "flash-crowd"
+	// ProfileHoliday raises a week-long window starting a third into the
+	// span, modeling a holiday shift when residential demand swells.
+	ProfileHoliday = "holiday"
+	// ProfileOutage dips demand mid-span and releases the deferred tasks
+	// the day after — the workload companion to an internal/faults churn
+	// or degraded-bandwidth episode over the same window.
+	ProfileOutage = "regional-outage"
+)
+
+// ProfileNames lists the known load-pattern profiles in display order.
+func ProfileNames() []string {
+	return []string{ProfileBaseline, ProfileFlashCrowd, ProfileHoliday, ProfileOutage}
+}
+
+// flashCrowdDecay multiplies the release day and its successors under
+// ProfileFlashCrowd.
+var flashCrowdDecay = []float64{3.0, 2.2, 1.6, 1.25}
+
+// ApplyProfile rewrites cfg's arrival schedule to the named load-pattern
+// profile over a span of days whole days (non-positive selects the
+// default week). It materializes a full-length DayLoad table — never
+// relying on implicit cycling — and sets Span accordingly; all other
+// fields are left untouched. With profile "baseline" (or "") and days 7
+// the schedule is exactly DefaultConfig's, so the profile layer is
+// number-neutral for existing week-long runs.
+func ApplyProfile(cfg *Config, profile string, days int) error {
+	if days <= 0 {
+		days = 7
+	}
+	base := cfg.DayLoad
+	if len(base) == 0 {
+		base = DefaultConfig(1, 0).DayLoad
+	}
+	w := make([]float64, days)
+	for i := range w {
+		w[i] = base[i%len(base)]
+	}
+	switch profile {
+	case "", ProfileBaseline:
+		// Weekly rhythm only.
+	case ProfileFlashCrowd:
+		release := days * 2 / 3
+		for i, m := range flashCrowdDecay {
+			if release+i < days {
+				w[release+i] *= m
+			}
+		}
+	case ProfileHoliday:
+		start := days / 3
+		for i := 0; i < 7 && start+i < days; i++ {
+			w[start+i] *= 1.45
+		}
+	case ProfileOutage:
+		day := days / 2
+		w[day] *= 0.55
+		if day+1 < days {
+			w[day+1] *= 1.35 // deferred demand released after service returns
+		}
+	default:
+		return fmt.Errorf("workload: unknown load profile %q (want one of %s)",
+			profile, strings.Join(ProfileNames(), ", "))
+	}
+	cfg.DayLoad = w
+	cfg.CycleDays = false
+	cfg.Span = time.Duration(days) * 24 * time.Hour
+	return nil
+}
+
+// ProfileReleaseDay returns the zero-based day index where the
+// flash-crowd spike lands for a span of days days; companion fault specs
+// and assertions can anchor on it.
+func ProfileReleaseDay(days int) int {
+	if days <= 0 {
+		days = 7
+	}
+	return days * 2 / 3
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDayLoadSpanValidation pins the fix for the silent truncation bug: a
+// Span covering more days than the DayLoad table must either cycle
+// explicitly or fail validation — it must never quietly leave later days
+// unreachable.
+func TestDayLoadSpanValidation(t *testing.T) {
+	week := DefaultConfig(1, 0).DayLoad
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring of the validation error; "" = valid
+	}{
+		{"default week", func(c *Config) {}, ""},
+		{
+			"span beyond table without cycling",
+			func(c *Config) { c.Span = 14 * 24 * time.Hour },
+			"CycleDays",
+		},
+		{
+			"span beyond table with cycling",
+			func(c *Config) { c.Span = 14 * 24 * time.Hour; c.CycleDays = true },
+			"",
+		},
+		{
+			"span beyond table with full schedule",
+			func(c *Config) {
+				c.Span = 9 * 24 * time.Hour
+				c.DayLoad = append(append([]float64{}, week...), 1.1, 0.8)
+			},
+			"",
+		},
+		{
+			"span shorter than table",
+			func(c *Config) { c.Span = 3 * 24 * time.Hour },
+			"",
+		},
+		{
+			"zero span defaults to the week",
+			func(c *Config) { c.Span = 0 },
+			"",
+		},
+		{
+			"empty day load",
+			func(c *Config) { c.DayLoad = nil },
+			"DayLoad is empty",
+		},
+		{
+			"negative day weight",
+			func(c *Config) { c.DayLoad = []float64{1, -0.5, 1, 1, 1, 1, 1} },
+			"negative DayLoad",
+		},
+		{
+			"all-zero weights over the span",
+			func(c *Config) { c.DayLoad = []float64{0, 0, 0, 0, 0, 0, 0} },
+			"sum to zero",
+		},
+		{
+			"sub-day span skips day weighting",
+			func(c *Config) { c.Span = 6 * time.Hour; c.DayLoad = nil },
+			"",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(300, 11)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				if _, err := Generate(cfg); err != nil {
+					t.Fatalf("Generate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+			if _, err := Generate(cfg); err == nil {
+				t.Fatal("Generate() accepted a config Validate rejected")
+			}
+		})
+	}
+}
+
+// TestDayLoadCycling checks that a cycled table actually populates the
+// days past the base week — day 13 (the second week's Figure 11 peak)
+// must out-draw its neighbors just like day 6 does in week one.
+func TestDayLoadCycling(t *testing.T) {
+	cfg := DefaultConfig(20000, 41)
+	cfg.Span = 14 * 24 * time.Hour
+	cfg.CycleDays = true
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDay := make([]int, 14)
+	for _, r := range tr.Requests {
+		perDay[int(r.Time/(24*time.Hour))]++
+	}
+	for d, n := range perDay {
+		if n == 0 {
+			t.Fatalf("day %d received no requests — cycled schedule left it unreachable", d+1)
+		}
+	}
+	for d := 7; d < 13; d++ {
+		if perDay[d] >= perDay[13] {
+			t.Errorf("day 14 (%d reqs) not the second week's peak (day %d has %d)",
+				perDay[13], d+1, perDay[d])
+		}
+	}
+}
+
+// TestApplyProfileShapes checks each named profile reshapes the day table
+// as documented, and that baseline/7d is exactly the default week.
+func TestApplyProfileShapes(t *testing.T) {
+	defaults := DefaultConfig(100, 1)
+
+	t.Run("baseline week is number-neutral", func(t *testing.T) {
+		cfg := DefaultConfig(100, 1)
+		if err := ApplyProfile(&cfg, ProfileBaseline, 7); err != nil {
+			t.Fatal(err)
+		}
+		if len(cfg.DayLoad) != 7 {
+			t.Fatalf("len(DayLoad) = %d", len(cfg.DayLoad))
+		}
+		for i, w := range cfg.DayLoad {
+			if w != defaults.DayLoad[i] {
+				t.Fatalf("day %d weight %g != default %g", i, w, defaults.DayLoad[i])
+			}
+		}
+	})
+
+	t.Run("flash crowd spikes at the release day", func(t *testing.T) {
+		cfg := DefaultConfig(100, 1)
+		const days = 30
+		if err := ApplyProfile(&cfg, ProfileFlashCrowd, days); err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Span != days*24*time.Hour {
+			t.Fatalf("Span = %v", cfg.Span)
+		}
+		rel := ProfileReleaseDay(days)
+		for d, w := range cfg.DayLoad {
+			if d != rel && w >= cfg.DayLoad[rel] {
+				t.Fatalf("day %d weight %g >= release-day %d weight %g", d, w, rel, cfg.DayLoad[rel])
+			}
+		}
+	})
+
+	t.Run("holiday window is raised", func(t *testing.T) {
+		cfg := DefaultConfig(100, 1)
+		if err := ApplyProfile(&cfg, ProfileHoliday, 21); err != nil {
+			t.Fatal(err)
+		}
+		base := defaults.DayLoad
+		start := 21 / 3
+		for i := 0; i < 7; i++ {
+			if cfg.DayLoad[start+i] <= base[(start+i)%7] {
+				t.Fatalf("holiday day %d not raised", start+i)
+			}
+		}
+	})
+
+	t.Run("outage dips then releases", func(t *testing.T) {
+		cfg := DefaultConfig(100, 1)
+		if err := ApplyProfile(&cfg, ProfileOutage, 14); err != nil {
+			t.Fatal(err)
+		}
+		base := defaults.DayLoad
+		if cfg.DayLoad[7] >= base[0] {
+			t.Fatalf("outage day weight %g not dipped below base %g", cfg.DayLoad[7], base[0])
+		}
+		if cfg.DayLoad[8] <= base[1] {
+			t.Fatalf("catch-up day weight %g not raised above base %g", cfg.DayLoad[8], base[1])
+		}
+	})
+
+	t.Run("unknown profile errors", func(t *testing.T) {
+		cfg := DefaultConfig(100, 1)
+		if err := ApplyProfile(&cfg, "mystery", 7); err == nil {
+			t.Fatal("want error for unknown profile")
+		}
+	})
+
+	t.Run("profiled configs validate and generate", func(t *testing.T) {
+		for _, name := range ProfileNames() {
+			cfg := DefaultConfig(300, 5)
+			if err := ApplyProfile(&cfg, name, 10); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Generate(cfg); err != nil {
+				t.Fatalf("profile %s: %v", name, err)
+			}
+		}
+	})
+}
+
+// TestLongHorizonChunkInvariance extends the chunk-invariance guarantee
+// past the 7-day window: a 30-day flash-crowd stream must emit the same
+// request sequence for every chunk size and match the materialized path.
+func TestLongHorizonChunkInvariance(t *testing.T) {
+	cfg := DefaultConfig(2500, 97)
+	if err := ApplyProfile(&cfg, ProfileFlashCrowd, 30); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	for _, r := range ref.Requests {
+		if r.Time > last {
+			last = r.Time
+		}
+	}
+	if last <= 7*24*time.Hour {
+		t.Fatalf("latest request at %v — the trace never left the first week", last)
+	}
+	for _, chunk := range []int{50, 1777, 100000} {
+		st, err := GenerateStream(cfg, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(st.Requests())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref.Requests) {
+			t.Fatalf("chunk %d: %d requests, want %d", chunk, len(got), len(ref.Requests))
+		}
+		for i := range got {
+			a, b := got[i], ref.Requests[i]
+			if a.File.ID != b.File.ID || a.User.ID != b.User.ID || a.Time != b.Time {
+				t.Fatalf("chunk %d: request %d differs", chunk, i)
+			}
+		}
+	}
+}
