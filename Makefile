@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: check ci build test vet fmt race determinism bench cover allocgate \
-	bench-save bench-compare matrix-smoke
+	bench-save bench-compare matrix-smoke ingest-smoke \
+	bench-odrweb-save bench-odrweb-compare
 
 # check is the CI gate: static checks, a full build, the race-enabled
 # test suite, the engine determinism test at several GOMAXPROCS, the
@@ -9,9 +10,9 @@ GO ?= go
 check: fmt vet build race determinism cover allocgate
 
 # ci is what .github/workflows/ci.yml runs: the full gate plus the
-# benchmark diff against the tracked baseline and a tiny scenario-matrix
-# smoke.
-ci: check bench-compare matrix-smoke
+# benchmark diffs against the tracked baselines, a tiny scenario-matrix
+# smoke, and the live-server ingest smoke.
+ci: check bench-compare matrix-smoke ingest-smoke
 
 # matrix-smoke drives the declarative path end to end from one command: a
 # 2×2 {profile × fault intensity} grid over a small 10-day trace, with a
@@ -52,7 +53,7 @@ determinism:
 # unexercised. Profiles go to a fresh mktemp path removed on exit, so
 # concurrent builds on one machine never clobber each other's files.
 COVER_FLOORS := internal/obs:85 internal/faults:85 internal/cloud:85 \
-	internal/scenario:85
+	internal/scenario:85 internal/ratelimit:85 internal/ingest:85
 cover:
 	@prof="$$(mktemp)" || exit 1; \
 	trap 'rm -f "$$prof"' EXIT; \
@@ -96,5 +97,51 @@ bench:
 BENCH_BASELINE := BENCH_replay.json
 bench-save:
 	$(MAKE) bench | $(GO) run ./cmd/benchjson -save $(BENCH_BASELINE)
+	$(MAKE) bench-odrweb-save
 bench-compare:
 	$(MAKE) bench | $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE)
+	$(MAKE) bench-odrweb-compare
+
+# with-odrserver: build the server-path binaries into a scratch dir, boot
+# odrserver on a kernel-chosen port (-addr-file publishes it), run $(1)
+# with $$tmp and $$addr in scope, and always tear the server down. The
+# server gets SIGTERM, so its graceful drain path runs on every use.
+define with-odrserver
+	@tmp="$$(mktemp -d)" || exit 1; \
+	pid=""; \
+	trap 'kill "$$pid" 2>/dev/null; wait "$$pid" 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp" ./cmd/odrserver ./cmd/odrload ./cmd/benchjson || exit 1; \
+	"$$tmp/odrserver" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -files 2000 \
+		-ingest-queue 1024 -shutdown-timeout 5s 2>"$$tmp/server.log" & pid="$$!"; \
+	i=0; while [ ! -s "$$tmp/addr" ] && [ "$$i" -lt 100 ]; do i=$$((i+1)); sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "odrserver did not come up:"; cat "$$tmp/server.log"; exit 1; }; \
+	addr="$$(cat "$$tmp/addr")"; \
+	$(1)
+endef
+
+# ingest-smoke proves the batched ingest path end to end against a live
+# server: a short odrload burst through /api/v1/decide/batch, then -smoke
+# scrapes /metrics, lints the exposition, and fails unless
+# odr_ingest_admitted_total counted the traffic.
+ingest-smoke:
+	$(call with-odrserver,"$$tmp/odrload" -addr "$$addr" -files 500 \
+		-requests 2000 -concurrency 4 -batch 64 -mode batch -smoke)
+
+# The odrweb throughput baseline: odrload drives single and batch decide
+# modes against a live server three times, and benchjson aggregates the
+# runs (via its -file flag) into/against BENCH_odrweb.json. Like the
+# replay baseline, throughput deltas are informational — only allocs/op
+# metrics are gated, and odrload reports none — so the compare gate
+# catches a missing or unparseable baseline, not machine noise.
+BENCH_ODRWEB := BENCH_odrweb.json
+define odrweb-bench-runs
+	for n in 1 2 3; do \
+		"$$tmp/odrload" -addr "$$addr" -files 2000 -requests 6000 \
+			-concurrency 8 -batch 256 -mode both || exit 1; \
+	done >"$$tmp/bench.out"; \
+	"$$tmp/benchjson" -file "$$tmp/bench.out" $(1)
+endef
+bench-odrweb-save:
+	$(call with-odrserver,$(call odrweb-bench-runs,-save $(BENCH_ODRWEB)))
+bench-odrweb-compare:
+	$(call with-odrserver,$(call odrweb-bench-runs,-compare $(BENCH_ODRWEB)))

@@ -1,0 +1,378 @@
+// Command odrload drives a live odrserver over HTTP with a generated
+// workload trace and reports what the service actually sustained.
+//
+// Usage:
+//
+//	odrload -addr http://127.0.0.1:8080 [-files N] [-seed S]
+//	        [-requests N] [-concurrency C] [-batch B] [-rate R]
+//	        [-mode single|batch|both] [-min-speedup X] [-smoke]
+//
+// The trace flows through workload.RequestSource exactly as the replay
+// engine consumes it, but instead of simulating the decision locally each
+// request becomes an HTTP call: one POST /api/v1/decide per request in
+// single mode, or -batch requests per POST /api/v1/decide/batch in batch
+// mode. -concurrency callers run in parallel; -rate caps the offered load
+// in requests/second (0 = as fast as the service answers).
+//
+// Results go to stdout as `go test -bench`-shaped lines that cmd/benchjson
+// can aggregate:
+//
+//	BenchmarkOdrwebDecideSingle  990  101325 ns/op  9869.2 requests/sec  8191 p50-us ...
+//	BenchmarkOdrwebDecideBatch  1000    9385 ns/op  106552.9 requests/sec ...
+//
+// The quantiles come from a client-side obs log2 histogram of per-call
+// latency, so they are bucket upper bounds, comparable with the
+// odr_ingest_decide_seconds series the server exposes. A human summary
+// (admitted/rejected counts, achieved rate, speedup in -mode both) goes
+// to stderr.
+//
+// With -min-speedup X (and -mode both) the process exits nonzero unless
+// batch throughput is at least X times single throughput — the repo's
+// ingest acceptance gate. With -smoke it scrapes /metrics afterwards,
+// lints the exposition, and fails unless odr_ingest_admitted_total
+// counted this run's traffic.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"odr/internal/obs"
+	"odr/internal/odrweb"
+	"odr/internal/ratelimit"
+	"odr/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "", "odrserver base URL (required; host:port is taken as http)")
+	files := flag.Int("files", 2000, "files in the generated workload")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	requests := flag.Int("requests", 2000, "requests to send per mode")
+	concurrency := flag.Int("concurrency", 8, "parallel HTTP callers")
+	batch := flag.Int("batch", 64, "items per batch call in batch mode")
+	rate := flag.Float64("rate", 0, "offered load cap in requests/second (0 = unlimited)")
+	mode := flag.String("mode", "both", "single, batch, or both")
+	minSpeedup := flag.Float64("min-speedup", 0, "with -mode both, fail unless batch/single throughput >= this")
+	smoke := flag.Bool("smoke", false, "after the run, scrape and lint /metrics and require admitted ingest traffic")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "odrload ", log.LstdFlags)
+	if err := run(config{
+		addr: *addr, files: *files, seed: *seed, requests: *requests,
+		concurrency: *concurrency, batch: *batch, rate: *rate,
+		mode: *mode, minSpeedup: *minSpeedup, smoke: *smoke,
+	}, os.Stdout, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+type config struct {
+	addr        string
+	files       int
+	seed        uint64
+	requests    int
+	concurrency int
+	batch       int
+	rate        float64
+	mode        string
+	minSpeedup  float64
+	smoke       bool
+}
+
+// result is what one mode's run sustained.
+type result struct {
+	ok, rejected, failed int
+	wall                 time.Duration
+	latency              obs.HistogramSnapshot
+}
+
+func (r result) reqPerSec() float64 {
+	if r.wall <= 0 {
+		return 0
+	}
+	return float64(r.ok) / r.wall.Seconds()
+}
+
+func run(cfg config, out io.Writer, logger *log.Logger) error {
+	if cfg.addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if !strings.Contains(cfg.addr, "://") {
+		cfg.addr = "http://" + cfg.addr
+	}
+	if cfg.requests <= 0 || cfg.concurrency <= 0 || cfg.batch <= 0 {
+		return fmt.Errorf("-requests, -concurrency and -batch must be positive")
+	}
+	switch cfg.mode {
+	case "single", "batch", "both":
+	default:
+		return fmt.Errorf("unknown -mode %q (want single, batch, or both)", cfg.mode)
+	}
+	if cfg.minSpeedup > 0 && cfg.mode != "both" {
+		return fmt.Errorf("-min-speedup needs -mode both")
+	}
+
+	tr, err := workload.GenerateStream(workload.DefaultConfig(cfg.files, cfg.seed), 4096)
+	if err != nil {
+		return fmt.Errorf("generate workload: %w", err)
+	}
+	// Materialize the stream once, up front: the drive loop must spend its
+	// CPU on HTTP, not on regenerating requests every wrap of the trace.
+	reqs, err := workload.Collect(tr.Requests())
+	if err != nil {
+		return fmt.Errorf("collect trace: %w", err)
+	}
+	items := make([]odrweb.BatchItem, len(reqs))
+	bare := make([]odrweb.BatchItem, len(reqs)) // aux-less copy for batch mode
+	for i, req := range reqs {
+		items[i] = odrweb.BatchItem{
+			Link: req.File.SourceURL,
+			User: "u" + strconv.Itoa(req.User.ID),
+			Aux:  auxFor(req.User),
+		}
+		bare[i] = odrweb.BatchItem{Link: items[i].Link, User: items[i].User}
+	}
+	logger.Printf("workload ready: %d files, %d requests in trace", len(tr.Files), len(items))
+
+	// One pooled transport for every caller: the point is to measure the
+	// service, not TCP handshakes.
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.concurrency * 2,
+		MaxIdleConnsPerHost: cfg.concurrency * 2,
+	}}
+
+	var single, batched result
+	if cfg.mode == "single" || cfg.mode == "both" {
+		if single, err = drive(cfg, items, nil, httpc, 1); err != nil {
+			return err
+		}
+		report(out, logger, "OdrwebDecideSingle", single)
+	}
+	if cfg.mode == "batch" || cfg.mode == "both" {
+		// Batch calls carry one call-level default aux instead of a copy
+		// per item (the trace's users are interchangeable for throughput
+		// purposes; per-item aux would triple the request JSON).
+		if batched, err = drive(cfg, bare, items[0].Aux, httpc, cfg.batch); err != nil {
+			return err
+		}
+		report(out, logger, "OdrwebDecideBatch", batched)
+	}
+
+	if cfg.mode == "both" {
+		sp := 0.0
+		if s := single.reqPerSec(); s > 0 {
+			sp = batched.reqPerSec() / s
+		}
+		logger.Printf("batch/single speedup: %.1fx", sp)
+		if cfg.minSpeedup > 0 && sp < cfg.minSpeedup {
+			return fmt.Errorf("batch speedup %.1fx below the required %.1fx", sp, cfg.minSpeedup)
+		}
+	}
+	if cfg.smoke {
+		if err := smokeMetrics(cfg.addr, httpc); err != nil {
+			return err
+		}
+		logger.Printf("smoke: /metrics lints clean and counted admitted ingest traffic")
+	}
+	return nil
+}
+
+// drive replays cfg.requests requests against the service, itemsPerCall
+// at a time (1 = the single-decide endpoint, >1 = the batch endpoint).
+func drive(cfg config, items []odrweb.BatchItem, callAux *odrweb.AuxInfo,
+	httpc *http.Client, itemsPerCall int) (result, error) {
+	client, err := odrweb.NewClient(cfg.addr, httpc)
+	if err != nil {
+		return result{}, err
+	}
+	if err := client.Health(context.Background()); err != nil {
+		return result{}, fmt.Errorf("server not healthy: %w", err)
+	}
+
+	var bucket *ratelimit.Bucket
+	if cfg.rate > 0 {
+		burst := float64(itemsPerCall)
+		if cfg.rate > burst {
+			burst = cfg.rate
+		}
+		bucket = ratelimit.NewBucket(cfg.rate, burst)
+	}
+
+	// The dispatcher carves calls' worth of items off the materialized
+	// trace, wrapping when -requests exceeds the trace length.
+	work := make(chan []odrweb.BatchItem, cfg.concurrency)
+	go func() {
+		defer close(work)
+		pos := 0
+		left := cfg.requests
+		for left > 0 {
+			n := itemsPerCall
+			if n > left {
+				n = left
+			}
+			if pos+n > len(items) {
+				pos = 0
+			}
+			call := items[pos : pos+n]
+			pos += n
+			if bucket != nil {
+				if err := bucket.Take(context.Background(), float64(len(call))); err != nil {
+					return // burst misconfigured; the drained count exposes it
+				}
+			}
+			left -= len(call)
+			work <- call
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	lat := reg.HistogramScaled("odr_load_call_seconds", 1e6)
+	var mu sync.Mutex
+	var res result
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for call := range work {
+				ok, rejected, failed := doCall(client, call, callAux, itemsPerCall > 1, lat)
+				mu.Lock()
+				res.ok += ok
+				res.rejected += rejected
+				res.failed += failed
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+	res.latency = reg.Snapshot().Histograms["odr_load_call_seconds"]
+	if res.ok == 0 {
+		return res, fmt.Errorf("no request succeeded (%d rejected, %d failed)", res.rejected, res.failed)
+	}
+	return res, nil
+}
+
+// doCall issues one HTTP call covering the given items and tallies
+// per-request outcomes. The call's latency is observed once per request
+// it carried, so single and batch histograms weigh requests equally.
+func doCall(client *odrweb.Client, call []odrweb.BatchItem, callAux *odrweb.AuxInfo,
+	asBatch bool, lat *obs.Histogram) (ok, rejected, failed int) {
+	start := time.Now()
+	if !asBatch {
+		it := call[0]
+		_, err := client.Decide(context.Background(), it.Link, it.Aux)
+		if err != nil {
+			return 0, 0, 1
+		}
+		lat.ObserveDuration(time.Since(start))
+		return 1, 0, 0
+	}
+
+	resp, err := client.DecideBatch(context.Background(), &odrweb.BatchRequest{
+		Aux:   callAux,
+		Items: call,
+	})
+	if err != nil {
+		return 0, 0, len(call)
+	}
+	d := time.Since(start)
+	for _, r := range resp.Results {
+		switch {
+		case r.Status == http.StatusOK:
+			ok++
+			lat.ObserveDuration(d)
+		case r.Status == http.StatusTooManyRequests || r.Status == http.StatusServiceUnavailable:
+			rejected++
+		default:
+			failed++
+		}
+	}
+	return ok, rejected, failed
+}
+
+// auxFor maps a workload user onto the decide API's auxiliary info. Even
+// user IDs get a capable home AP, odd ones have none — deterministic,
+// so reruns of the same trace offer identical load.
+func auxFor(u *workload.User) *odrweb.AuxInfo {
+	bw := u.AccessBW
+	if bw <= 0 {
+		bw = 1 << 20 // non-reporting users: assume 1 MiB/s
+	}
+	aux := &odrweb.AuxInfo{ISP: u.ISP.String(), AccessBW: bw}
+	if u.ID%2 == 0 {
+		aux.HasAP = true
+		aux.APStorage = "sata-hdd"
+		aux.APFS = "ext4"
+		aux.APCPUGHz = 1.2
+	}
+	return aux
+}
+
+// report prints the benchjson-shaped result line to out and a human
+// summary to the logger.
+func report(out io.Writer, logger *log.Logger, name string, r result) {
+	nsPerOp := int64(0)
+	if r.ok > 0 {
+		nsPerOp = r.wall.Nanoseconds() / int64(r.ok)
+	}
+	us := func(q float64) float64 { return r.latency.Quantile(q) * 1e6 }
+	fmt.Fprintf(out, "Benchmark%s\t%d\t%d ns/op\t%.1f requests/sec\t%.0f p50-us\t%.0f p99-us\t%.0f p999-us\n",
+		name, r.ok, nsPerOp, r.reqPerSec(), us(0.50), us(0.99), us(0.999))
+	logger.Printf("%s: %d ok, %d rejected, %d failed in %s (%.1f req/s; p50 %.0fus p99 %.0fus p999 %.0fus)",
+		name, r.ok, r.rejected, r.failed, r.wall.Round(time.Millisecond),
+		r.reqPerSec(), us(0.50), us(0.99), us(0.999))
+}
+
+// smokeMetrics scrapes /metrics, lints the exposition, and checks the
+// ingest pipeline counted admitted traffic.
+func smokeMetrics(addr string, httpc *http.Client) error {
+	resp, err := httpc.Get(addr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: /metrics HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	if err := obs.LintPrometheus(strings.NewReader(string(body))); err != nil {
+		return fmt.Errorf("smoke: /metrics lint: %w", err)
+	}
+	admitted, found := 0.0, false
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "odr_ingest_admitted_total") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			return fmt.Errorf("smoke: malformed metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return fmt.Errorf("smoke: %q: %w", line, err)
+		}
+		admitted += v
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("smoke: odr_ingest_admitted_total missing from /metrics")
+	}
+	if admitted <= 0 {
+		return fmt.Errorf("smoke: odr_ingest_admitted_total is 0 — the batch pipeline saw no traffic")
+	}
+	return nil
+}

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	odrserver [-addr :8080] [-files N] [-seed S] [-cache-policy NAME]
-//	          [-metrics FORMAT] [-faults SPEC] [-pprof ADDR]
-//	          [-shutdown-timeout D]
+//	odrserver [-addr :8080] [-addr-file PATH] [-files N] [-seed S]
+//	          [-cache-policy NAME] [-metrics FORMAT] [-faults SPEC]
+//	          [-pprof ADDR] [-shutdown-timeout D] [-ingest-workers N]
+//	          [-ingest-queue N] [-ingest-batch N] [-admit-rate R]
+//
+// With -addr-file the bound listen address is written to PATH once the
+// listener is up — pass -addr 127.0.0.1:0 and scripts can discover the
+// kernel-chosen port by polling the file.
 //
 // With -cache-policy the pre-warmed pool runs under the named eviction
 // policy (lru, lfu, band, prewarm); the pool's state and counters appear
@@ -14,10 +19,18 @@
 // The server builds a synthetic content universe of N files (the stand-in
 // for Xuanfeng's content database) with a pre-warmed cache, then serves:
 //
-//	POST /api/v1/decide   — redirection decisions
-//	GET  /healthz         — liveness
-//	GET  /metrics         — Prometheus exposition (?format=json for JSON)
-//	GET  /                — front page
+//	POST /api/v1/decide       — redirection decisions
+//	POST /api/v1/decide/batch — batched decisions through the ingest
+//	                            pipeline (admission control, bounded
+//	                            queues, amortized processing)
+//	GET  /healthz             — liveness
+//	GET  /metrics             — Prometheus exposition (?format=json)
+//	GET  /                    — front page
+//
+// The ingest knobs (-ingest-workers, -ingest-queue, -ingest-batch,
+// -admit-rate) size the batch pipeline; its odr_ingest_* series appear
+// on /metrics. Zero values take the package defaults; -admit-rate 0
+// disables per-user admission control.
 //
 // With -faults the server follows a deterministic fault schedule (see
 // internal/faults): wall time, wrapped modulo the schedule span, decides
@@ -38,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -56,6 +70,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (useful with -addr :0)")
 	files := flag.Int("files", 20000, "files in the synthetic content database")
 	seed := flag.Uint64("seed", 1, "random seed")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
@@ -63,12 +78,12 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "odrserver ", log.LstdFlags)
-	if err := run(*addr, *files, *seed, *shutdownTimeout, common, logger); err != nil {
+	if err := run(*addr, *addrFile, *files, *seed, *shutdownTimeout, common, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr string, files int, seed uint64, shutdownTimeout time.Duration,
+func run(addr, addrFile string, files int, seed uint64, shutdownTimeout time.Duration,
 	common *scenario.Common, logger *log.Logger) error {
 	if err := common.Validate(); err != nil {
 		return err
@@ -80,6 +95,7 @@ func run(addr string, files int, seed uint64, shutdownTimeout time.Duration,
 	if err := installFaults(srv, common.Faults, seed, logger); err != nil {
 		return err
 	}
+	srv.StartIngest(common.IngestConfig())
 	logger.Printf("content database ready: %d files (%d cached)", files, n)
 
 	if common.Pprof != "" {
@@ -87,20 +103,33 @@ func run(addr string, files int, seed uint64, shutdownTimeout time.Duration,
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Bind explicitly (rather than ListenAndServe) so -addr :0 has a
+	// concrete port to report through -addr-file.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+
 	// Drain gracefully on SIGINT/SIGTERM: stop accepting, let in-flight
-	// requests finish (bounded), then exit.
+	// requests finish (bounded), then drain the ingest pipeline and exit.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", addr)
-		errc <- httpSrv.ListenAndServe()
+		logger.Printf("listening on %s", bound)
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	select {
@@ -113,6 +142,11 @@ func run(addr string, files int, seed uint64, shutdownTimeout time.Duration,
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			logger.Printf("shutdown: %v", err)
+		}
+		// Batch handlers wait on their items, so the listener drains
+		// first; what is left in the queues finishes here.
+		if err := srv.CloseIngest(sctx); err != nil {
+			logger.Printf("ingest drain: %v", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err

@@ -1,0 +1,341 @@
+// Package ingest is the batched request-absorption tier in front of the
+// ODR decision engine: an ingestor → bounded queue → batch processor
+// pipeline that turns "one decision per HTTP round trip" into "many
+// decisions per call" without ever buffering unboundedly.
+//
+// The shape follows production delivery systems (and the paper's framing
+// that the serving tier, not the wire, is where throughput is won):
+//
+//   - Admission: every item passes a per-user token bucket
+//     (ratelimit.KeyedLimiter) before it may enter the pipeline. A user
+//     over budget is rejected immediately with a Retry-After hint — load
+//     a user was never going to be served does not occupy a queue slot.
+//   - Bounded queues: admitted items are enqueued into fixed-depth
+//     per-worker channels, sharded by the caller-supplied key so one
+//     user's items keep landing on the same worker. A full queue rejects
+//     the item (the HTTP layer answers 503); nothing ever blocks the
+//     ingestor and nothing ever buffers beyond Workers × QueueDepth.
+//   - Batch processing: each worker drains up to MaxBatch queued items
+//     and hands them to the processor as one slice, so per-batch costs
+//     (advisor/health/pool lookups, lock acquisitions) amortize across
+//     the batch. Under light load batches degenerate to single items and
+//     latency stays one queue hop; under heavy load batches fill and
+//     throughput wins.
+//   - Graceful drain: Close refuses new submissions, lets workers finish
+//     everything already queued, and waits (bounded by the caller's
+//     context) for them to exit. Every accepted item is processed exactly
+//     once, even across shutdown.
+//
+// The pipeline exposes its internals through obs: queue depth, batch-size
+// and end-to-end latency histograms, and admitted/rejected totals by
+// cause.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"odr/internal/obs"
+	"odr/internal/ratelimit"
+)
+
+// Config parameterizes a Pipeline. The zero value is usable: every field
+// falls back to its documented default.
+type Config struct {
+	// Workers is the number of batch-processing goroutines (and bounded
+	// queues). Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth is each worker queue's capacity in items. Default 256.
+	QueueDepth int
+	// MaxBatch is the most items a worker passes to the processor in one
+	// call. Default 64.
+	MaxBatch int
+	// AdmitRate is the per-user sustained admission budget in items per
+	// second; 0 disables admission control (every item is admitted).
+	AdmitRate float64
+	// AdmitBurst is the per-user admission burst; 0 defaults to
+	// AdmitRate (one second of budget).
+	AdmitBurst float64
+	// MaxUsers bounds the admission-control key population. Default
+	// ratelimit.DefaultMaxKeys.
+	MaxUsers int
+	// Registry receives the odr_ingest_* metrics; nil disables recording
+	// (handles are nil and every observation is a no-op).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.AdmitBurst <= 0 {
+		c.AdmitBurst = c.AdmitRate
+	}
+	return c
+}
+
+// Sentinel errors Submit reports; the HTTP layer maps them onto 503s.
+var (
+	// ErrQueueFull: the item's home queue (and its neighbor) are at
+	// capacity — the explicit backpressure signal.
+	ErrQueueFull = errors.New("ingest: queue full")
+	// ErrClosed: the pipeline is draining and admits no new work.
+	ErrClosed = errors.New("ingest: pipeline closed")
+)
+
+// Rejection causes, the values of the odr_ingest_rejected_total cause
+// label.
+const (
+	CauseAdmission = "admission"
+	CauseQueueFull = "queue_full"
+	CauseClosed    = "closed"
+)
+
+// Metric names.
+const (
+	metricQueueDepth = "odr_ingest_queue_depth"
+	metricBatchSize  = "odr_ingest_batch_size"
+	metricAdmitted   = "odr_ingest_admitted_total"
+	metricRejected   = "odr_ingest_rejected_total"
+	metricLatency    = "odr_ingest_decide_seconds"
+	latencyScale     = 1e6 // observe microseconds, expose seconds
+)
+
+// submission is one queued item plus its completion plumbing.
+type submission[T any] struct {
+	item  T
+	group *Group
+	at    time.Time
+}
+
+// Pipeline is the ingest tier for items of type T. Construct with New;
+// the zero value is not usable.
+type Pipeline[T any] struct {
+	cfg     Config
+	process func([]T)
+	queues  []chan submission[T]
+	limiter *ratelimit.KeyedLimiter
+
+	// mu guards closed against concurrent Submit/Close: submitters hold
+	// the read side across their non-blocking send, so Close's channel
+	// close can never race a send.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	depth    *obs.Gauge
+	batchSz  *obs.Histogram
+	admitted *obs.Counter
+	rejected map[string]*obs.Counter
+	latency  *obs.Histogram
+}
+
+// New starts a pipeline whose workers hand drained batches to process.
+// process is called from Workers goroutines, one batch at a time per
+// worker, with 1 ≤ len(batch) ≤ MaxBatch; it must be safe for concurrent
+// invocations. Items of one Submit key are processed in submission order
+// (they share a queue); items of different keys are not ordered.
+func New[T any](cfg Config, process func(batch []T)) *Pipeline[T] {
+	if process == nil {
+		panic("ingest: nil process func")
+	}
+	cfg = cfg.withDefaults()
+	p := &Pipeline[T]{
+		cfg:     cfg,
+		process: process,
+		queues:  make([]chan submission[T], cfg.Workers),
+	}
+	if cfg.AdmitRate > 0 {
+		p.limiter = ratelimit.NewKeyedLimiter(cfg.AdmitRate, cfg.AdmitBurst, cfg.MaxUsers)
+	}
+	reg := cfg.Registry
+	p.depth = reg.Gauge(metricQueueDepth)
+	p.batchSz = reg.Histogram(metricBatchSize)
+	p.admitted = reg.Counter(metricAdmitted)
+	p.latency = reg.HistogramScaled(metricLatency, latencyScale)
+	p.rejected = map[string]*obs.Counter{
+		CauseAdmission: reg.Counter(obs.Label(metricRejected, "cause", CauseAdmission)),
+		CauseQueueFull: reg.Counter(obs.Label(metricRejected, "cause", CauseQueueFull)),
+		CauseClosed:    reg.Counter(obs.Label(metricRejected, "cause", CauseClosed)),
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan submission[T], cfg.QueueDepth)
+		p.wg.Add(1)
+		go p.worker(p.queues[i])
+	}
+	return p
+}
+
+// Admit runs user through admission control: it reports whether one item
+// of user's budget was taken, and on rejection how long the user should
+// wait before retrying. With AdmitRate 0 every call is admitted.
+func (p *Pipeline[T]) Admit(user string) (ok bool, retryAfter time.Duration) {
+	if p.limiter == nil {
+		return true, 0
+	}
+	if p.limiter.TryTake(user, 1) {
+		return true, 0
+	}
+	p.rejected[CauseAdmission].Inc()
+	return false, p.limiter.RetryAfter(user, 1)
+}
+
+// Submit enqueues item under g, sharded by key (items sharing a key share
+// a queue and are processed in order). It never blocks: a full queue
+// (after one neighbor-queue attempt) returns ErrQueueFull, a draining
+// pipeline ErrClosed. On nil the item is accepted and g.Wait will cover
+// its completion.
+func (p *Pipeline[T]) Submit(g *Group, key uint64, item T) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		p.rejected[CauseClosed].Inc()
+		return ErrClosed
+	}
+	s := submission[T]{item: item, group: g, at: time.Now()}
+	h := int(key % uint64(len(p.queues)))
+	g.add()
+	select {
+	case p.queues[h] <- s:
+	default:
+		// One steal attempt on the neighbor smooths hash hot spots
+		// without turning backpressure into a full scan.
+		select {
+		case p.queues[(h+1)%len(p.queues)] <- s:
+		default:
+			g.cancel()
+			p.rejected[CauseQueueFull].Inc()
+			return ErrQueueFull
+		}
+	}
+	p.depth.Add(1)
+	p.admitted.Inc()
+	return nil
+}
+
+// QueueDepth reports the items currently queued (not yet handed to the
+// processor) across all workers.
+func (p *Pipeline[T]) QueueDepth() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// worker drains one queue: a blocking receive for the first item, then a
+// greedy non-blocking drain up to MaxBatch, then one process call for the
+// whole batch. The range loop exits when Close closes the queue and the
+// backlog is fully drained — accepted items are never dropped.
+func (p *Pipeline[T]) worker(q chan submission[T]) {
+	defer p.wg.Done()
+	batch := make([]T, 0, p.cfg.MaxBatch)
+	subs := make([]submission[T], 0, p.cfg.MaxBatch)
+	for first := range q {
+		subs = append(subs[:0], first)
+		batch = append(batch[:0], first.item)
+	fill:
+		for len(batch) < p.cfg.MaxBatch {
+			select {
+			case s, ok := <-q:
+				if !ok {
+					break fill
+				}
+				subs = append(subs, s)
+				batch = append(batch, s.item)
+			default:
+				break fill
+			}
+		}
+		p.depth.Add(-int64(len(batch)))
+		p.batchSz.Observe(uint64(len(batch)))
+		p.process(batch)
+		now := time.Now()
+		for i := range subs {
+			p.latency.ObserveDuration(now.Sub(subs[i].at))
+			subs[i].group.finish()
+		}
+	}
+}
+
+// Close drains the pipeline: new Submits fail with ErrClosed, workers
+// finish every item already queued, and Close returns when they have
+// exited or ctx expires (the workers keep draining either way; an
+// expired ctx only abandons the wait). Close is idempotent.
+func (p *Pipeline[T]) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for _, q := range p.queues {
+			close(q)
+		}
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Group tracks the completion of one caller's submissions — the bridge
+// between an HTTP handler that fanned a batch of items into the pipeline
+// and the workers completing them. Use: NewGroup, Submit each item, then
+// Wait. A Group must not be reused after Wait returns.
+type Group struct {
+	remaining int64
+	mu        sync.Mutex
+	done      chan struct{}
+}
+
+// NewGroup returns a group holding one sentinel reference, released by
+// Wait — so the count can never hit zero between two Submits.
+func (p *Pipeline[T]) NewGroup() *Group {
+	return &Group{remaining: 1, done: make(chan struct{})}
+}
+
+func (g *Group) add() {
+	g.mu.Lock()
+	g.remaining++
+	g.mu.Unlock()
+}
+
+// cancel undoes an add whose submission was rejected.
+func (g *Group) cancel() { g.finish() }
+
+func (g *Group) finish() {
+	g.mu.Lock()
+	g.remaining--
+	if g.remaining == 0 {
+		close(g.done)
+	}
+	g.mu.Unlock()
+}
+
+// Wait blocks until every accepted submission has been processed or ctx
+// is done. A ctx error means the caller stopped waiting; the items are
+// still processed (and their result slots written) by the workers.
+func (g *Group) Wait(ctx context.Context) error {
+	g.finish() // release the sentinel
+	select {
+	case <-g.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

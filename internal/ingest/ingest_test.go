@@ -1,0 +1,346 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odr/internal/obs"
+)
+
+// collectPipeline builds a pipeline whose processor appends every item to
+// a shared slice.
+func collectPipeline(t *testing.T, cfg Config) (*Pipeline[int], *[]int, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []int
+	p := New(cfg, func(batch []int) {
+		mu.Lock()
+		got = append(got, batch...)
+		mu.Unlock()
+	})
+	t.Cleanup(func() { _ = p.Close(context.Background()) })
+	return p, &got, &mu
+}
+
+func TestPipelineProcessesEverySubmission(t *testing.T) {
+	p, got, mu := collectPipeline(t, Config{Workers: 3, QueueDepth: 64, MaxBatch: 4})
+	g := p.NewGroup()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := p.Submit(g, uint64(i), i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != n {
+		t.Fatalf("processed %d items, want %d", len(*got), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, v := range *got {
+		if seen[v] {
+			t.Fatalf("item %d processed twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPipelineKeyOrdering(t *testing.T) {
+	// All items share one key, hence one queue: processing order must be
+	// submission order even with many workers.
+	var mu sync.Mutex
+	var got []int
+	p := New(Config{Workers: 4, QueueDepth: 256, MaxBatch: 8}, func(batch []int) {
+		mu.Lock()
+		got = append(got, batch...)
+		mu.Unlock()
+	})
+	defer p.Close(context.Background())
+	g := p.NewGroup()
+	for i := 0; i < 200; i++ {
+		if err := p.Submit(g, 7, i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d holds item %d: same-key order not preserved", i, v)
+		}
+	}
+}
+
+func TestPipelineBatching(t *testing.T) {
+	// A blocked worker accumulates a backlog; on release the worker must
+	// drain it in batches of at most MaxBatch, and at least one batch
+	// must actually be bigger than one item.
+	release := make(chan struct{})
+	var first sync.Once
+	var mu sync.Mutex
+	var sizes []int
+	reg := obs.NewRegistry()
+	p := New(Config{Workers: 1, QueueDepth: 64, MaxBatch: 8, Registry: reg}, func(batch []int) {
+		first.Do(func() { <-release })
+		mu.Lock()
+		sizes = append(sizes, len(batch))
+		mu.Unlock()
+	})
+	defer p.Close(context.Background())
+	g := p.NewGroup()
+	for i := 0; i < 40; i++ {
+		if err := p.Submit(g, 0, i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	close(release)
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total, sawBatch := 0, false
+	for _, s := range sizes {
+		if s > 8 {
+			t.Fatalf("batch of %d exceeds MaxBatch 8", s)
+		}
+		if s > 1 {
+			sawBatch = true
+		}
+		total += s
+	}
+	if total != 40 {
+		t.Fatalf("processed %d items, want 40", total)
+	}
+	if !sawBatch {
+		t.Fatal("backlogged worker never drained a multi-item batch")
+	}
+	// The batch-size histogram recorded every processing round.
+	snap := reg.Snapshot()
+	h := snap.Histograms["odr_ingest_batch_size"]
+	if int(h.Count) != len(sizes) {
+		t.Fatalf("batch-size histogram count = %d, want %d", h.Count, len(sizes))
+	}
+}
+
+func TestPipelineBackpressure(t *testing.T) {
+	// One worker stuck in process, queue depth 2: the first submission is
+	// consumed by the worker, two fill the queue, and further submissions
+	// must be rejected with ErrQueueFull — never buffered.
+	release := make(chan struct{})
+	reg := obs.NewRegistry()
+	p := New(Config{Workers: 1, QueueDepth: 2, MaxBatch: 1, Registry: reg}, func(batch []int) {
+		<-release
+	})
+	defer func() {
+		close(release)
+		_ = p.Close(context.Background())
+	}()
+	g := p.NewGroup()
+	// Wait until the worker has picked up the first item, then fill the
+	// queue deterministically.
+	if err := p.Submit(g, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.QueueDepth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the first item")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(g, 0, i); err != nil {
+			t.Fatalf("queue-filling submit %d: %v", i, err)
+		}
+	}
+	var rejected int
+	for i := 0; i < 5; i++ {
+		err := p.Submit(g, 0, 99)
+		if err == nil {
+			t.Fatal("submission accepted beyond queue capacity")
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("err = %v, want ErrQueueFull", err)
+		}
+		rejected++
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.Label("odr_ingest_rejected_total", "cause", "queue_full")]; got != uint64(rejected) {
+		t.Fatalf("rejected{queue_full} = %d, want %d", got, rejected)
+	}
+	if got := snap.Gauges["odr_ingest_queue_depth"]; got != 2 {
+		t.Fatalf("queue depth gauge = %d, want 2", got)
+	}
+}
+
+func TestPipelineGracefulDrain(t *testing.T) {
+	// Everything queued before Close must be processed; submissions after
+	// Close must fail with ErrClosed.
+	release := make(chan struct{})
+	var processed atomic.Int64
+	reg := obs.NewRegistry()
+	p := New(Config{Workers: 2, QueueDepth: 64, MaxBatch: 4, Registry: reg}, func(batch []int) {
+		<-release
+		processed.Add(int64(len(batch)))
+	})
+	g := p.NewGroup()
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := p.Submit(g, uint64(i), i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- p.Close(context.Background()) }()
+	// Close with a stuck processor must time out rather than hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close with stuck workers = %v, want deadline exceeded", err)
+	}
+	// New work is refused while draining.
+	if err := p.Submit(p.NewGroup(), 0, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit on closed pipeline = %v, want ErrClosed", err)
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if got := processed.Load(); got != n {
+		t.Fatalf("drained %d items, want all %d accepted before Close", got, n)
+	}
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.Label("odr_ingest_rejected_total", "cause", "closed")]; got != 1 {
+		t.Fatalf("rejected{closed} = %d, want 1", got)
+	}
+	if got := snap.Gauges["odr_ingest_queue_depth"]; got != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", got)
+	}
+	if got := snap.Counters["odr_ingest_admitted_total"]; got != n {
+		t.Fatalf("admitted = %d, want %d", got, n)
+	}
+	if h := snap.Histograms["odr_ingest_decide_seconds"]; h.Count != n {
+		t.Fatalf("latency histogram count = %d, want %d", h.Count, n)
+	}
+}
+
+func TestPipelineAdmissionControl(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Config{Workers: 1, AdmitRate: 0.001, AdmitBurst: 3, Registry: reg},
+		func(batch []int) {})
+	defer p.Close(context.Background())
+	for i := 0; i < 3; i++ {
+		if ok, _ := p.Admit("alice"); !ok {
+			t.Fatalf("admission %d refused within burst", i)
+		}
+	}
+	ok, retry := p.Admit("alice")
+	if ok {
+		t.Fatal("admission granted past the burst")
+	}
+	if retry <= 0 {
+		t.Fatalf("retry-after hint = %v, want positive", retry)
+	}
+	// Another user is unaffected.
+	if ok, _ := p.Admit("bob"); !ok {
+		t.Fatal("unrelated user rejected")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.Label("odr_ingest_rejected_total", "cause", "admission")]; got != 1 {
+		t.Fatalf("rejected{admission} = %d, want 1", got)
+	}
+}
+
+func TestPipelineAdmitUnlimitedByDefault(t *testing.T) {
+	p := New(Config{Workers: 1}, func(batch []int) {})
+	defer p.Close(context.Background())
+	for i := 0; i < 1000; i++ {
+		if ok, _ := p.Admit("anyone"); !ok {
+			t.Fatal("AdmitRate 0 must admit everything")
+		}
+	}
+}
+
+func TestPipelineConcurrentSubmitters(t *testing.T) {
+	var processed atomic.Int64
+	p := New(Config{Workers: 4, QueueDepth: 512, MaxBatch: 16}, func(batch []int) {
+		processed.Add(int64(len(batch)))
+	})
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := p.NewGroup()
+			for i := 0; i < 500; i++ {
+				if err := p.Submit(g, uint64(w*1000+i), i); err == nil {
+					accepted.Add(1)
+				}
+			}
+			if err := g.Wait(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if processed.Load() != accepted.Load() {
+		t.Fatalf("processed %d of %d accepted items", processed.Load(), accepted.Load())
+	}
+}
+
+func TestPipelineWaitHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	p := New(Config{Workers: 1, QueueDepth: 8, MaxBatch: 1}, func(batch []int) {
+		<-release
+	})
+	g := p.NewGroup()
+	if err := p.Submit(g, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want deadline exceeded", err)
+	}
+	close(release)
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnNilProcess(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](Config{}, nil)
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(Config{Workers: 2}, func(batch []int) {})
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+import "math"
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1) of the
+// histogram's observations, in display units (the raw bucket bound
+// divided by Scale). Because observations are bucketed by powers of two,
+// the bound is the inclusive top of the bucket holding the q-th
+// observation — at most 2× the true quantile, which is the right
+// resolution for latencies spanning many decades (a p999 of "≤ 8.4 ms"
+// vs "≤ 16.8 ms" is the signal; 10% precision inside a bucket is not).
+// Returns 0 for an empty histogram or q ≤ 0; q > 1 is treated as 1.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	scale := h.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum >= rank {
+			// Bucket Pow holds v < 2^Pow; Pow 0 holds exactly 0.
+			if b.Pow == 0 {
+				return 0
+			}
+			return (math.Pow(2, float64(b.Pow)) - 1) / scale
+		}
+	}
+	// Unreachable when Count matches the buckets, but stay total.
+	return (math.Pow(2, float64(NumBuckets-1)) - 1) / scale
+}

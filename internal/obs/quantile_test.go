@@ -1,0 +1,76 @@
+package obs
+
+import "testing"
+
+func TestQuantileEmptyAndBadQ(t *testing.T) {
+	var h Histogram
+	snap := snapshotHistogram(&h)
+	if got := snap.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %g, want 0", got)
+	}
+	h.Observe(100)
+	snap = snapshotHistogram(&h)
+	if got := snap.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %g, want 0", got)
+	}
+	if got := snap.Quantile(-1); got != 0 {
+		t.Fatalf("Quantile(-1) = %g, want 0", got)
+	}
+	// q above 1 clamps to the maximum.
+	if got, want := snap.Quantile(2), snap.Quantile(1); got != want {
+		t.Fatalf("Quantile(2) = %g, want %g", got, want)
+	}
+}
+
+func TestQuantileBucketBounds(t *testing.T) {
+	var h Histogram
+	// 90 observations of 3 (bucket pow 2, top 3), 9 of 100 (pow 7, top
+	// 127), 1 of 5000 (pow 13, top 8191).
+	for i := 0; i < 90; i++ {
+		h.Observe(3)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(100)
+	}
+	h.Observe(5000)
+	snap := snapshotHistogram(&h)
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 3},      // rank 50 lands in the first bucket
+		{0.9, 3},      // rank 90 is the last of the first bucket
+		{0.99, 127},   // rank 99 lands in the middle bucket
+		{0.999, 8191}, // rank 100 is the single tail observation
+		{1, 8191},
+	}
+	for _, c := range cases {
+		if got := snap.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileZeroBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	h.Observe(9)
+	snap := snapshotHistogram(&h)
+	if got := snap.Quantile(0.5); got != 0 {
+		t.Fatalf("median of {0,0,9} = %g, want 0", got)
+	}
+	if got := snap.Quantile(1); got != 15 {
+		t.Fatalf("max of {0,0,9} = %g, want bucket top 15", got)
+	}
+}
+
+func TestQuantileScaled(t *testing.T) {
+	h := Histogram{scale: 1e6} // microsecond observations shown as seconds
+	h.Observe(1500)            // pow 11, top 2047
+	snap := snapshotHistogram(&h)
+	want := 2047.0 / 1e6
+	if got := snap.Quantile(0.5); got != want {
+		t.Fatalf("scaled Quantile = %g, want %g", got, want)
+	}
+}

@@ -8,13 +8,22 @@ import (
 	"net/http"
 	"net/http/cookiejar"
 	"net/url"
+	"time"
 )
+
+// DefaultClientTimeout bounds Decide/DecideBatch calls whose context
+// carries no deadline of its own.
+const DefaultClientTimeout = 30 * time.Second
 
 // Client talks to an ODR web service. It keeps the service's auxiliary
 // cookie, so Aux only needs to be supplied on the first Decide.
 type Client struct {
 	base string
 	http *http.Client
+
+	// Timeout bounds each call when the caller's context has no deadline;
+	// zero means DefaultClientTimeout. A context deadline always wins.
+	Timeout time.Duration
 }
 
 // NewClient returns a client for the service at baseURL. httpClient may be
@@ -37,33 +46,75 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 	return &Client{base: u.String(), http: httpClient}, nil
 }
 
-// Decide asks ODR where to download link. aux may be nil after the first
-// call (the remembered cookie is used).
-func (c *Client) Decide(ctx context.Context, link string, aux *AuxInfo) (*DecideResponse, error) {
-	body, err := json.Marshal(DecideRequest{Link: link, Aux: aux})
+// withTimeout applies the client's default timeout when ctx has none.
+func (c *Client) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	d := c.Timeout
+	if d <= 0 {
+		d = DefaultClientTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// postJSON is the one encode/decode path every API call rides: marshal
+// in, POST it, decode the response into out when the status is accepted,
+// decode the structured error otherwise. accept lists the statuses whose
+// body is the success shape (200 alone when empty).
+func (c *Client) postJSON(ctx context.Context, path string, in, out any, accept ...int) error {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
+	body, err := json.Marshal(in)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/api/v1/decide", bytes.NewReader(body))
+		c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	ok := resp.StatusCode == http.StatusOK
+	for _, a := range accept {
+		ok = ok || resp.StatusCode == a
+	}
+	if !ok {
 		var e ErrorResponse
 		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-			return nil, fmt.Errorf("odrweb: %s (HTTP %d)", e.Error, resp.StatusCode)
+			return fmt.Errorf("odrweb: %s (HTTP %d)", e.Error, resp.StatusCode)
 		}
-		return nil, fmt.Errorf("odrweb: HTTP %d", resp.StatusCode)
+		return fmt.Errorf("odrweb: HTTP %d", resp.StatusCode)
 	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Decide asks ODR where to download link. aux may be nil after the first
+// call (the remembered cookie is used). Calls without a context deadline
+// are bounded by the client's Timeout.
+func (c *Client) Decide(ctx context.Context, link string, aux *AuxInfo) (*DecideResponse, error) {
 	var out DecideResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.postJSON(ctx, "/api/v1/decide", DecideRequest{Link: link, Aux: aux}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DecideBatch submits many decide requests in one round trip. The
+// response carries one result per item, in order; it is also returned
+// (not an error) when the whole batch was rejected with 429 or 503 —
+// inspect Admitted and the per-item statuses. Calls without a context
+// deadline are bounded by the client's Timeout.
+func (c *Client) DecideBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	err := c.postJSON(ctx, "/api/v1/decide/batch", req, &out,
+		http.StatusTooManyRequests, http.StatusServiceUnavailable)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -71,6 +122,8 @@ func (c *Client) Decide(ctx context.Context, link string, aux *AuxInfo) (*Decide
 
 // Health checks the service's /healthz endpoint.
 func (c *Client) Health(ctx context.Context) error {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
 		return err

@@ -71,7 +71,7 @@ func newWebMetrics(reg *obs.Registry) webMetrics {
 	}
 	// Pre-register the latency histogram and request counter for the
 	// well-known paths so an idle server still scrapes the full schema.
-	for _, p := range []string{"/", "/api/v1/decide", "/healthz", "/metrics"} {
+	for _, p := range []string{"/", "/api/v1/decide", "/api/v1/decide/batch", "/healthz", "/metrics"} {
 		reg.HistogramScaled(obs.Label(metricHTTPSeconds, "path", p), httpSecondsScale)
 		reg.Counter(obs.Label(metricHTTPRequests, "path", p, "status", "2xx"))
 	}
@@ -101,8 +101,10 @@ func (m *webMetrics) reroute(reason string) {
 // paths share one bucket so hostile URLs cannot blow up the cardinality.
 func normalizePath(p string) string {
 	switch p {
-	case "/", "/api/v1/decide", "/healthz", "/metrics":
+	case "/", "/api/v1/decide", "/api/v1/decide/batch", "/healthz", "/metrics":
 		return p
+	case "/v1/decide/batch": // alias shares the canonical path's series
+		return "/api/v1/decide/batch"
 	}
 	return "other"
 }

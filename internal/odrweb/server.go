@@ -22,6 +22,7 @@ import (
 	"odr/internal/backend"
 	"odr/internal/cloud"
 	"odr/internal/core"
+	"odr/internal/ingest"
 	"odr/internal/obs"
 	"odr/internal/storage"
 	"odr/internal/workload"
@@ -149,6 +150,11 @@ const auxCookie = "odr_aux"
 // faults.Clock on wall time. It must be safe for concurrent use.
 type HealthFunc func(core.Route) backend.Health
 
+// DefaultMaxBodyBytes caps request bodies when SetMaxBodyBytes is not
+// called: 1 MiB comfortably fits a full MaxBatchItems batch while keeping
+// a hostile POST from buffering unboundedly.
+const DefaultMaxBodyBytes = 1 << 20
+
 // Server is the ODR web service.
 type Server struct {
 	advisor  *core.Advisor
@@ -160,6 +166,8 @@ type Server struct {
 	reg      *obs.Registry
 	met      webMetrics
 	health   HealthFunc
+	maxBody  int64
+	ingest   *ingest.Pipeline[*batchJob]
 
 	// poolStats, when installed, snapshots the cloud storage pool backing
 	// the advisor's cache probe; each metrics scrape refreshes the
@@ -186,9 +194,12 @@ func NewServer(advisor *core.Advisor, resolver Resolver, logger *log.Logger) *Se
 		started:  time.Now(),
 		reg:      reg,
 		met:      newWebMetrics(reg),
+		maxBody:  DefaultMaxBodyBytes,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/decide", s.handleDecide)
+	mux.HandleFunc("POST /api/v1/decide/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/decide/batch", s.handleBatch) // unversioned-prefix alias
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -207,6 +218,16 @@ func (s *Server) SetHealth(h HealthFunc) { s.health = h }
 // series. Call it before serving traffic; the hook must be safe for
 // concurrent use.
 func (s *Server) SetPoolStats(f func() cloud.PoolStats) { s.poolStats = f }
+
+// SetMaxBodyBytes caps decide/batch request bodies at n bytes; oversized
+// POSTs get a structured 413. Call before serving traffic; n must be
+// positive.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n <= 0 {
+		panic("odrweb: max body bytes must be positive")
+	}
+	s.maxBody = n
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -239,10 +260,26 @@ or cloud+AP).</p>
 </body></html>`)
 }
 
+// decodeBody decodes a JSON request body under the server's byte cap,
+// answering a structured 413 (oversized) or 400 (malformed) itself.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+				Error: fmt.Sprintf("request body exceeds the %d-byte cap", mbe.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	var req DecideRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Link == "" {
@@ -265,29 +302,58 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	file, err := s.resolver.Resolve(req.Link)
+	rf, err := s.resolveFile(req.Link)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
 		return
 	}
-	in.Protocol = file.Protocol
-	in.Band = s.advisor.DB.Band(file.ID)
-	in.Cached = s.advisor.Cache.Contains(file.ID)
-	if file.Size > 0 {
-		s.met.resolvedBytes.Observe(uint64(file.Size))
-	}
-
-	dec := core.Decide(in)
-	dec, health, rerouted := s.degrade(in, dec)
-	s.met.decision(dec)
-	s.logf("decide link=%s band=%v cached=%v -> %v from %v (health %v)",
-		req.Link, in.Band, in.Cached, dec.Route, dec.Source, health)
+	resp := s.decideResolved(in, rf, s.health)
+	s.logf("decide link=%s band=%s cached=%v -> %s from %s (health %s)",
+		req.Link, resp.Band, resp.Cached, resp.Route, resp.Source, resp.Health)
 
 	// Remember the auxiliary info for next time.
 	if req.Aux != nil {
 		setAuxCookie(w, req.Aux)
 	}
-	writeJSON(w, http.StatusOK, DecideResponse{
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolvedFile is a link's per-decision file state: metadata plus the
+// popularity band and cache residency ODR learned from the content
+// database. Batch processing resolves each distinct link once.
+type resolvedFile struct {
+	file   *workload.FileMeta
+	band   workload.PopularityBand
+	cached bool
+}
+
+// resolveFile resolves a link and fetches its band and cache state.
+func (s *Server) resolveFile(link string) (resolvedFile, error) {
+	file, err := s.resolver.Resolve(link)
+	if err != nil {
+		return resolvedFile{}, err
+	}
+	return resolvedFile{
+		file:   file,
+		band:   s.advisor.DB.Band(file.ID),
+		cached: s.advisor.Cache.Contains(file.ID),
+	}, nil
+}
+
+// decideResolved completes a decision for a validated input and resolved
+// file, consulting look (nil = always healthy) for backend health. It is
+// the tail both the single and the batched decide paths share.
+func (s *Server) decideResolved(in core.Input, rf resolvedFile, look HealthFunc) DecideResponse {
+	in.Protocol = rf.file.Protocol
+	in.Band = rf.band
+	in.Cached = rf.cached
+	if rf.file.Size > 0 {
+		s.met.resolvedBytes.Observe(uint64(rf.file.Size))
+	}
+	dec := core.Decide(in)
+	dec, health, rerouted := s.degrade(look, in, dec)
+	s.met.decision(dec)
+	return DecideResponse{
 		Route:     dec.Route.String(),
 		Backend:   backend.NameForRoute(dec.Route),
 		Source:    dec.Source.String(),
@@ -297,22 +363,23 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		Cached:    in.Cached,
 		Health:    health.String(),
 		Rerouted:  rerouted,
-	})
+	}
 }
 
-// degrade applies the health hook to a fresh decision, mirroring the
+// degrade applies a health lookup to a fresh decision, mirroring the
 // replay engine's policy: an unavailable backend always falls back to
 // the next-best route (reason circuit_open); a merely degraded one hops
 // only to a stable, fully healthy route (reason degraded), because
 // switching away from a working backend must never lose a completion.
 // It returns the final decision, the chosen backend's health, and
-// whether any hop happened.
-func (s *Server) degrade(in core.Input, dec core.Decision) (core.Decision, backend.Health, bool) {
-	if s.health == nil {
+// whether any hop happened. look is nil when no health hook is
+// installed; the batch path passes a per-batch memoized lookup.
+func (s *Server) degrade(look HealthFunc, in core.Input, dec core.Decision) (core.Decision, backend.Health, bool) {
+	if look == nil {
 		return dec, backend.Healthy, false
 	}
 	rerouted := false
-	h := s.health(dec.Route)
+	h := look(dec.Route)
 	for hops := 0; hops < core.NumRoutes; hops++ {
 		if h == backend.Healthy {
 			break
@@ -322,7 +389,7 @@ func (s *Server) degrade(in core.Input, dec core.Decision) (core.Decision, backe
 			break
 		}
 		if h == backend.Impaired {
-			if !stableRoute(fb.Route) || s.health(fb.Route) != backend.Healthy {
+			if !stableRoute(fb.Route) || look(fb.Route) != backend.Healthy {
 				break
 			}
 			fb.Reason = core.ReasonDegraded
@@ -332,7 +399,7 @@ func (s *Server) degrade(in core.Input, dec core.Decision) (core.Decision, backe
 		s.met.reroute(fb.Reason)
 		rerouted = true
 		dec, in = fb, fin
-		h = s.health(dec.Route)
+		h = look(dec.Route)
 	}
 	return dec, h, rerouted
 }

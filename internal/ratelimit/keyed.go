@@ -1,0 +1,138 @@
+package ratelimit
+
+import (
+	"sync"
+	"time"
+)
+
+// KeyedLimiter maintains one token bucket per key — the per-user
+// admission-control primitive of the ingest pipeline. Buckets are created
+// lazily on first use and the key population is bounded: when MaxKeys is
+// reached, idle buckets (those that have refilled back to their full
+// burst) are swept first, and if every tracked key is active one
+// arbitrary bucket is recycled. Admission therefore keeps working at any
+// population, at the cost of occasionally forgetting a victim's spend —
+// bounded memory is the invariant, perfect fairness under key-churn
+// attack is not.
+//
+// All methods are safe for concurrent use.
+type KeyedLimiter struct {
+	rate  float64
+	burst float64
+	max   int
+
+	mu      sync.Mutex
+	buckets map[string]*Bucket
+
+	// injectable clock shared by every bucket, for tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// DefaultMaxKeys bounds the tracked-key population when NewKeyedLimiter
+// is given no explicit cap.
+const DefaultMaxKeys = 65536
+
+// NewKeyedLimiter returns a limiter giving every key its own bucket of
+// rate tokens/second with the given burst. maxKeys bounds the tracked
+// population (0 = DefaultMaxKeys). Rate and burst must be positive.
+func NewKeyedLimiter(rate, burst float64, maxKeys int) *KeyedLimiter {
+	if rate <= 0 || burst <= 0 {
+		panic("ratelimit: rate and burst must be positive")
+	}
+	if maxKeys <= 0 {
+		maxKeys = DefaultMaxKeys
+	}
+	return &KeyedLimiter{
+		rate:    rate,
+		burst:   burst,
+		max:     maxKeys,
+		buckets: make(map[string]*Bucket),
+		now:     time.Now,
+		sleep:   time.Sleep,
+	}
+}
+
+// bucket returns key's bucket, creating (and, at the population cap,
+// recycling) as needed. Caller holds mu.
+func (l *KeyedLimiter) bucket(key string) *Bucket {
+	if b, ok := l.buckets[key]; ok {
+		return b
+	}
+	if len(l.buckets) >= l.max {
+		l.evictLocked()
+	}
+	b := NewBucket(l.rate, l.burst)
+	b.now = l.now
+	b.sleep = l.sleep
+	b.last = l.now()
+	b.tokens = l.burst
+	l.buckets[key] = b
+	return b
+}
+
+// evictLocked drops idle buckets (full again, hence indistinguishable
+// from fresh ones) and, when none are idle, one arbitrary bucket. Caller
+// holds mu.
+func (l *KeyedLimiter) evictLocked() {
+	dropped := false
+	for k, b := range l.buckets {
+		b.mu.Lock()
+		b.refill()
+		idle := b.tokens >= b.burst
+		b.mu.Unlock()
+		if idle {
+			delete(l.buckets, k)
+			dropped = true
+		}
+	}
+	if dropped {
+		return
+	}
+	for k := range l.buckets {
+		delete(l.buckets, k)
+		return
+	}
+}
+
+// TryTake removes n tokens from key's bucket if available, without
+// blocking, reporting whether the take was admitted.
+func (l *KeyedLimiter) TryTake(key string, n float64) bool {
+	l.mu.Lock()
+	b := l.bucket(key)
+	l.mu.Unlock()
+	return b.TryTake(n)
+}
+
+// RetryAfter reports how long key must wait before n tokens will be
+// available — the Retry-After hint served alongside an admission
+// rejection. Zero means the take would succeed now; a take larger than
+// the burst can never succeed and reports the time to fill the burst.
+func (l *KeyedLimiter) RetryAfter(key string, n float64) time.Duration {
+	l.mu.Lock()
+	b := l.bucket(key)
+	l.mu.Unlock()
+	return b.Wait(n)
+}
+
+// Len reports the tracked-key population.
+func (l *KeyedLimiter) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// Wait reports how long until n tokens are available (0 = now). A request
+// above the burst capacity reports the time to fill the whole burst.
+func (b *Bucket) Wait(n float64) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if n > b.burst {
+		n = b.burst
+	}
+	if b.tokens >= n {
+		return 0
+	}
+	return time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+}

@@ -1,0 +1,188 @@
+package ratelimit
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fakeKeyed(rate, burst float64, maxKeys int) (*KeyedLimiter, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	l := NewKeyedLimiter(rate, burst, maxKeys)
+	l.now = clk.Now
+	l.sleep = clk.Sleep
+	return l, clk
+}
+
+func TestNewKeyedLimiterPanics(t *testing.T) {
+	for _, c := range []struct{ r, b float64 }{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewKeyedLimiter(%g,%g) did not panic", c.r, c.b)
+				}
+			}()
+			NewKeyedLimiter(c.r, c.b, 0)
+		}()
+	}
+}
+
+func TestKeyedBurstThenRefill(t *testing.T) {
+	l, clk := fakeKeyed(10, 5, 0)
+	// A fresh key gets its full burst, then runs dry.
+	for i := 0; i < 5; i++ {
+		if !l.TryTake("alice", 1) {
+			t.Fatalf("take %d refused within the burst", i)
+		}
+	}
+	if l.TryTake("alice", 1) {
+		t.Fatal("take admitted past the burst")
+	}
+	// Another key's budget is untouched.
+	if !l.TryTake("bob", 5) {
+		t.Fatal("bob's fresh burst refused")
+	}
+	// Refill: 10 tokens/s for 300ms = 3 tokens.
+	clk.Sleep(300 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if !l.TryTake("alice", 1) {
+			t.Fatalf("refilled take %d refused", i)
+		}
+	}
+	if l.TryTake("alice", 1) {
+		t.Fatal("take admitted past the refill")
+	}
+}
+
+func TestKeyedRetryAfter(t *testing.T) {
+	l, clk := fakeKeyed(10, 5, 0)
+	if d := l.RetryAfter("alice", 1); d != 0 {
+		t.Fatalf("fresh key RetryAfter = %v, want 0", d)
+	}
+	l.TryTake("alice", 5)
+	// Empty bucket at 10/s: one token in 100ms.
+	if d := l.RetryAfter("alice", 1); d != 100*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 100ms", d)
+	}
+	// A take above the burst reports the time to fill the whole burst.
+	if d := l.RetryAfter("alice", 50); d != 500*time.Millisecond {
+		t.Fatalf("over-burst RetryAfter = %v, want 500ms", d)
+	}
+	clk.Sleep(100 * time.Millisecond)
+	if !l.TryTake("alice", 1) {
+		t.Fatal("take refused after the advertised wait")
+	}
+}
+
+func TestKeyedPopulationBounded(t *testing.T) {
+	l, clk := fakeKeyed(10, 5, 8)
+	// Drain 8 distinct keys: the map is at its cap and every bucket is
+	// active (not full), so the 9th key must recycle one of them.
+	for i := 0; i < 8; i++ {
+		l.TryTake(fmt.Sprintf("u%d", i), 5)
+	}
+	if n := l.Len(); n != 8 {
+		t.Fatalf("population = %d, want 8", n)
+	}
+	l.TryTake("u8", 1)
+	if n := l.Len(); n > 8 {
+		t.Fatalf("population %d exceeds cap 8", n)
+	}
+	// After the buckets refill, idle ones are swept instead.
+	clk.Sleep(time.Hour)
+	l.TryTake("u9", 1)
+	if n := l.Len(); n > 8 {
+		t.Fatalf("population %d exceeds cap 8 after idle sweep", n)
+	}
+	// The idle sweep dropped every refilled bucket, keeping the map small.
+	if n := l.Len(); n > 2 {
+		t.Fatalf("idle sweep left %d buckets, want ≤2 (u8 active + u9 fresh)", n)
+	}
+}
+
+// TestKeyedManyUserContention hammers one limiter from many goroutines
+// over many keys under -race: per-key admissions must never exceed the
+// per-key budget, concurrently or not.
+func TestKeyedManyUserContention(t *testing.T) {
+	const (
+		users      = 32
+		goroutines = 8
+		burst      = 7
+	)
+	// Negligible refill: only the initial burst is admittable per key.
+	l := NewKeyedLimiter(1e-9, burst, 0)
+	granted := make([]int64, users)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			local := make([]int64, users)
+			for i := 0; i < 4000; i++ {
+				u := rng.Intn(users)
+				if l.TryTake(fmt.Sprintf("user-%d", u), 1) {
+					local[u]++
+				}
+			}
+			mu.Lock()
+			for u := range local {
+				granted[u] += local[u]
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	for u, n := range granted {
+		if n != burst {
+			t.Errorf("user %d admitted %d, want exactly the burst %d", u, n, burst)
+		}
+	}
+}
+
+// TestKeyedAdmissionNeverExceedsBudget is the property test: for random
+// (rate, burst, schedule) draws on a fake clock, the admitted count by
+// any time t never exceeds burst + rate*t (the token-bucket budget).
+func TestKeyedAdmissionNeverExceedsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		rate := 1 + rng.Float64()*99  // 1..100 tokens/s
+		burst := 1 + rng.Float64()*49 // 1..50 tokens
+		l, clk := fakeKeyed(rate, burst, 0)
+		start := clk.Now()
+		admitted := 0.0
+		for step := 0; step < 200; step++ {
+			if rng.Intn(3) == 0 {
+				clk.Sleep(time.Duration(rng.Intn(200)) * time.Millisecond)
+			}
+			n := 1 + rng.Float64()*3
+			if l.TryTake("k", n) {
+				admitted += n
+			}
+			elapsed := clk.Now().Sub(start).Seconds()
+			budget := burst + rate*elapsed
+			if admitted > budget+1e-6 {
+				t.Fatalf("trial %d step %d: admitted %.3f exceeds budget %.3f (rate %.2f burst %.2f t=%.3fs)",
+					trial, step, admitted, budget, rate, burst, elapsed)
+			}
+		}
+	}
+}
+
+func TestBucketWait(t *testing.T) {
+	b, clk := fakeBucket(10, 100)
+	if d := b.Wait(50); d != 0 {
+		t.Fatalf("full bucket Wait = %v, want 0", d)
+	}
+	b.TryTake(100)
+	if d := b.Wait(10); d != time.Second {
+		t.Fatalf("Wait(10) on empty 10/s bucket = %v, want 1s", d)
+	}
+	clk.Sleep(500 * time.Millisecond)
+	if d := b.Wait(10); d != 500*time.Millisecond {
+		t.Fatalf("Wait(10) after half refill = %v, want 500ms", d)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"odr/internal/cloud"
 	"odr/internal/faults"
+	"odr/internal/ingest"
 	"odr/internal/obs"
 )
 
@@ -22,6 +23,14 @@ type Common struct {
 	PoolBytes   int64
 	Metrics     string
 	Pprof       string
+
+	// Ingest knobs (the batched decide pipeline; zero = package default).
+	// Only the serving commands consume these, but they live in the shared
+	// block so every command spells them the same way.
+	IngestWorkers int
+	IngestQueue   int
+	IngestBatch   int
+	AdmitRate     float64
 }
 
 // RegisterCommon registers the shared flags on fs and returns the
@@ -38,6 +47,14 @@ func RegisterCommon(fs *flag.FlagSet) *Common {
 		"dump the final metrics snapshot: prom or json")
 	fs.StringVar(&c.Pprof, "pprof", "",
 		"also serve net/http/pprof on this address")
+	fs.IntVar(&c.IngestWorkers, "ingest-workers", 0,
+		"batch-decide worker goroutines (0 = GOMAXPROCS)")
+	fs.IntVar(&c.IngestQueue, "ingest-queue", 0,
+		"per-worker ingest queue depth (0 = default)")
+	fs.IntVar(&c.IngestBatch, "ingest-batch", 0,
+		"max items a worker drains per processing batch (0 = default)")
+	fs.Float64Var(&c.AdmitRate, "admit-rate", 0,
+		"per-user admission budget in requests/second (0 = unlimited)")
 	return c
 }
 
@@ -58,7 +75,30 @@ func (c *Common) Validate() error {
 	if c.PoolBytes < 0 {
 		return fmt.Errorf("negative -pool-bytes %d", c.PoolBytes)
 	}
+	if c.IngestWorkers < 0 {
+		return fmt.Errorf("negative -ingest-workers %d", c.IngestWorkers)
+	}
+	if c.IngestQueue < 0 {
+		return fmt.Errorf("negative -ingest-queue %d", c.IngestQueue)
+	}
+	if c.IngestBatch < 0 {
+		return fmt.Errorf("negative -ingest-batch %d", c.IngestBatch)
+	}
+	if c.AdmitRate < 0 {
+		return fmt.Errorf("negative -admit-rate %g", c.AdmitRate)
+	}
 	return nil
+}
+
+// IngestConfig assembles the ingest pipeline configuration the shared
+// knobs describe; zero fields fall through to the package defaults.
+func (c *Common) IngestConfig() ingest.Config {
+	return ingest.Config{
+		Workers:    c.IngestWorkers,
+		QueueDepth: c.IngestQueue,
+		MaxBatch:   c.IngestBatch,
+		AdmitRate:  c.AdmitRate,
+	}
 }
 
 // Registry returns a fresh registry when a metrics dump was requested,

@@ -15,11 +15,14 @@ func TestRegisterCommonParse(t *testing.T) {
 	err := fs.Parse([]string{
 		"-faults", "0.25", "-cache-policy", "band",
 		"-pool-bytes", "1024", "-metrics", "json", "-pprof", ":0",
+		"-ingest-workers", "4", "-ingest-queue", "128",
+		"-ingest-batch", "32", "-admit-rate", "50",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Common{Faults: "0.25", CachePolicy: "band", PoolBytes: 1024, Metrics: "json", Pprof: ":0"}
+	want := Common{Faults: "0.25", CachePolicy: "band", PoolBytes: 1024, Metrics: "json", Pprof: ":0",
+		IngestWorkers: 4, IngestQueue: 128, IngestBatch: 32, AdmitRate: 50}
 	if *c != want {
 		t.Fatalf("parsed %+v, want %+v", *c, want)
 	}
@@ -46,6 +49,10 @@ func TestCommonValidate(t *testing.T) {
 		{"bad policy", Common{CachePolicy: "mru"}, "mru"},
 		{"bad faults", Common{Faults: "transient=2"}, "transient"},
 		{"negative pool", Common{PoolBytes: -1}, "pool-bytes"},
+		{"negative workers", Common{IngestWorkers: -1}, "ingest-workers"},
+		{"negative queue", Common{IngestQueue: -2}, "ingest-queue"},
+		{"negative batch", Common{IngestBatch: -3}, "ingest-batch"},
+		{"negative admit", Common{AdmitRate: -0.5}, "admit-rate"},
 	}
 	for _, tc := range cases {
 		err := tc.c.Validate()
@@ -58,6 +65,14 @@ func TestCommonValidate(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+func TestCommonIngestConfig(t *testing.T) {
+	c := Common{IngestWorkers: 3, IngestQueue: 64, IngestBatch: 16, AdmitRate: 10}
+	cfg := c.IngestConfig()
+	if cfg.Workers != 3 || cfg.QueueDepth != 64 || cfg.MaxBatch != 16 || cfg.AdmitRate != 10 {
+		t.Fatalf("IngestConfig dropped a knob: %+v", cfg)
 	}
 }
 
