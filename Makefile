@@ -2,7 +2,8 @@ GO ?= go
 
 .PHONY: check ci build test vet fmt race determinism bench cover allocgate \
 	bench-save bench-compare matrix-smoke ingest-smoke \
-	bench-odrweb-save bench-odrweb-compare
+	bench-odrweb-save bench-odrweb-compare fuzz-smoke \
+	paperscale-smoke paperscale
 
 # check is the CI gate: static checks, a full build, the race-enabled
 # test suite, the engine determinism test at several GOMAXPROCS, the
@@ -11,8 +12,32 @@ check: fmt vet build race determinism cover allocgate
 
 # ci is what .github/workflows/ci.yml runs: the full gate plus the
 # benchmark diffs against the tracked baselines, a tiny scenario-matrix
-# smoke, and the live-server ingest smoke.
-ci: check bench-compare matrix-smoke ingest-smoke
+# smoke, the live-server ingest smoke, short fuzz runs over the trace
+# decoders, and the paper-scale pipeline smoke.
+ci: check bench-compare matrix-smoke ingest-smoke fuzz-smoke paperscale-smoke
+
+# fuzz-smoke runs each trace-decoder fuzzer briefly from its committed
+# seed corpus: long enough to shake out decode panics on mutated traces,
+# short enough for CI. The full corpora stay in testdata/fuzz, so every
+# past counterexample replays on plain `go test` as well.
+FUZZ_TIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCSVDecode -fuzztime $(FUZZ_TIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzJSONLDecode -fuzztime $(FUZZ_TIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzBinDecode -fuzztime $(FUZZ_TIME) ./internal/trace
+
+# paperscale-smoke runs EXP-W at ~200k tasks: parallel generation must
+# hash byte-identical to sequential, the bin trace file must hash back
+# to the generated digest, and the three replay input paths must agree.
+# The experiment prints "EXPW verdict: PASS" only when every check holds.
+paperscale-smoke:
+	$(GO) run ./cmd/experiments -exp expw -files 27500 -sample 1000 \
+		| tee /dev/stderr | grep -q '^EXPW verdict: PASS$$'
+
+# paperscale is the full calibrated week — 563,517 files, 4,084,417
+# tasks — through the same pipeline. Takes minutes; not part of ci.
+paperscale:
+	$(GO) run ./cmd/experiments -exp expw -files 563517 -sample 1000
 
 # matrix-smoke drives the declarative path end to end from one command: a
 # 2×2 {profile × fault intensity} grid over a small 10-day trace, with a
@@ -53,7 +78,8 @@ determinism:
 # unexercised. Profiles go to a fresh mktemp path removed on exit, so
 # concurrent builds on one machine never clobber each other's files.
 COVER_FLOORS := internal/obs:85 internal/faults:85 internal/cloud:85 \
-	internal/scenario:85 internal/ratelimit:85 internal/ingest:85
+	internal/scenario:85 internal/ratelimit:85 internal/ingest:85 \
+	internal/trace:85
 cover:
 	@prof="$$(mktemp)" || exit 1; \
 	trap 'rm -f "$$prof"' EXIT; \
@@ -88,6 +114,10 @@ bench:
 		-benchmem -count 5 ./internal/obs
 	$(GO) test -run '^$$' -bench BenchmarkStoragePool \
 		-benchmem -benchtime 200000x -count 5 ./internal/cloud
+	$(GO) test -run '^$$' -bench BenchmarkTraceCodec \
+		-benchmem -benchtime 20x -count 5 ./internal/trace
+	$(GO) test -run '^$$' -bench BenchmarkGenerateStream \
+		-benchmem -benchtime 1x -count 5 ./internal/workload
 
 # The tracked benchmark baseline. bench-save reruns the suite and rewrites
 # it; bench-compare reruns the suite and diffs median metrics against it,

@@ -8,7 +8,10 @@
 //
 // With no -exp it runs the full suite in DESIGN.md order. Experiment IDs:
 // t0, f5, f6, f7, f8, f9, f10, f11, t1, f13, f14, t2, apfail, f16, f17,
-// abl, hyb, pool, led, s1, expf.
+// abl, hyb, pool, led, s1, expf, expc, expw. EXP-W (the paper-scale fast
+// path: parallel generation, bin trace, full-week replay) runs only by
+// ID — at -files 563517 it replays the calibrated 4M-task week and takes
+// minutes.
 package main
 
 import (

@@ -25,15 +25,19 @@
 // the resilience policy off so injected faults fail tasks outright (the
 // EXP-F baseline).
 //
-// With -trace it replays a recorded workload CSV (wgen format) instead of
-// generating one. With -stream the trace is consumed through the
+// With -trace it replays a recorded workload trace instead of generating
+// one; the format (csv, jsonl, or the seekable bin format) is
+// auto-detected from the file's magic bytes, falling back to the
+// extension. With -stream the trace is consumed through the
 // bounded-memory streaming pipeline: requests flow past once to discover
 // the populations and draw the Unicom sample, and the replay itself runs
 // through the streaming engine — the full request log is never resident.
 // Results are byte-identical to the slice path for the same seed. -chunk
 // sets the streaming engine's batch size (a pure performance knob; the
 // effective value appears as the odr_replay_stream_chunk gauge in the
-// -metrics dump).
+// -metrics dump). When the week is generated rather than read from a
+// file, -gen-workers pins the parallel generation worker count (0 =
+// GOMAXPROCS); the workload is byte-identical for any value.
 //
 // With -tasks it also dumps the week simulation's task records as JSON
 // Lines (the pre-downloading + fetching traces of §3); the week simulator
@@ -70,7 +74,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	shards := flag.Int("shards", 0, "replay engine shards (0 = GOMAXPROCS; results are identical for any value)")
 	tasks := flag.String("tasks", "", "also dump week task records as JSONL to this path")
-	tracePath := flag.String("trace", "", "replay a workload CSV (wgen format) instead of generating one")
+	tracePath := flag.String("trace", "", "replay a recorded workload trace (csv/jsonl/bin, auto-detected) instead of generating one")
 	stream := flag.Bool("stream", false, "force the bounded-memory streaming pipeline")
 	chunk := flag.Int("chunk", 0, "streaming engine batch size in requests (0 = default; results are identical for any value)")
 	naive := flag.Bool("naive", false, "with -faults, disable the failure-aware routing policy (faults fail tasks outright)")
@@ -118,7 +122,7 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 		}
 		return scenario.DumpRegistry(os.Stderr, reg, common.Metrics)
 	}
-	tr, err := loadOrGenerate(files, seed, tracePath)
+	tr, err := loadOrGenerate(files, seed, tracePath, common.GenWorkers)
 	if err != nil {
 		return err
 	}
@@ -167,7 +171,7 @@ func run(files, sampleN int, seed uint64, shards, chunk int, tasksPath, tracePat
 // task records are ever resident.
 func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath string,
 	naive bool, reg *obs.Registry, common *scenario.Common) error {
-	tune := replay.StreamTuning{Chunk: chunk}
+	tune := replay.StreamTuning{Chunk: chunk, GenWorkers: common.GenWorkers}
 	var (
 		sample  []workload.Request
 		filePop []*workload.FileMeta
@@ -181,20 +185,16 @@ func runStream(files, sampleN int, seed uint64, shards, chunk int, tracePath str
 			return gerr
 		}
 		filePop, userPop, total = st.Files, st.Users, st.TotalRequests()
-		sample, err = workload.UnicomSampleSource(st.Requests(), sampleN, seed)
+		sample, err = workload.UnicomSampleSource(st.RequestsWorkers(common.GenWorkers), sampleN, seed)
 		if err != nil {
 			return err
 		}
 	} else {
-		f, oerr := os.Open(tracePath)
+		src, _, closer, oerr := trace.OpenWorkloadFile(tracePath)
 		if oerr != nil {
 			return oerr
 		}
-		defer f.Close()
-		src, serr := trace.StreamWorkloadCSV(f)
-		if serr != nil {
-			return serr
-		}
+		defer closer.Close()
 		census := workload.NewCensus()
 		counted := &countingSource{src: census.Wrap(src)}
 		sample, err = workload.UnicomSampleSource(counted, sampleN, seed)
@@ -292,18 +292,31 @@ func summarize(bench *replay.APBench, baseline, odr *replay.ODRResult) {
 		baseline.FetchSpeeds().Median()/1024, odr.FetchSpeeds().Median()/1024)
 }
 
-// loadOrGenerate reads a wgen-format CSV trace when a path is given, or
-// synthesizes one.
-func loadOrGenerate(files int, seed uint64, tracePath string) (*workload.Trace, error) {
+// loadOrGenerate reads a recorded workload trace (any format,
+// auto-detected) when a path is given, or synthesizes one.
+func loadOrGenerate(files int, seed uint64, tracePath string, genWorkers int) (*workload.Trace, error) {
 	if tracePath == "" {
-		return workload.Generate(workload.DefaultConfig(files, seed))
+		st, err := workload.GenerateStream(workload.DefaultConfig(files, seed), workload.DefaultStreamChunk)
+		if err != nil {
+			return nil, err
+		}
+		reqs, err := workload.Collect(st.RequestsWorkers(genWorkers))
+		if err != nil {
+			return nil, err
+		}
+		return &workload.Trace{
+			Files:    st.Files,
+			Users:    st.Users,
+			Requests: reqs,
+			Span:     st.Span,
+		}, nil
 	}
-	f, err := os.Open(tracePath)
+	src, _, closer, err := trace.OpenWorkloadFile(tracePath)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	reqs, err := trace.ReadWorkloadCSV(f)
+	defer closer.Close()
+	reqs, err := workload.Collect(src)
 	if err != nil {
 		return nil, err
 	}

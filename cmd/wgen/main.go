@@ -1,14 +1,21 @@
 // Command wgen synthesizes offline-downloading workload traces calibrated
-// to §3 of the paper and writes them as CSV or JSON Lines.
+// to §3 of the paper and writes them as CSV, JSON Lines, or the seekable
+// binary format.
 //
 // Usage:
 //
-//	wgen [-files N] [-seed S] [-format csv|jsonl] [-out PATH] [-unicom N]
-//	     [-chunk N]
+//	wgen [-files N] [-seed S] [-format csv|jsonl|bin] [-out PATH]
+//	     [-unicom N] [-chunk N] [-gen-workers N]
 //
 // The trace streams from the generator to the writer in chunks of -chunk
 // requests, so memory stays bounded by the chunk size (plus the resident
-// file/user populations) no matter how large -files is.
+// file/user populations) no matter how large -files is. Generation runs
+// on -gen-workers goroutines ahead of the writer; the emitted trace is
+// byte-identical for every worker count.
+//
+// The bin format is the paper-scale one: fixed-stride little-endian
+// records in CRC-framed chunks with a record-count trailer, decodable
+// without allocation and seekable by record offset (see internal/trace).
 //
 // With -unicom N it emits the §5.1 replay sample (N Unicom requests with
 // reported bandwidth) instead of the full trace.
@@ -27,24 +34,29 @@ import (
 func main() {
 	files := flag.Int("files", 20000, "unique files in the trace (paper: 563517)")
 	seed := flag.Uint64("seed", 1, "random seed")
-	format := flag.String("format", "csv", "output format: csv or jsonl")
+	format := flag.String("format", "csv", "output format: csv, jsonl, or bin")
 	out := flag.String("out", "-", "output path (- for stdout)")
 	unicom := flag.Int("unicom", 0, "emit only an N-request Unicom replay sample")
 	chunk := flag.Int("chunk", workload.DefaultStreamChunk, "streaming chunk size in requests")
+	genWorkers := flag.Int("gen-workers", 0,
+		"parallel generation workers (0 = GOMAXPROCS, 1 = sequential; output is identical for any value)")
 	flag.Parse()
 
-	if err := run(*files, *seed, *format, *out, *unicom, *chunk); err != nil {
+	if err := run(*files, *seed, *format, *out, *unicom, *chunk, *genWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "wgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(files int, seed uint64, format, out string, unicom, chunk int) error {
+func run(files int, seed uint64, format, out string, unicom, chunk, genWorkers int) error {
+	if genWorkers < 0 {
+		return fmt.Errorf("negative -gen-workers %d", genWorkers)
+	}
 	st, err := workload.GenerateStream(workload.DefaultConfig(files, seed), chunk)
 	if err != nil {
 		return err
 	}
-	src := st.Requests()
+	src := st.RequestsWorkers(genWorkers)
 	if unicom > 0 {
 		sample, err := workload.UnicomSampleSource(src, unicom, seed)
 		if err != nil {

@@ -213,6 +213,8 @@ func (l *Lab) ByID(id string) *Report {
 		return l.FaultRouting()
 	case "EXPC", "expc":
 		return l.CacheTournament()
+	case "EXPW", "expw":
+		return l.PaperScale()
 	}
 	return nil
 }

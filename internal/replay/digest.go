@@ -1,0 +1,33 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Digest serializes every value-bearing field of the replay's tasks and
+// ledgers into one string, floats rendered as exact bit patterns, so two
+// runs compare byte-for-byte. It is the determinism oracle the test suite
+// and the paper-scale experiment share: equal digests mean the replays are
+// identical in every observable outcome, whatever path produced them
+// (slice vs stream vs trace file, any shard or generation worker count).
+func (r *ODRResult) Digest() string {
+	var b strings.Builder
+	b.Grow(len(r.Tasks) * 48)
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		fmt.Fprintf(&b, "%d|%v|%v|%q|%x|%d|%x|%v|%v\n",
+			i, t.Decision.Route, t.Success, t.Cause,
+			math.Float64bits(t.PerceivedRate), t.PreDelay,
+			math.Float64bits(t.CloudBytes), t.StorageBound, t.B4Exposed)
+	}
+	for _, be := range r.Backends.All() {
+		l := be.Ledger()
+		fmt.Fprintf(&b, "%s|%d|%d|%d|%d|%d\n", be.Name(),
+			l.PreDownloads(), l.Fetches(), l.Failures(), l.BytesOut(), l.BytesOutHP())
+	}
+	tot := r.Engine.Totals()
+	fmt.Fprintf(&b, "totals|%d|%d\n", tot.Tasks, tot.Failures)
+	return b.String()
+}

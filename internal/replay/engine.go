@@ -78,6 +78,15 @@ type StreamTuning struct {
 	// It exists so tests (and suspicious operators) can pin that pooling
 	// is behavior-neutral; production runs should leave it off.
 	DisablePooling bool
+	// GenWorkers is how many pipelined workers regenerate request chunks
+	// ahead of the reader when the stream is produced by the workload
+	// generator (StreamTrace.RequestsWorkers). Non-positive selects
+	// GOMAXPROCS; 1 forces the sequential source. The engine itself never
+	// reads it — generation happens in the source, before requests reach
+	// the transport — but it rides on StreamTuning so every command and
+	// scenario spec tunes generation and transport in one place. Worker
+	// count never changes replay results.
+	GenWorkers int
 }
 
 // DefaultStreamChunk is the stream transport's default batch size.

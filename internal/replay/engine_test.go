@@ -1,40 +1,25 @@
 package replay
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"odr/internal/backend"
 	"odr/internal/cloud"
 	"odr/internal/dist"
 	"odr/internal/obs"
+	"odr/internal/trace"
 	"odr/internal/workload"
 )
 
-// digest serializes every value-bearing field of a replay's tasks and
-// ledgers into one string, floats rendered as exact bit patterns, so two
-// runs compare byte-for-byte.
-func digest(r *ODRResult) string {
-	var b strings.Builder
-	for i := range r.Tasks {
-		t := &r.Tasks[i]
-		fmt.Fprintf(&b, "%d|%v|%v|%q|%x|%d|%x|%v|%v\n",
-			i, t.Decision.Route, t.Success, t.Cause,
-			math.Float64bits(t.PerceivedRate), t.PreDelay,
-			math.Float64bits(t.CloudBytes), t.StorageBound, t.B4Exposed)
-	}
-	for _, be := range r.Backends.All() {
-		l := be.Ledger()
-		fmt.Fprintf(&b, "%s|%d|%d|%d|%d|%d\n", be.Name(),
-			l.PreDownloads(), l.Fetches(), l.Failures(), l.BytesOut(), l.BytesOutHP())
-	}
-	tot := r.Engine.Totals()
-	fmt.Fprintf(&b, "totals|%d|%d\n", tot.Tasks, tot.Failures)
-	return b.String()
-}
+// digest is shorthand for the production determinism oracle,
+// ODRResult.Digest — the tests predate the method and read better short.
+func digest(r *ODRResult) string { return r.Digest() }
 
 func apDigest(r *APBench) string {
 	var b strings.Builder
@@ -285,6 +270,106 @@ func TestReplayDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(snap, polSnap) {
 			t.Fatalf("policy metrics stream: registry differs from the slice path\nfirst differing line:\n%s",
 				firstDiff(snapJSON(t, polSnap), snapJSON(t, snap)))
+		}
+	}
+
+	// Generation-worker axis: the parallel pipelined generator
+	// (StreamTuning.GenWorkers → StreamTrace.RequestsWorkers) must be
+	// invisible — a replay fed by N-worker generation reproduces the
+	// sequential-generation reference byte-for-byte at every shard count.
+	st, err := workload.GenerateStream(workload.DefaultConfig(400, 515151), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genRef, err := RunODRStream(st.Requests(), st.Files, f.aps, Options{Seed: 14, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genWant := digest(genRef)
+	for _, workers := range []int{2, 4, 0} {
+		for _, shards := range []int{1, 4} {
+			got, err := RunODRStream(st.RequestsWorkers(workers), st.Files, f.aps,
+				Options{Seed: 14, Shards: shards, Stream: StreamTuning{GenWorkers: workers}})
+			if err != nil {
+				t.Fatalf("gen workers=%d shards=%d: %v", workers, shards, err)
+			}
+			if d := digest(got); d != genWant {
+				t.Fatalf("gen workers=%d shards=%d: parallel generation changed the replay\nfirst differing line:\n%s",
+					workers, shards, firstDiff(genWant, d))
+			}
+		}
+	}
+
+	// Trace-file axis: replaying from a written trace must match replaying
+	// the same requests from memory, decoded identities and all. Times are
+	// truncated to the millisecond precision every trace format stores, so
+	// the in-memory reference sees exactly what a file reader decodes.
+	// Only bin is lossless (it keeps the modeled bandwidth of users who
+	// don't report one), so only bin can feed a full-stream replay.
+	msReqs, err := workload.Collect(st.Requests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msReqs {
+		msReqs[i].Time = msReqs[i].Time.Truncate(time.Millisecond)
+	}
+	fileWant := digest(RunODR(msReqs, st.Files, f.aps, Options{Seed: 14, Shards: 1}))
+	var binBuf bytes.Buffer
+	if err := trace.WriteWorkloadStream(&binBuf, "bin", workload.NewSliceSource(msReqs)); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		src, err := trace.StreamWorkload(bytes.NewReader(binBuf.Bytes()), "bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunODRStream(src, st.Files, f.aps, Options{Seed: 14, Shards: shards})
+		if err != nil {
+			t.Fatalf("trace bin shards=%d: %v", shards, err)
+		}
+		if d := digest(got); d != fileWant {
+			t.Fatalf("trace bin shards=%d: trace-fed replay diverged from the in-memory reference\nfirst differing line:\n%s",
+				shards, firstDiff(fileWant, d))
+		}
+	}
+
+	// csv/jsonl drop unreported bandwidth by design, so they feed the
+	// sampled flow cmd/replay uses: filter to reporting Unicom users,
+	// sample, replay. The sample drawn from a decoded trace must equal
+	// the sample drawn from memory, and so must the replay.
+	refSample, err := workload.UnicomSampleSource(workload.NewSliceSource(msReqs), 200, 515151)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleRef, err := RunODRStream(workload.NewSliceSource(refSample), st.Files, f.aps,
+		Options{Seed: 14, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleWant := digest(sampleRef)
+	for _, format := range []string{"csv", "jsonl"} {
+		var buf bytes.Buffer
+		if err := trace.WriteWorkloadStream(&buf, format, workload.NewSliceSource(msReqs)); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		for _, shards := range []int{1, 4} {
+			src, err := trace.StreamWorkload(bytes.NewReader(buf.Bytes()), format)
+			if err != nil {
+				t.Fatalf("%s: %v", format, err)
+			}
+			sample, err := workload.UnicomSampleSource(src, 200, 515151)
+			if err != nil {
+				t.Fatalf("%s: %v", format, err)
+			}
+			got, err := RunODRStream(workload.NewSliceSource(sample), st.Files, f.aps,
+				Options{Seed: 14, Shards: shards})
+			if err != nil {
+				t.Fatalf("trace %s shards=%d: %v", format, shards, err)
+			}
+			if d := digest(got); d != sampleWant {
+				t.Fatalf("trace %s shards=%d: sampled trace-fed replay diverged from the in-memory reference\nfirst differing line:\n%s",
+					format, shards, firstDiff(sampleWant, d))
+			}
 		}
 	}
 

@@ -1,12 +1,14 @@
 package replay
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 	"time"
 
 	"odr/internal/core"
 	"odr/internal/stats"
+	"odr/internal/trace"
 	"odr/internal/workload"
 )
 
@@ -191,3 +193,55 @@ type hideSizer struct {
 
 func (s *hideSizer) Next() (int, workload.Request, bool) { return s.src.Next() }
 func (s *hideSizer) Err() error                          { return s.src.Err() }
+
+// sizerSpy delegates to a sized source and counts Sizer consultations.
+type sizerSpy struct {
+	src   workload.RequestSource
+	sz    workload.Sizer
+	calls int
+}
+
+func (s *sizerSpy) Next() (int, workload.Request, bool) { return s.src.Next() }
+func (s *sizerSpy) Err() error                          { return s.src.Err() }
+func (s *sizerSpy) TotalRequests() int                  { s.calls++; return s.sz.TotalRequests() }
+
+// TestTraceFedRunsPresize closes the Sizer loop for trace files: a bin
+// trace opened from a seekable reader advertises its record count from
+// the trailer, and the streaming engine consults that hint, so replays
+// fed straight from a trace file pre-size their shard buffers exactly
+// like slice-fed ones.
+func TestTraceFedRunsPresize(t *testing.T) {
+	f := setup(t)
+	msSample := append([]workload.Request(nil), f.sample...)
+	for i := range msSample {
+		msSample[i].Time = msSample[i].Time.Truncate(time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteWorkloadStream(&buf, "bin", workload.NewSliceSource(msSample)); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.StreamWorkload(bytes.NewReader(buf.Bytes()), "bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, ok := src.(workload.Sizer)
+	if !ok {
+		t.Fatal("seekable bin trace source does not implement workload.Sizer")
+	}
+	if got := sz.TotalRequests(); got != len(msSample) {
+		t.Fatalf("bin trailer count = %d, want %d", got, len(msSample))
+	}
+	spy := &sizerSpy{src: src, sz: sz}
+	got, err := RunODRStream(spy, f.trace.Files, f.aps, Options{Seed: 14, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spy.calls == 0 {
+		t.Fatal("engine never consulted the trace source's Sizer — trace-fed run missed the pre-sized path")
+	}
+	want := digest(RunODR(msSample, f.trace.Files, f.aps, Options{Seed: 14, Shards: 4}))
+	if d := digest(got); d != want {
+		t.Fatalf("trace-fed pre-sized replay diverged from the slice reference\nfirst differing line:\n%s",
+			firstDiff(want, d))
+	}
+}

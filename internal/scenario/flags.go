@@ -23,6 +23,7 @@ type Common struct {
 	PoolBytes   int64
 	Metrics     string
 	Pprof       string
+	GenWorkers  int
 
 	// Ingest knobs (the batched decide pipeline; zero = package default).
 	// Only the serving commands consume these, but they live in the shared
@@ -47,6 +48,8 @@ func RegisterCommon(fs *flag.FlagSet) *Common {
 		"dump the final metrics snapshot: prom or json")
 	fs.StringVar(&c.Pprof, "pprof", "",
 		"also serve net/http/pprof on this address")
+	fs.IntVar(&c.GenWorkers, "gen-workers", 0,
+		"parallel trace-generation workers (0 = GOMAXPROCS, 1 = sequential; output is identical for any value)")
 	fs.IntVar(&c.IngestWorkers, "ingest-workers", 0,
 		"batch-decide worker goroutines (0 = GOMAXPROCS)")
 	fs.IntVar(&c.IngestQueue, "ingest-queue", 0,
@@ -87,6 +90,9 @@ func (c *Common) Validate() error {
 	if c.AdmitRate < 0 {
 		return fmt.Errorf("negative -admit-rate %g", c.AdmitRate)
 	}
+	if c.GenWorkers < 0 {
+		return fmt.Errorf("negative -gen-workers %d", c.GenWorkers)
+	}
 	return nil
 }
 
@@ -115,6 +121,7 @@ func (c *Common) ApplyTo(spec *Spec) {
 	spec.Faults = c.Faults
 	spec.CachePolicy = c.CachePolicy
 	spec.PoolBytes = c.PoolBytes
+	spec.GenWorkers = c.GenWorkers
 }
 
 // DumpSnapshot writes a snapshot in the chosen format ("" writes

@@ -15,14 +15,14 @@ func TestRegisterCommonParse(t *testing.T) {
 	err := fs.Parse([]string{
 		"-faults", "0.25", "-cache-policy", "band",
 		"-pool-bytes", "1024", "-metrics", "json", "-pprof", ":0",
-		"-ingest-workers", "4", "-ingest-queue", "128",
+		"-gen-workers", "2", "-ingest-workers", "4", "-ingest-queue", "128",
 		"-ingest-batch", "32", "-admit-rate", "50",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := Common{Faults: "0.25", CachePolicy: "band", PoolBytes: 1024, Metrics: "json", Pprof: ":0",
-		IngestWorkers: 4, IngestQueue: 128, IngestBatch: 32, AdmitRate: 50}
+		GenWorkers: 2, IngestWorkers: 4, IngestQueue: 128, IngestBatch: 32, AdmitRate: 50}
 	if *c != want {
 		t.Fatalf("parsed %+v, want %+v", *c, want)
 	}
@@ -53,6 +53,7 @@ func TestCommonValidate(t *testing.T) {
 		{"negative queue", Common{IngestQueue: -2}, "ingest-queue"},
 		{"negative batch", Common{IngestBatch: -3}, "ingest-batch"},
 		{"negative admit", Common{AdmitRate: -0.5}, "admit-rate"},
+		{"negative gen workers", Common{GenWorkers: -1}, "gen-workers"},
 	}
 	for _, tc := range cases {
 		err := tc.c.Validate()
@@ -83,10 +84,11 @@ func TestCommonRegistryAndApplyTo(t *testing.T) {
 	if reg := (&Common{Metrics: "json"}).Registry(); reg == nil {
 		t.Fatal("metrics on should create a registry")
 	}
-	c := Common{Faults: "0.25", CachePolicy: "band", PoolBytes: 42}
+	c := Common{Faults: "0.25", CachePolicy: "band", PoolBytes: 42, GenWorkers: 2}
 	spec := Spec{Name: "keep", Shards: 3}
 	c.ApplyTo(&spec)
-	if spec.Faults != "0.25" || spec.CachePolicy != "band" || spec.PoolBytes != 42 {
+	if spec.Faults != "0.25" || spec.CachePolicy != "band" || spec.PoolBytes != 42 ||
+		spec.GenWorkers != 2 {
 		t.Fatalf("ApplyTo missed shared fields: %+v", spec)
 	}
 	if spec.Name != "keep" || spec.Shards != 3 {

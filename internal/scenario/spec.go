@@ -44,6 +44,10 @@ type Spec struct {
 	Stream bool `json:"stream,omitempty"`
 	// Chunk tunes the streaming transport's batch size (0 = default).
 	Chunk int `json:"chunk,omitempty"`
+	// GenWorkers pins the parallel trace-generation worker count
+	// (0 = GOMAXPROCS, 1 = sequential; output is byte-identical for any
+	// value).
+	GenWorkers int `json:"gen_workers,omitempty"`
 	// Faults is an internal/faults spec string: an intensity ("0.25") or
 	// per-class rates ("transient=0.1,churn=0.05"). Empty injects
 	// nothing. A non-empty spec — even "0" — also arms the
@@ -192,7 +196,7 @@ func (s Spec) ReplayOptions() (replay.Options, error) {
 		Shards:      s.Shards,
 		CachePolicy: s.CachePolicy,
 		PoolBytes:   s.PoolBytes,
-		Stream:      replay.StreamTuning{Chunk: s.Chunk},
+		Stream:      replay.StreamTuning{Chunk: s.Chunk, GenWorkers: s.GenWorkers},
 		Timeline:    s.TimelineConfig(),
 	}
 	fs, err := s.FaultSpec()

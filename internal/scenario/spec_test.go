@@ -173,13 +173,13 @@ func TestSpecReplayOptions(t *testing.T) {
 	}
 
 	// Engine knobs pass through verbatim.
-	s := Spec{Seed: 9, Shards: 4, Chunk: 3, CachePolicy: "lru", PoolBytes: 123}
+	s := Spec{Seed: 9, Shards: 4, Chunk: 3, GenWorkers: 2, CachePolicy: "lru", PoolBytes: 123}
 	opts, err := s.ReplayOptions()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opts.Seed != 9 || opts.Shards != 4 || opts.CachePolicy != "lru" ||
-		opts.PoolBytes != 123 || opts.Stream != (replay.StreamTuning{Chunk: 3}) {
+		opts.PoolBytes != 123 || opts.Stream != (replay.StreamTuning{Chunk: 3, GenWorkers: 2}) {
 		t.Fatalf("knobs not carried: %+v", opts)
 	}
 	if _, err := (Spec{CachePolicy: "mru"}).ReplayOptions(); err == nil {
@@ -218,8 +218,8 @@ func TestSpecLabel(t *testing.T) {
 
 func TestSpecJSONRoundTrip(t *testing.T) {
 	s := Spec{Name: "x", Profile: "holiday", Days: 14, Files: 5000, Sample: 300,
-		Seed: 4, Shards: 2, Stream: true, Chunk: 7, Faults: "0.1", Naive: true,
-		CachePolicy: "lfu", PoolDivisor: 8, WindowHours: 12}
+		Seed: 4, Shards: 2, Stream: true, Chunk: 7, GenWorkers: 3, Faults: "0.1",
+		Naive: true, CachePolicy: "lfu", PoolDivisor: 8, WindowHours: 12}
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)

@@ -208,14 +208,16 @@ func WriteWorkloadJSONLStream(w io.Writer, src workload.RequestSource) error {
 	return bw.Flush()
 }
 
-// WriteWorkloadStream writes a request stream in the named format ("csv"
-// or "jsonl").
+// WriteWorkloadStream writes a request stream in the named format ("csv",
+// "jsonl", or "bin").
 func WriteWorkloadStream(w io.Writer, format string, src workload.RequestSource) error {
 	switch format {
 	case "csv":
 		return WriteWorkloadCSVStream(w, src)
 	case "jsonl":
 		return WriteWorkloadJSONLStream(w, src)
+	case "bin":
+		return WriteWorkloadBinStream(w, src)
 	default:
 		return fmt.Errorf("trace: unknown workload format %q", format)
 	}
@@ -229,6 +231,8 @@ func StreamWorkload(r io.Reader, format string) (workload.RequestSource, error) 
 		return StreamWorkloadCSV(r)
 	case "jsonl":
 		return StreamWorkloadJSONL(r), nil
+	case "bin":
+		return StreamWorkloadBin(r)
 	default:
 		return nil, fmt.Errorf("trace: unknown workload format %q", format)
 	}

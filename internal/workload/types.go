@@ -145,6 +145,14 @@ func (i ISP) Supported() bool { return i != ISPOther && i < ispCount }
 // NumISPs is the number of distinct ISP values, including Other.
 const NumISPs = int(ispCount)
 
+// NumProtocols and NumFileClasses are the numbers of distinct Protocol and
+// FileClass values — the validation bounds for binary decoders that store
+// the enums as raw bytes.
+const (
+	NumProtocols   = int(protoCount)
+	NumFileClasses = int(classCount)
+)
+
 // FileID identifies a file by the MD5 hash of its content, exactly as the
 // Xuanfeng content database does; identical content always deduplicates to
 // one cache entry.
