@@ -3,7 +3,7 @@ GO ?= go
 .PHONY: check ci build test vet fmt race determinism bench cover allocgate \
 	bench-save bench-compare matrix-smoke ingest-smoke \
 	bench-odrweb-save bench-odrweb-compare fuzz-smoke \
-	paperscale-smoke paperscale
+	paperscale-smoke paperscale distributed-smoke
 
 # check is the CI gate: static checks, a full build, the race-enabled
 # test suite, the engine determinism test at several GOMAXPROCS, the
@@ -13,8 +13,11 @@ check: fmt vet build race determinism cover allocgate
 # ci is what .github/workflows/ci.yml runs: the full gate plus the
 # benchmark diffs against the tracked baselines, a tiny scenario-matrix
 # smoke, the live-server ingest smoke, short fuzz runs over the trace
-# decoders, and the paper-scale pipeline smoke.
-ci: check bench-compare matrix-smoke ingest-smoke fuzz-smoke paperscale-smoke
+# decoders, the paper-scale pipeline smoke, and the multi-process
+# coordinator smoke. The workflow fans these out as parallel jobs; this
+# aggregate target is the one-command local equivalent.
+ci: check bench-compare matrix-smoke ingest-smoke fuzz-smoke paperscale-smoke \
+	distributed-smoke
 
 # fuzz-smoke runs each trace-decoder fuzzer briefly from its committed
 # seed corpus: long enough to shake out decode panics on mutated traces,
@@ -38,6 +41,36 @@ paperscale-smoke:
 # tasks — through the same pipeline. Takes minutes; not part of ci.
 paperscale:
 	$(GO) run ./cmd/experiments -exp expw -files 563517 -sample 1000
+
+# distributed-smoke proves the multi-process replay coordinator end to
+# end at ~200k tasks: generate a bin trace, run a 3-worker coordinated
+# replay that crashes one worker mid-window and halts after two
+# checkpointed windows (exit code 3), then rerun the same command to
+# resume from the manifest with -verify — the merged digest must be
+# byte-identical to a single-process replay of the same trace, crash and
+# all. Set DISTRIB_SMOKE_DIR to keep the trace, checkpoint, and logs (CI
+# points it at a workspace path and uploads them as artifacts on
+# failure); by default everything lands in a mktemp dir removed on exit.
+distributed-smoke:
+	@dir="$(DISTRIB_SMOKE_DIR)"; \
+	if [ -z "$$dir" ]; then \
+		dir="$$(mktemp -d)" || exit 1; trap 'rm -rf "$$dir"' EXIT; \
+	fi; \
+	mkdir -p "$$dir"; \
+	$(GO) build -o "$$dir" ./cmd/odrcoord ./cmd/wgen || exit 1; \
+	"$$dir/wgen" -files 27500 -seed 7 -format bin -out "$$dir/trace.bin" || exit 1; \
+	"$$dir/odrcoord" -trace "$$dir/trace.bin" -checkpoint "$$dir/ckpt" \
+		-workers 3 -crash-window 1 -halt-after 2 >"$$dir/run1.log" 2>&1; \
+	rc="$$?"; cat "$$dir/run1.log"; \
+	[ "$$rc" -eq 3 ] || { echo "distributed-smoke: first run exited $$rc, want 3 (halted)"; exit 1; }; \
+	"$$dir/odrcoord" -trace "$$dir/trace.bin" -checkpoint "$$dir/ckpt" \
+		-workers 3 -verify >"$$dir/run2.log" 2>&1; \
+	rc="$$?"; cat "$$dir/run2.log"; \
+	[ "$$rc" -eq 0 ] || { echo "distributed-smoke: resume run exited $$rc"; exit 1; }; \
+	grep -q 'resumed:' "$$dir/run2.log" || \
+		{ echo "distributed-smoke: resume never picked up the checkpoint"; exit 1; }; \
+	grep -q '^DISTRIB verdict: PASS' "$$dir/run2.log" || \
+		{ echo "distributed-smoke: merged digest did not verify"; exit 1; }
 
 # matrix-smoke drives the declarative path end to end from one command: a
 # 2×2 {profile × fault intensity} grid over a small 10-day trace, with a
@@ -79,7 +112,7 @@ determinism:
 # concurrent builds on one machine never clobber each other's files.
 COVER_FLOORS := internal/obs:85 internal/faults:85 internal/cloud:85 \
 	internal/scenario:85 internal/ratelimit:85 internal/ingest:85 \
-	internal/trace:85
+	internal/trace:85 internal/distrib:85
 cover:
 	@prof="$$(mktemp)" || exit 1; \
 	trap 'rm -f "$$prof"' EXIT; \

@@ -203,6 +203,10 @@ var gated = map[string]bool{"allocs/op": true}
 
 // diff prints the median delta of every metric shared by base and fresh
 // and reports whether any gated metric regressed beyond tol percent.
+// Each gated regression also prints a GitHub Actions "::error::" workflow
+// command, so a CI failure annotates the run with the exact benchmark and
+// numbers instead of burying them in the step log (the line is harmless
+// noise outside Actions).
 func diff(base, fresh map[string]Benchmark, tol float64) bool {
 	names := make([]string, 0, len(base))
 	for name := range base {
@@ -217,6 +221,7 @@ func diff(base, fresh map[string]Benchmark, tol float64) bool {
 	}
 
 	failed := false
+	var regressions []string
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	for _, name := range names {
@@ -242,12 +247,18 @@ func diff(base, fresh map[string]Benchmark, tol float64) bool {
 			if gated[unit] && worse && pct != 0 && abs(pct) > tol {
 				verdict = "  REGRESSION"
 				failed = true
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %s regressed %+.1f%% (median %.1f -> %.1f, tolerance %.0f%%)",
+					name, unit, pct, old, now, tol))
 			}
 			fmt.Fprintf(w, "  %-14s %14.1f -> %14.1f  %+7.1f%%%s\n", unit, old, now, pct, verdict)
 		}
 	}
 	if failed {
 		fmt.Fprintf(w, "benchjson: gated metric regressed more than %.0f%% against the baseline\n", tol)
+		for _, msg := range regressions {
+			fmt.Fprintf(w, "::error title=Benchmark regression::%s\n", msg)
+		}
 	}
 	return failed
 }

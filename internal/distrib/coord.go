@@ -1,0 +1,411 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odr/internal/replay"
+	"odr/internal/trace"
+)
+
+// Runner executes one worker assignment. The coordinator is agnostic to
+// where the work happens: InProcess runs the window on a goroutine (tests,
+// EXP-D), cmd/odrcoord's exec runner re-execs the binary per window and
+// parses heartbeats off its stdout. beat must be called with the worker's
+// running record count; a runner whose beats stop for longer than the
+// heartbeat timeout is canceled and the window retried.
+type Runner interface {
+	Run(ctx context.Context, req WorkerRequest, beat func(records int64)) error
+}
+
+// InProcess runs windows on goroutines in the coordinator's own process.
+type InProcess struct{}
+
+// Run implements Runner.
+func (InProcess) Run(ctx context.Context, req WorkerRequest, beat func(records int64)) error {
+	return RunWorker(ctx, req, beat)
+}
+
+// ErrHalted reports a deliberate stop after a checkpoint (Config.HaltAfter,
+// the kill-mid-run test hook): the manifest and completed partials are on
+// disk, and a rerun with the same checkpoint directory resumes.
+var ErrHalted = errors.New("distrib: halted after checkpoint (resume with the same checkpoint directory)")
+
+// errStalled reports a worker whose heartbeats stopped.
+var errStalled = errors.New("distrib: worker heartbeat lost")
+
+// Defaults for Config's zero fields.
+const (
+	DefaultWindowsPerWorker = 2
+	DefaultHeartbeatTimeout = 30 * time.Second
+	DefaultMaxAttempts      = 3
+)
+
+// ManifestName is the checkpoint manifest's file name inside the
+// checkpoint directory.
+const ManifestName = "manifest.json"
+
+// Config describes one coordinated replay.
+type Config struct {
+	// TracePath is the bin trace to replay.
+	TracePath string
+	// Workers is how many windows replay concurrently (0 = 1).
+	Workers int
+	// Windows is the window count (0 = Workers * DefaultWindowsPerWorker).
+	// More windows than workers means failures waste less finished work
+	// and the checkpoint advances more often.
+	Windows int
+	// CheckpointDir holds the manifest and the per-window partials. A
+	// directory with a manifest from an earlier run of the same trace and
+	// spec resumes: done windows are revalidated and skipped.
+	CheckpointDir string
+	// Spec is the replay configuration every window runs under.
+	Spec WorkerSpec
+	// Runner executes worker assignments (nil = InProcess).
+	Runner Runner
+	// HeartbeatTimeout kills a worker whose beats stop for this long
+	// (0 = DefaultHeartbeatTimeout). The window is then retried.
+	HeartbeatTimeout time.Duration
+	// MaxAttempts bounds worker restarts per window
+	// (0 = DefaultMaxAttempts); the run fails when a window exhausts it.
+	MaxAttempts int
+	// Timeline, when non-nil, builds the windowed observability timeline
+	// over the merged task records.
+	Timeline *replay.TimelineConfig
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+
+	// HaltAfter, when positive, stops the run with ErrHalted once that
+	// many windows complete in THIS run — the kill-mid-run hook the
+	// resume test and the CI distributed smoke use.
+	HaltAfter int
+	// CrashWindow, when positive, makes window CrashWindow-1's first
+	// attempt fail mid-replay (WorkerRequest.CrashAfter), exercising the
+	// supervised-restart path.
+	CrashWindow int
+}
+
+// Coordinator drives one Config to a merged result.
+type Coordinator struct {
+	cfg Config
+	// Resumed is how many windows an existing checkpoint already covered
+	// when Run started (valid after Run returns).
+	Resumed int
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.TracePath == "" {
+		return nil, errors.New("distrib: coordinator needs a trace path")
+	}
+	if cfg.CheckpointDir == "" {
+		return nil, errors.New("distrib: coordinator needs a checkpoint directory")
+	}
+	if cfg.Workers < 0 || cfg.Windows < 0 {
+		return nil, fmt.Errorf("distrib: negative workers (%d) or windows (%d)", cfg.Workers, cfg.Windows)
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Windows == 0 {
+		cfg.Windows = cfg.Workers * DefaultWindowsPerWorker
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = InProcess{}
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	return &Coordinator{cfg: cfg}, nil
+}
+
+// runState is the mutable state the window workers share.
+type runState struct {
+	mu        sync.Mutex
+	manifest  *Manifest
+	path      string // manifest path
+	completed int    // windows completed this run
+	err       error  // first hard failure
+	halted    bool
+}
+
+// Run partitions, supervises, checkpoints, and merges. On ErrHalted or a
+// crash, rerunning with the same checkpoint directory resumes from the
+// manifest.
+func (c *Coordinator) Run(ctx context.Context) (*Merged, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	records, err := trace.BinRecords(c.cfg.TracePath)
+	if err != nil {
+		return nil, err
+	}
+	sha, err := trace.SHA256File(c.cfg.TracePath)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(c.cfg.CheckpointDir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &runState{path: filepath.Join(c.cfg.CheckpointDir, ManifestName)}
+	st.manifest, err = c.openManifest(st.path, records, sha)
+	if err != nil {
+		return nil, err
+	}
+	c.Resumed = st.manifest.Done()
+	if c.Resumed > 0 {
+		c.cfg.Log("resumed: %d/%d windows already complete", c.Resumed, len(st.manifest.Windows))
+	}
+	if err := SaveManifest(st.path, st.manifest); err != nil {
+		return nil, err
+	}
+
+	pending := make([]int, 0, len(st.manifest.Windows))
+	for i, w := range st.manifest.Windows {
+		if w.State != StateDone {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) > 0 {
+		if err := c.runPending(ctx, st, records, pending); err != nil {
+			return nil, err
+		}
+	}
+	return c.merge(st.manifest)
+}
+
+// openManifest loads-and-validates an existing checkpoint or plans a
+// fresh one. A checkpoint for a different trace or spec is rejected
+// naming the mismatching field; done windows whose partials no longer
+// read back clean are demoted to pending.
+func (c *Coordinator) openManifest(path string, records int64, sha string) (*Manifest, error) {
+	m, err := LoadManifest(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return NewManifest(c.cfg.TracePath, sha, records, c.cfg.Spec, c.cfg.Windows), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m.TraceSHA256 != sha {
+		return nil, fmt.Errorf("manifest: trace_sha256: checkpoint is for trace %s…, %s is %s… (delete %s to start over)",
+			m.TraceSHA256[:12], c.cfg.TracePath, sha[:12], c.cfg.CheckpointDir)
+	}
+	if m.Records != records {
+		return nil, fmt.Errorf("manifest: records: checkpoint has %d, trace has %d", m.Records, records)
+	}
+	if got, want := m.Spec.Fingerprint(), c.cfg.Spec.Fingerprint(); got != want {
+		return nil, fmt.Errorf("manifest: spec: checkpoint ran under %s, this run wants %s", got, want)
+	}
+	for i := range m.Windows {
+		w := &m.Windows[i]
+		if w.State != StateDone {
+			continue
+		}
+		p, rerr := ReadPartial(filepath.Join(c.cfg.CheckpointDir, w.Partial))
+		if rerr != nil || p.Window != w.Window() {
+			c.cfg.Log("window %d: checkpointed partial invalid (%v), recomputing", i, rerr)
+			w.State = StatePending
+			w.Partial = ""
+		}
+	}
+	return m, nil
+}
+
+// runPending fans the pending window indices over the worker pool.
+func (c *Coordinator) runPending(ctx context.Context, st *runState, records int64, pending []int) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	queue := make(chan int)
+	workers := c.cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range queue {
+				if runCtx.Err() != nil {
+					continue // drain; the run is over
+				}
+				err := c.runWindow(runCtx, st, records, idx)
+				st.mu.Lock()
+				switch {
+				case err == nil:
+					st.completed++
+					if serr := SaveManifest(st.path, st.manifest); serr != nil && st.err == nil {
+						st.err = serr
+						cancel()
+					}
+					if c.cfg.HaltAfter > 0 && st.completed >= c.cfg.HaltAfter && !st.halted {
+						st.halted = true
+						c.cfg.Log("halting after %d completed window(s) (checkpoint saved)", st.completed)
+						cancel()
+					}
+				case runCtx.Err() != nil && (st.err != nil || st.halted):
+					// Canceled because the run already ended; not a new failure.
+				default:
+					if st.err == nil {
+						st.err = err
+					}
+					cancel()
+				}
+				st.mu.Unlock()
+			}
+		}()
+	}
+	for _, idx := range pending {
+		queue <- idx
+	}
+	close(queue)
+	wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err != nil {
+		return st.err
+	}
+	if st.halted {
+		return ErrHalted
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// runWindow supervises one window through bounded restarts, marking it
+// done in the manifest on success. The caller persists the manifest.
+func (c *Coordinator) runWindow(ctx context.Context, st *runState, records int64, idx int) error {
+	st.mu.Lock()
+	win := st.manifest.Windows[idx].Window()
+	st.mu.Unlock()
+	name := fmt.Sprintf("window-%05d.odrp", idx)
+	path := filepath.Join(c.cfg.CheckpointDir, name)
+
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st.mu.Lock()
+		st.manifest.Windows[idx].Attempts++
+		st.mu.Unlock()
+		req := WorkerRequest{
+			TracePath:   c.cfg.TracePath,
+			Window:      win,
+			Spec:        c.cfg.Spec,
+			PartialPath: path,
+		}
+		if attempt == 1 && c.cfg.CrashWindow == idx+1 {
+			// Crash mid-replay: past the census (records) and the prefix
+			// (win.Offset), half way through the window itself.
+			req.CrashAfter = records + win.Offset + win.Limit/2 + 1
+			c.cfg.Log("window %d: injecting crash after %d records (test hook)", idx, req.CrashAfter)
+		}
+		start := time.Now()
+		err := c.attempt(ctx, req)
+		if err == nil {
+			p, rerr := ReadPartial(path)
+			if rerr != nil {
+				err = fmt.Errorf("distrib: window %d wrote an unreadable partial: %w", idx, rerr)
+			} else if p.Window != win {
+				err = fmt.Errorf("distrib: window %d partial covers %v, want %v", idx, p.Window, win)
+			} else {
+				st.mu.Lock()
+				w := &st.manifest.Windows[idx]
+				w.State = StateDone
+				w.Partial = name
+				w.Seconds = p.Seconds
+				st.mu.Unlock()
+				c.cfg.Log("window %d %v done in %.1fs (attempt %d)", idx, win, p.Seconds, attempt)
+				return nil
+			}
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		c.cfg.Log("window %d %v attempt %d/%d failed after %.1fs: %v",
+			idx, win, attempt, c.cfg.MaxAttempts, time.Since(start).Seconds(), err)
+	}
+	return fmt.Errorf("distrib: window %d %v failed %d attempts: %w",
+		idx, win, c.cfg.MaxAttempts, lastErr)
+}
+
+// attempt runs one worker under the heartbeat watchdog: a worker whose
+// beats stop for HeartbeatTimeout is canceled and reported stalled.
+func (c *Coordinator) attempt(ctx context.Context, req WorkerRequest) error {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
+	beat := func(int64) { lastBeat.Store(time.Now().UnixNano()) }
+
+	var stalled atomic.Bool
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(c.cfg.HeartbeatTimeout / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-wctx.Done():
+				return
+			case <-tick.C:
+				if time.Since(time.Unix(0, lastBeat.Load())) > c.cfg.HeartbeatTimeout {
+					stalled.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	err := c.cfg.Runner.Run(wctx, req, beat)
+	if stalled.Load() {
+		return fmt.Errorf("%w (no beat for %v; last error: %v)", errStalled, c.cfg.HeartbeatTimeout, err)
+	}
+	return err
+}
+
+// merge reads every window's partial and reassembles the whole-trace
+// result.
+func (c *Coordinator) merge(m *Manifest) (*Merged, error) {
+	parts := make([]*Partial, len(m.Windows))
+	for i, w := range m.Windows {
+		if w.State != StateDone {
+			return nil, fmt.Errorf("distrib: window %d never completed", i)
+		}
+		p, err := ReadPartial(filepath.Join(c.cfg.CheckpointDir, w.Partial))
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = p
+	}
+	merged, err := MergePartials(parts)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Timeline != nil {
+		merged.Timeline = replay.BuildTimeline(merged.Tasks, *c.cfg.Timeline)
+	}
+	return merged, nil
+}

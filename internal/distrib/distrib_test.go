@@ -1,0 +1,660 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"odr/internal/trace"
+	"odr/internal/workload"
+)
+
+// writeTrace generates a small synthetic week and writes it as a bin
+// trace file, returning its path.
+func writeTrace(t *testing.T, files int, seed uint64) string {
+	t.Helper()
+	st, err := workload.GenerateStream(workload.DefaultConfig(files, seed), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := trace.WriteWorkloadBinStream(bw, st.Requests()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// singleDigest is the single-process reference digest for a trace/spec.
+func singleDigest(t *testing.T, tracePath string, spec WorkerSpec) string {
+	t.Helper()
+	res, err := SingleProcess(tracePath, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Digest()
+}
+
+func TestPlanWindows(t *testing.T) {
+	cases := []struct {
+		total int64
+		n     int
+		wantN int
+	}{
+		{total: 10, n: 3, wantN: 3},
+		{total: 10, n: 1, wantN: 1},
+		{total: 10, n: 10, wantN: 10},
+		{total: 3, n: 7, wantN: 3},  // clamped to total
+		{total: 10, n: 0, wantN: 1}, // clamped to 1
+		{total: 10, n: -2, wantN: 1},
+		{total: 1, n: 1, wantN: 1},
+		{total: 1_000_003, n: 16, wantN: 16},
+	}
+	for _, c := range cases {
+		wins := PlanWindows(c.total, c.n)
+		if len(wins) != c.wantN {
+			t.Fatalf("PlanWindows(%d, %d): %d windows, want %d", c.total, c.n, len(wins), c.wantN)
+		}
+		var next, min, max int64
+		min, max = c.total, 0
+		for i, w := range wins {
+			if w.Offset != next {
+				t.Fatalf("PlanWindows(%d, %d): window %d at offset %d, want %d", c.total, c.n, i, w.Offset, next)
+			}
+			if w.Limit <= 0 {
+				t.Fatalf("PlanWindows(%d, %d): window %d has limit %d", c.total, c.n, i, w.Limit)
+			}
+			if w.Limit < min {
+				min = w.Limit
+			}
+			if w.Limit > max {
+				max = w.Limit
+			}
+			next = w.End()
+		}
+		if next != c.total {
+			t.Fatalf("PlanWindows(%d, %d): windows end at %d, want %d", c.total, c.n, next, c.total)
+		}
+		if max-min > 1 {
+			t.Fatalf("PlanWindows(%d, %d): window limits range [%d, %d], want spread <= 1", c.total, c.n, min, max)
+		}
+	}
+	if wins := PlanWindows(0, 4); wins != nil {
+		t.Fatalf("PlanWindows(0, 4) = %v, want nil", wins)
+	}
+}
+
+func TestWorkerSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec WorkerSpec
+		want string // error substring; empty = valid
+	}{
+		{name: "zero", spec: WorkerSpec{}},
+		{name: "full", spec: WorkerSpec{Seed: 7, Shards: 4, Chunk: 256, CachePolicy: "band", PoolBytes: 1 << 30, Faults: "0.3", Metrics: true}},
+		{name: "negative shards", spec: WorkerSpec{Shards: -1}, want: "negative shards"},
+		{name: "negative chunk", spec: WorkerSpec{Chunk: -1}, want: "negative chunk"},
+		{name: "negative pool", spec: WorkerSpec{PoolBytes: -1}, want: "negative pool"},
+		{name: "unknown policy", spec: WorkerSpec{CachePolicy: "clock"}, want: "unknown cache policy"},
+		{name: "bad faults", spec: WorkerSpec{Faults: "definitely-not-a-spec"}, want: "faults"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestWorkerSpecFingerprint(t *testing.T) {
+	a := WorkerSpec{Seed: 1, CachePolicy: "band"}
+	if a.Fingerprint() != (WorkerSpec{Seed: 1, CachePolicy: "band"}).Fingerprint() {
+		t.Fatal("equal specs fingerprint differently")
+	}
+	if a.Fingerprint() == (WorkerSpec{Seed: 2, CachePolicy: "band"}).Fingerprint() {
+		t.Fatal("different specs share a fingerprint")
+	}
+}
+
+// TestManifestValidate pins that every class of checkpoint corruption is
+// rejected with an error naming the offending field.
+func TestManifestValidate(t *testing.T) {
+	valid := func() *Manifest {
+		return NewManifest("trace.bin", strings.Repeat("ab", 32), 100, WorkerSpec{Seed: 3}, 4)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		want   string
+	}{
+		{"wrong version", func(m *Manifest) { m.Version = 99 }, "manifest: version"},
+		{"zero records", func(m *Manifest) { m.Records = 0 }, "manifest: records"},
+		{"short hash", func(m *Manifest) { m.TraceSHA256 = "abcd" }, "manifest: trace_sha256"},
+		{"bad spec", func(m *Manifest) { m.Spec.Shards = -3 }, "manifest: spec"},
+		{"no windows", func(m *Manifest) { m.Windows = nil }, "manifest: windows"},
+		{"offset gap", func(m *Manifest) { m.Windows[2].Offset++ }, "windows[2].offset"},
+		{"zero limit", func(m *Manifest) { m.Windows[0].Limit = 0 }, "windows[0].limit"},
+		{"bad state", func(m *Manifest) { m.Windows[1].State = "running" }, "windows[1].state"},
+		{"done without partial", func(m *Manifest) { m.Windows[3].State = StateDone }, "windows[3].partial"},
+		{"negative attempts", func(m *Manifest) { m.Windows[1].Attempts = -1 }, "windows[1].attempts"},
+		{"short tiling", func(m *Manifest) { m.Windows = m.Windows[:3] }, "end at record"},
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("fresh manifest invalid: %v", err)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := valid()
+			c.mutate(m)
+			err := m.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want error naming %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestManifestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ManifestName)
+	m := NewManifest("trace.bin", strings.Repeat("cd", 32), 57, WorkerSpec{Seed: 11, CachePolicy: "lfu"}, 3)
+	m.Windows[0].State = StateDone
+	m.Windows[0].Partial = "window-00000.odrp"
+	m.Windows[0].Attempts = 2
+	m.Windows[0].Seconds = 1.5
+	if err := SaveManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceSHA256 != m.TraceSHA256 || got.Records != m.Records ||
+		got.Spec.Fingerprint() != m.Spec.Fingerprint() || len(got.Windows) != len(m.Windows) ||
+		got.Windows[0] != m.Windows[0] || got.Done() != 1 {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+
+	// Saving an invalid manifest must refuse before touching the file.
+	bad := NewManifest("trace.bin", "short", 57, WorkerSpec{}, 3)
+	if err := SaveManifest(path, bad); err == nil {
+		t.Fatal("SaveManifest accepted an invalid manifest")
+	}
+	if _, err := LoadManifest(path); err != nil {
+		t.Fatalf("failed save clobbered the checkpoint: %v", err)
+	}
+
+	// Corrupt JSON is rejected with the path in the error.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("LoadManifest(corrupt) = %v, want parse error naming %s", err, path)
+	}
+	if _, err := LoadManifest(filepath.Join(dir, "absent.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("LoadManifest(absent) = %v, want ErrNotExist", err)
+	}
+}
+
+// TestPartialRoundTrip replays one window, writes the partial, reads it
+// back, and checks the reconstruction is digest-exact; then corrupts the
+// file every way the format guards against.
+func TestPartialRoundTrip(t *testing.T) {
+	tracePath := writeTrace(t, 60, 9)
+	records, err := trace.BinRecords(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := WorkerSpec{Seed: 9, CachePolicy: "band", Faults: "0.3", Metrics: true}
+	win := Window{Offset: records / 3, Limit: records / 3}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.odrp")
+	req := WorkerRequest{TracePath: tracePath, Window: win, Spec: spec, PartialPath: path}
+	if err := RunWorker(context.Background(), req, nil); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ReadPartial(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Window != win || int64(len(p1.Tasks)) != win.Limit || p1.Spec != spec.Fingerprint() {
+		t.Fatalf("partial header mismatch: %+v", p1)
+	}
+	if p1.Metrics == nil {
+		t.Fatal("metrics snapshot missing from partial")
+	}
+	if p1.Totals.Tasks != win.Limit {
+		t.Fatalf("partial totals %d tasks, want %d", p1.Totals.Tasks, win.Limit)
+	}
+
+	// A second independent worker run reconstructs the same bytes.
+	path2 := filepath.Join(dir, "w2.odrp")
+	req.PartialPath = path2
+	if err := RunWorker(context.Background(), req, nil); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadPartial(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := (&Merged{Tasks: p1.Tasks, Ledgers: p1.Ledgers}).Digest()
+	d2 := (&Merged{Tasks: p2.Tasks, Ledgers: p2.Ledgers}).Digest()
+	if d1 != d2 {
+		t.Fatal("independent worker runs of the same window produced different partials")
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte, want string) {
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := filepath.Join(dir, name+".odrp")
+			if err := os.WriteFile(bad, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadPartial(bad); err == nil || !strings.Contains(err.Error(), want) {
+				t.Fatalf("ReadPartial = %v, want error containing %q", err, want)
+			}
+		})
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "magic")
+	corrupt("bad version", func(b []byte) []byte { b[4] = 99; return b }, "version")
+	corrupt("flipped byte", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }, "checksum")
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-9] }, "checksum")
+	corrupt("too short", func(b []byte) []byte { return b[:10] }, "too short")
+}
+
+func TestMergePartialsEmpty(t *testing.T) {
+	if _, err := MergePartials(nil); err == nil {
+		t.Fatal("MergePartials(nil) accepted")
+	}
+}
+
+// TestDistributedDigestMatchesSingleProcess is the heart of the package:
+// for static and dynamic cache policies, with and without naive faults,
+// the coordinator's merged digest must be byte-identical to a
+// single-process full-stream replay.
+func TestDistributedDigestMatchesSingleProcess(t *testing.T) {
+	specs := []struct {
+		name string
+		spec WorkerSpec
+	}{
+		{"static", WorkerSpec{Seed: 42}},
+		{"dynamic band policy", WorkerSpec{Seed: 42, CachePolicy: "band", PoolBytes: 64 << 20}},
+		{"naive faults", WorkerSpec{Seed: 42, Faults: "0.3"}},
+		{"metrics on", WorkerSpec{Seed: 42, Metrics: true, Shards: 2, Chunk: 64}},
+	}
+	tracePath := writeTrace(t, 90, 42)
+	for _, c := range specs {
+		t.Run(c.name, func(t *testing.T) {
+			want := singleDigest(t, tracePath, c.spec)
+			co, err := New(Config{
+				TracePath:     tracePath,
+				Workers:       3,
+				Windows:       5,
+				CheckpointDir: t.TempDir(),
+				Spec:          c.spec,
+				Log:           t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, err := co.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := merged.Digest(); got != want {
+				t.Fatalf("merged digest differs from single-process digest:\n got %s\nwant %s", got, want)
+			}
+			if len(merged.Windows) != 5 || len(merged.Seconds) != 5 {
+				t.Fatalf("merged window map %v / seconds %v, want 5 windows", merged.Windows, merged.Seconds)
+			}
+			if c.spec.Metrics && merged.Metrics == nil {
+				t.Fatal("metrics requested but merged registry is nil")
+			}
+			if merged.CloudBytes() <= 0 {
+				t.Fatal("merged cloud ledger reports no upload bytes")
+			}
+			if fr := merged.FailureRatio(); fr < 0 || fr > 1 {
+				t.Fatalf("merged failure ratio %v out of range", fr)
+			}
+		})
+	}
+}
+
+// TestMergeOrderInsensitive pins that merging the same partials yields
+// byte-identical output regardless of which worker produced which window
+// when: partials are pure data, the merge a canonical fold.
+func TestMergeOrderInsensitive(t *testing.T) {
+	tracePath := writeTrace(t, 60, 5)
+	spec := WorkerSpec{Seed: 5, Metrics: true}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, dir := range []string{dirA, dirB} {
+		co, err := New(Config{TracePath: tracePath, Workers: 2, Windows: 4, CheckpointDir: dir, Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := co.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(dir string) []*Partial {
+		m, err := LoadManifest(filepath.Join(dir, ManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]*Partial, len(m.Windows))
+		for i, w := range m.Windows {
+			if parts[i], err = ReadPartial(filepath.Join(dir, w.Partial)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return parts
+	}
+	a, b := read(dirA), read(dirB)
+	ma, err := MergePartials(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := MergePartials(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Digest() != mb.Digest() {
+		t.Fatal("two independent coordinated runs merged to different digests")
+	}
+
+	// Structural rejections.
+	if _, err := MergePartials(a[1:]); err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("merge with missing first window = %v, want tiling error", err)
+	}
+	swapped := append([]*Partial(nil), a...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := MergePartials(swapped); err == nil {
+		t.Fatal("merge accepted out-of-order windows")
+	}
+	mixed := append([]*Partial(nil), a...)
+	mixed[2] = &Partial{Window: a[2].Window, Spec: "other", Ledgers: a[2].Ledgers, Tasks: a[2].Tasks}
+	if _, err := MergePartials(mixed); err == nil || !strings.Contains(err.Error(), "spec") {
+		t.Fatalf("merge with mixed specs = %v, want spec error", err)
+	}
+	short := append([]*Partial(nil), a...)
+	short[1] = &Partial{Window: a[1].Window, Spec: a[1].Spec, Ledgers: a[1].Ledgers, Tasks: a[1].Tasks[:1]}
+	if _, err := MergePartials(short); err == nil || !strings.Contains(err.Error(), "tasks") {
+		t.Fatalf("merge with short task slice = %v, want task-count error", err)
+	}
+}
+
+// TestHaltResume is the kill-mid-run pin: a run that crashes a worker,
+// checkpoints two windows, and halts must resume from the manifest and
+// still match the single-process digest byte for byte.
+func TestHaltResume(t *testing.T) {
+	tracePath := writeTrace(t, 90, 17)
+	spec := WorkerSpec{Seed: 17, CachePolicy: "band"}
+	dir := t.TempDir()
+	cfg := Config{
+		TracePath:     tracePath,
+		Workers:       2,
+		Windows:       6,
+		CheckpointDir: dir,
+		Spec:          spec,
+		HaltAfter:     2,
+		CrashWindow:   1, // window 0's first attempt dies mid-replay
+		Log:           t.Logf,
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(context.Background()); !errors.Is(err, ErrHalted) {
+		t.Fatalf("halted run returned %v, want ErrHalted", err)
+	}
+	m, err := LoadManifest(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatalf("no readable checkpoint after halt: %v", err)
+	}
+	done := m.Done()
+	if done < 2 || done == len(m.Windows) {
+		t.Fatalf("after halt %d/%d windows done, want a genuine partial checkpoint", done, len(m.Windows))
+	}
+	crashed := false
+	for _, w := range m.Windows {
+		if w.Attempts > 1 {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Fatal("crash hook never forced a retry")
+	}
+
+	// Sabotage one completed partial: resume must detect it and recompute.
+	for _, w := range m.Windows {
+		if w.State == StateDone {
+			if err := os.Truncate(filepath.Join(dir, w.Partial), 16); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+
+	cfg.HaltAfter, cfg.CrashWindow = 0, 0
+	co2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := co2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co2.Resumed < 1 {
+		t.Fatalf("resume recomputed everything (Resumed = %d)", co2.Resumed)
+	}
+	if got, want := merged.Digest(), singleDigest(t, tracePath, spec); got != want {
+		t.Fatalf("resumed merged digest differs from single-process digest:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestResumeRejectsMismatch pins that a checkpoint refuses to resume
+// under a different trace or spec, naming the mismatching field.
+func TestResumeRejectsMismatch(t *testing.T) {
+	tracePath := writeTrace(t, 60, 23)
+	dir := t.TempDir()
+	cfg := Config{TracePath: tracePath, Workers: 2, CheckpointDir: dir, Spec: WorkerSpec{Seed: 23}, HaltAfter: 1}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(context.Background()); !errors.Is(err, ErrHalted) {
+		t.Fatalf("setup run: %v", err)
+	}
+
+	other := cfg
+	other.Spec = WorkerSpec{Seed: 24}
+	co2, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co2.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "manifest: spec") {
+		t.Fatalf("spec mismatch resume = %v, want manifest: spec error", err)
+	}
+
+	swapped := cfg
+	swapped.TracePath = writeTrace(t, 60, 99)
+	co3, err := New(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co3.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "trace_sha256") {
+		t.Fatalf("trace mismatch resume = %v, want trace_sha256 error", err)
+	}
+}
+
+// failRunner always fails.
+type failRunner struct{}
+
+func (failRunner) Run(context.Context, WorkerRequest, func(int64)) error {
+	return errors.New("boom")
+}
+
+func TestRestartBudgetExhaustion(t *testing.T) {
+	tracePath := writeTrace(t, 40, 3)
+	co, err := New(Config{
+		TracePath:     tracePath,
+		Workers:       1,
+		Windows:       2,
+		CheckpointDir: t.TempDir(),
+		Spec:          WorkerSpec{Seed: 3},
+		Runner:        failRunner{},
+		MaxAttempts:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = co.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "failed 2 attempts") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Run = %v, want restart-budget error wrapping the worker failure", err)
+	}
+}
+
+// stallRunner hangs without heartbeating on each window's first attempt,
+// then delegates to the real in-process worker.
+type stallRunner struct {
+	mu      sync.Mutex
+	stalled map[int64]bool
+}
+
+func (r *stallRunner) Run(ctx context.Context, req WorkerRequest, beat func(int64)) error {
+	r.mu.Lock()
+	first := !r.stalled[req.Window.Offset]
+	r.stalled[req.Window.Offset] = true
+	r.mu.Unlock()
+	if first {
+		<-ctx.Done() // no beats: the watchdog must kill us
+		return ctx.Err()
+	}
+	return InProcess{}.Run(ctx, req, beat)
+}
+
+// TestHeartbeatTimeout pins the watchdog: a worker that stops beating is
+// killed, restarted, and the run still converges to the exact digest.
+func TestHeartbeatTimeout(t *testing.T) {
+	tracePath := writeTrace(t, 60, 31)
+	spec := WorkerSpec{Seed: 31}
+	co, err := New(Config{
+		TracePath:        tracePath,
+		Workers:          2,
+		Windows:          2,
+		CheckpointDir:    t.TempDir(),
+		Spec:             spec,
+		Runner:           &stallRunner{stalled: map[int64]bool{}},
+		HeartbeatTimeout: 100 * time.Millisecond,
+		Log:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.Digest(), singleDigest(t, tracePath, spec); got != want {
+		t.Fatalf("digest after stalled-worker restarts differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestRunWorkerErrors(t *testing.T) {
+	tracePath := writeTrace(t, 40, 8)
+	records, err := trace.BinRecords(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	base := WorkerRequest{
+		TracePath:   tracePath,
+		Window:      Window{Offset: 0, Limit: records},
+		Spec:        WorkerSpec{Seed: 8},
+		PartialPath: filepath.Join(dir, "p.odrp"),
+	}
+
+	noPath := base
+	noPath.PartialPath = ""
+	if err := RunWorker(context.Background(), noPath, nil); err == nil {
+		t.Fatal("RunWorker accepted an empty partial path")
+	}
+
+	oob := base
+	oob.Window = Window{Offset: records - 1, Limit: 2}
+	if err := RunWorker(context.Background(), oob, nil); err == nil || !strings.Contains(err.Error(), "outside trace") {
+		t.Fatalf("RunWorker(out of bounds) = %v, want window-bounds error", err)
+	}
+
+	crash := base
+	crash.CrashAfter = records / 2 // dies during the census pass
+	if err := RunWorker(context.Background(), crash, nil); !errors.Is(err, ErrCrashRequested) {
+		t.Fatalf("RunWorker(crash hook) = %v, want ErrCrashRequested", err)
+	}
+	if _, err := os.Stat(base.PartialPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("crashed worker left a partial behind: %v", err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := RunWorker(canceled, base, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunWorker(canceled ctx) = %v, want context.Canceled", err)
+	}
+
+	var beats int64
+	if err := RunWorker(context.Background(), base, func(n int64) { beats = n }); err != nil {
+		t.Fatal(err)
+	}
+	if beats == 0 {
+		t.Fatal("worker never heartbeat")
+	}
+}
+
+func TestNewConfigValidation(t *testing.T) {
+	if _, err := New(Config{CheckpointDir: "x"}); err == nil {
+		t.Fatal("New accepted an empty trace path")
+	}
+	if _, err := New(Config{TracePath: "x"}); err == nil {
+		t.Fatal("New accepted an empty checkpoint dir")
+	}
+	if _, err := New(Config{TracePath: "x", CheckpointDir: "y", Workers: -1}); err == nil {
+		t.Fatal("New accepted negative workers")
+	}
+	if _, err := New(Config{TracePath: "x", CheckpointDir: "y", Spec: WorkerSpec{Shards: -1}}); err == nil {
+		t.Fatal("New accepted an invalid spec")
+	}
+}
+
+func TestWindowString(t *testing.T) {
+	w := Window{Offset: 10, Limit: 5}
+	if w.String() != "[10, 15)" || w.End() != 15 {
+		t.Fatalf("Window formatting broke: %s end %d", w, w.End())
+	}
+}

@@ -1,0 +1,206 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"odr/internal/obs"
+	"odr/internal/replay"
+	"odr/internal/smartap"
+	"odr/internal/trace"
+	"odr/internal/workload"
+)
+
+// WorkerRequest is one window assignment: which trace, which records,
+// under which spec, and where the partial result goes.
+type WorkerRequest struct {
+	// TracePath is the bin trace every worker reads (workers never
+	// receive trace data over a pipe — they seek into the shared file).
+	TracePath string `json:"trace_path"`
+	// Window is the record range this worker replays.
+	Window Window `json:"window"`
+	// Spec is the replay configuration; it must match the coordinator's.
+	Spec WorkerSpec `json:"spec"`
+	// PartialPath is where the worker writes its partial-result file
+	// (atomically: temp file, then rename).
+	PartialPath string `json:"partial_path"`
+	// CrashAfter, when positive, makes the worker fail with
+	// ErrCrashRequested after processing that many records across its
+	// passes — the test hook behind the forced worker-kill smoke. The
+	// coordinator sets it only on a window's first attempt.
+	CrashAfter int64 `json:"crash_after,omitempty"`
+}
+
+// ErrCrashRequested is the injected failure behind WorkerRequest.CrashAfter.
+var ErrCrashRequested = errors.New("distrib: worker crash requested (test hook)")
+
+// progressEvery is how many records a worker processes between heartbeat
+// and cancellation checks. Small enough that heartbeats flow every few
+// milliseconds even during the census pass, large enough to stay off the
+// decode hot path.
+const progressEvery = 1024
+
+// meter wraps the worker's sources with one shared record counter:
+// heartbeats, cooperative cancellation, and the crash hook all key off
+// total records processed across the census, prefix, and window passes.
+type meter struct {
+	ctx        context.Context
+	beat       func(records int64)
+	crashAfter int64
+	processed  int64
+}
+
+// tick advances the counter by one record and returns a non-nil error
+// when the worker should stop (context canceled or crash requested).
+func (m *meter) tick() error {
+	m.processed++
+	if m.crashAfter > 0 && m.processed >= m.crashAfter {
+		return ErrCrashRequested
+	}
+	if m.processed%progressEvery == 0 {
+		if m.beat != nil {
+			m.beat(m.processed)
+		}
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wrap returns src metered by m.
+func (m *meter) wrap(src workload.RequestSource) workload.RequestSource {
+	return &meteredSource{m: m, src: src}
+}
+
+type meteredSource struct {
+	m   *meter
+	src workload.RequestSource
+	err error
+}
+
+func (s *meteredSource) Next() (int, workload.Request, bool) {
+	if s.err != nil {
+		return 0, workload.Request{}, false
+	}
+	i, req, ok := s.src.Next()
+	if !ok {
+		return 0, workload.Request{}, false
+	}
+	if err := s.m.tick(); err != nil {
+		s.err = err
+		return 0, workload.Request{}, false
+	}
+	return i, req, ok
+}
+
+func (s *meteredSource) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.src.Err()
+}
+
+// RunWorker replays one window of a bin trace and writes the partial
+// result to req.PartialPath. It makes three passes over the file:
+//
+//  1. a full census pass over every record, so the worker's file and
+//     user populations — and therefore the backend fleet's sequential
+//     warm-pool draws — are identical to every other worker's and to a
+//     single-process replay's;
+//  2. the observation prefix [0, Offset), streamed through the cloud's
+//     sequential observation pass to reconstruct cache visibility
+//     (inside replay.RunODRWindow);
+//  3. the window itself, replayed with every index-keyed input offset by
+//     the window base.
+//
+// beat, when non-nil, receives the total records processed so far about
+// every progressEvery records — the coordinator's heartbeat signal.
+// Cancelling ctx stops the worker between records.
+func RunWorker(ctx context.Context, req WorkerRequest, beat func(records int64)) error {
+	if err := req.Spec.Validate(); err != nil {
+		return err
+	}
+	if req.PartialPath == "" {
+		return errors.New("distrib: worker needs a partial output path")
+	}
+	records, err := trace.BinRecords(req.TracePath)
+	if err != nil {
+		return err
+	}
+	win := req.Window
+	if win.Offset < 0 || win.Limit <= 0 || win.End() > records {
+		return fmt.Errorf("distrib: window %v outside trace of %d records", win, records)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := &meter{ctx: ctx, beat: beat, crashAfter: req.CrashAfter}
+	start := time.Now()
+
+	// Pass 1: full census. Only the populations survive this pass.
+	census := workload.NewCensus()
+	src, closer, err := trace.OpenWorkloadBinWindow(req.TracePath, 0, -1)
+	if err != nil {
+		return err
+	}
+	counted := m.wrap(census.Wrap(src))
+	for {
+		if _, _, ok := counted.Next(); !ok {
+			break
+		}
+	}
+	cerr := counted.Err()
+	closer.Close()
+	if cerr != nil {
+		return fmt.Errorf("distrib: census pass: %w", cerr)
+	}
+
+	// Passes 2+3: observation prefix, then the window replay.
+	var prefix workload.RequestSource
+	if win.Offset > 0 {
+		psrc, pcloser, err := trace.OpenWorkloadBinWindow(req.TracePath, 0, win.Offset)
+		if err != nil {
+			return err
+		}
+		defer pcloser.Close()
+		prefix = m.wrap(psrc)
+	}
+	wsrc, wcloser, err := trace.OpenWorkloadBinWindow(req.TracePath, win.Offset, win.Limit)
+	if err != nil {
+		return err
+	}
+	defer wcloser.Close()
+
+	var reg *obs.Registry
+	if req.Spec.Metrics {
+		reg = obs.NewRegistry()
+	}
+	opts, err := req.Spec.ReplayOptions(reg)
+	if err != nil {
+		return err
+	}
+	res, err := replay.RunODRWindow(prefix, m.wrap(wsrc), int(win.Offset),
+		census.Files(), smartap.Benchmarked(), opts)
+	if err != nil {
+		return err
+	}
+	if got := int64(len(res.Tasks)); got != win.Limit {
+		return fmt.Errorf("distrib: window %v replayed %d tasks, want %d", win, got, win.Limit)
+	}
+
+	p := &Partial{
+		Window:  win,
+		Spec:    req.Spec.Fingerprint(),
+		Ledgers: res.Ledgers(),
+		Totals:  res.Engine.Totals(),
+		Tasks:   res.Tasks,
+		Seconds: time.Since(start).Seconds(),
+	}
+	if reg != nil {
+		p.Metrics = reg.Snapshot()
+	}
+	return WritePartial(req.PartialPath, p)
+}

@@ -215,6 +215,8 @@ func (l *Lab) ByID(id string) *Report {
 		return l.CacheTournament()
 	case "EXPW", "expw":
 		return l.PaperScale()
+	case "EXPD", "expd":
+		return l.DistributedReplay()
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -89,4 +90,21 @@ func (h *Histogram) merge(o *Histogram) {
 			h.buckets[i].Add(n)
 		}
 	}
+}
+
+// absorb folds a frozen snapshot's observations into h — merge for a
+// histogram that crossed a process boundary as JSON. Bucket indices are
+// validated (a corrupt snapshot must not index out of range); scale
+// agreement is the caller's job, as in Merge.
+func (h *Histogram) absorb(hs HistogramSnapshot) error {
+	for _, b := range hs.Buckets {
+		if b.Pow < 0 || b.Pow >= NumBuckets {
+			return fmt.Errorf("obs: snapshot bucket pow %d out of range [0, %d)", b.Pow, NumBuckets)
+		}
+	}
+	h.sum.Add(hs.Sum)
+	for _, b := range hs.Buckets {
+		h.buckets[b.Pow].Add(b.N)
+	}
+	return nil
 }

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Snapshot is a point-in-time copy of a registry's values, suitable for
 // JSON encoding, Prometheus exposition, and exact comparison between
 // runs (the replay determinism tests compare snapshots with
@@ -69,6 +71,37 @@ func snapshotHistogram(h *Histogram) HistogramSnapshot {
 		}
 	}
 	return hs
+}
+
+// AddSnapshot folds a frozen snapshot's values into the registry — the
+// deserialization side of Merge, for registries that crossed a process
+// boundary as JSON (the distrib workers ship their per-window metrics in
+// partial-result files this way). Counters and gauges add, histograms add
+// bucket-wise, so absorbing N window snapshots in any order yields the
+// same totals, exactly as merging the live registries would. Histogram
+// scales follow HistogramScaled's rules: a name absorbed with one scale
+// and later another panics, like any conflicting re-registration. A nil
+// registry or snapshot is a no-op.
+func (r *Registry) AddSnapshot(s *Snapshot) error {
+	if r == nil || s == nil {
+		return nil
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Add(v)
+	}
+	for name, hs := range s.Histograms {
+		scale := hs.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		if err := r.HistogramScaled(name, scale).absorb(hs); err != nil {
+			return fmt.Errorf("%w (histogram %q)", err, name)
+		}
+	}
+	return nil
 }
 
 // Delta returns the change from prev to s: counters and histogram buckets

@@ -83,7 +83,7 @@ func RunAPBenchmarkStream(src workload.RequestSource, aps []*smartap.AP,
 	be := backend.NewSmartAP()
 	b := &APBench{}
 	var err error
-	b.Tasks, b.Engine, err = runShardedStream(src, aps, seed, shards, tune,
+	b.Tasks, b.Engine, err = runShardedStream(src, aps, seed, 0, shards, tune,
 		nil, nil, apTask(be))
 	if err != nil {
 		return nil, err

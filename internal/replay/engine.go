@@ -227,6 +227,16 @@ func bindRequest(req *backend.Request, rng *dist.RNG, root *dist.RNG,
 // observe hook (cloud priming) on each, and packs them into fixed-size
 // batches fanned out to per-shard work channels keyed by user partition.
 //
+// base offsets every request's GLOBAL index: the source yields local
+// indices 0..n-1 (every RequestSource re-bases at 0), and the engine
+// binds request k to global index base+k — its RNG substream, AP
+// assignment, and cloud-visibility gate are exactly those the same record
+// would get in a full-stream replay where it sits at position base+k.
+// This is what lets a window of a larger trace replay in isolation and
+// still merge digest-identically (see internal/distrib). observe and fn
+// still receive the local index; callers that need the global one add
+// base themselves.
+//
 // The steady state allocates nothing per request. Batches circulate
 // between each shard's work queue and a free list (streamBatchDepth per
 // shard), so the transport reuses the same few arrays for the whole
@@ -243,7 +253,7 @@ func bindRequest(req *backend.Request, rng *dist.RNG, root *dist.RNG,
 // shard count is not capped by it; pass the same explicit positive count
 // to both paths when comparing digests of tiny samples.
 func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
-	seed uint64, shards int, tune StreamTuning, eo *engineObs[T],
+	seed uint64, base, shards int, tune StreamTuning, eo *engineObs[T],
 	observe func(i int, wreq workload.Request),
 	fn func(i int, wreq workload.Request, req *backend.Request, task *T) bool,
 ) ([]T, EngineStats, error) {
@@ -311,7 +321,7 @@ func runShardedStream[T any](src workload.RequestSource, aps []*smartap.AP,
 			for batch := range work[s] {
 				for k := range batch {
 					c := &batch[k]
-					bindRequest(req, rng, root, c.i, c.wreq, aps)
+					bindRequest(req, rng, root, base+c.i, c.wreq, aps)
 					var zero T
 					tasks = append(tasks, zero)
 					t := &tasks[len(tasks)-1]

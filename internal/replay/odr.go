@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -273,6 +274,46 @@ func RunODR(sample []workload.Request, files []*workload.FileMeta,
 // with their backing populations — are materialized.
 func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 	aps []*smartap.AP, opts Options) (*ODRResult, error) {
+	return runODRWindowed(nil, src, 0, files, aps, opts)
+}
+
+// RunODRWindow replays one contiguous record window of a larger trace:
+// window yields the records at global indices [base, base+n) (re-based at
+// 0, as every RequestSource is) and prefix yields the records at [0, base)
+// — the same trace's head, in order. The prefix is drained first through
+// the cloud's sequential observation pass only (ObserveAt; no RNG draws,
+// no ledger writes, no task execution), which reconstructs exactly the
+// cache-visibility state — static first-seen gates or a dynamic policy's
+// evolved pool — that a full single-process replay has when it reaches
+// record base. The window then replays with every index-keyed input (RNG
+// substream, AP assignment, visibility gate) offset by base, so its task
+// records and ledger deltas are byte-identical to the corresponding span
+// of the full replay. internal/distrib stacks these windows back into a
+// whole-trace digest.
+//
+// Options.Resilience must be nil: its per-user circuit breaker accumulates
+// strikes across the whole trace, and a window cannot reproduce the
+// breaker state its prefix's failures would have built without replaying
+// them. Faults replay naively (each fault drawn from the request's own
+// substream), which is window-safe.
+func RunODRWindow(prefix, window workload.RequestSource, base int,
+	files []*workload.FileMeta, aps []*smartap.AP, opts Options) (*ODRResult, error) {
+	if opts.Resilience != nil {
+		return nil, fmt.Errorf("replay: windowed replay cannot reproduce the resilience layer's per-user circuit state across window boundaries; replay faults naively (Resilience nil) or run single-process")
+	}
+	if base < 0 {
+		return nil, fmt.Errorf("replay: negative window base %d", base)
+	}
+	if (base > 0) != (prefix != nil) {
+		return nil, fmt.Errorf("replay: window base %d needs an observation prefix of exactly that many records (got prefix: %v)", base, prefix != nil)
+	}
+	return runODRWindowed(prefix, window, base, files, aps, opts)
+}
+
+// runODRWindowed is the shared body of RunODRStream (no prefix, base 0)
+// and RunODRWindow.
+func runODRWindowed(prefix, window workload.RequestSource, base int,
+	files []*workload.FileMeta, aps []*smartap.AP, opts Options) (*ODRResult, error) {
 	if len(aps) == 0 {
 		panic("replay: RunODRStream needs at least one AP")
 	}
@@ -284,11 +325,32 @@ func RunODRStream(src workload.RequestSource, files []*workload.FileMeta,
 	fleet, finish := newFleet(set, opts)
 	db := core.NewStaticDB(files)
 
+	if prefix != nil {
+		n := 0
+		for {
+			i, wreq, ok := prefix.Next()
+			if !ok {
+				break
+			}
+			if i != n {
+				return nil, fmt.Errorf("replay: observation prefix yielded index %d, want %d", i, n)
+			}
+			set.Cloud.ObserveAt(i, wreq.File, wreq.Time)
+			n++
+		}
+		if err := prefix.Err(); err != nil {
+			return nil, fmt.Errorf("replay: observation prefix: %w", err)
+		}
+		if n != base {
+			return nil, fmt.Errorf("replay: observation prefix yielded %d records, want %d (the window base)", n, base)
+		}
+	}
+
 	res := &ODRResult{Backends: set}
 	var err error
-	res.Tasks, res.Engine, err = runShardedStream(src, aps, opts.Seed, opts.Shards,
+	res.Tasks, res.Engine, err = runShardedStream(window, aps, opts.Seed, base, opts.Shards,
 		opts.Stream, newODRObs(opts.Metrics),
-		func(i int, wreq workload.Request) { set.Cloud.ObserveAt(i, wreq.File, wreq.Time) },
+		func(i int, wreq workload.Request) { set.Cloud.ObserveAt(base+i, wreq.File, wreq.Time) },
 		func(i int, wreq workload.Request, req *backend.Request, task *ODRTask) bool {
 			odrTask(task, wreq, req, db, fleet, opts)
 			return task.Success

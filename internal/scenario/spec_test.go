@@ -38,6 +38,7 @@ func TestSpecValidate(t *testing.T) {
 		{"negative pool bytes", Spec{PoolBytes: -1}, "negative pool sizing"},
 		{"pool bytes and divisor", Spec{PoolBytes: 10, PoolDivisor: 2}, "mutually exclusive"},
 		{"negative window", Spec{WindowHours: -2}, "negative WindowHours"},
+		{"negative workers", Spec{Workers: -1}, "negative Workers"},
 		{"unknown profile", Spec{Profile: "nope"}, "nope"},
 		{"bad faults", Spec{Faults: "transient=x"}, "transient"},
 		{"bad policy", Spec{CachePolicy: "mru"}, "mru"},
@@ -219,7 +220,7 @@ func TestSpecLabel(t *testing.T) {
 func TestSpecJSONRoundTrip(t *testing.T) {
 	s := Spec{Name: "x", Profile: "holiday", Days: 14, Files: 5000, Sample: 300,
 		Seed: 4, Shards: 2, Stream: true, Chunk: 7, GenWorkers: 3, Faults: "0.1",
-		Naive: true, CachePolicy: "lfu", PoolDivisor: 8, WindowHours: 12}
+		Naive: true, CachePolicy: "lfu", PoolDivisor: 8, WindowHours: 12, Workers: 3}
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
